@@ -1,0 +1,30 @@
+//! Fig. 1 bench: end-to-end run time of every compared algorithm on a
+//! scale-free and a clustered graph (the two regimes where the SC and JP
+//! classes trade places in the paper).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgc_bench::{bench_graph_clustered, bench_graph_scale_free};
+use pgc_core::{run, Algorithm, Params};
+use std::hint::black_box;
+
+fn fig1(c: &mut Criterion) {
+    let params = Params::default();
+    for (gname, g) in [
+        ("rmat-13-8", bench_graph_scale_free()),
+        ("ring-of-cliques", bench_graph_clustered()),
+    ] {
+        let mut group = c.benchmark_group(format!("fig1/{gname}"));
+        group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+        for algo in Algorithm::fig1_set() {
+            group.bench_function(BenchmarkId::from_parameter(algo.name()), |b| {
+                b.iter(|| black_box(run(&g, algo, &params).num_colors))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, fig1);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Fig. 2 bench: strong scaling (thread sweep on a fixed graph) and weak
+//! scaling (Kronecker graphs with growing edges/vertex).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pgc_bench::bench_graph_scale_free;
+use pgc_core::{run, Algorithm, Params};
+use pgc_graph::gen::{generate, GraphSpec};
+use std::hint::black_box;
+
+fn strong(c: &mut Criterion) {
+    let params = Params::default();
+    let g = bench_graph_scale_free();
+    let mut group = c.benchmark_group("fig2/strong/JP-ADG");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for threads in [1usize, 2, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        group.bench_function(BenchmarkId::from_parameter(threads), |b| {
+            b.iter(|| pool.install(|| black_box(run(&g, Algorithm::JpAdg, &params).num_colors)))
+        });
+    }
+    group.finish();
+}
+
+fn weak(c: &mut Criterion) {
+    let params = Params::default();
+    let mut group = c.benchmark_group("fig2/weak/JP-ADG");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for ef in [2usize, 8, 32] {
+        let g = generate(
+            &GraphSpec::Rmat {
+                scale: 12,
+                edge_factor: ef,
+            },
+            1,
+        );
+        group.throughput(Throughput::Elements(g.m() as u64));
+        group.bench_function(BenchmarkId::from_parameter(ef), |b| {
+            b.iter(|| black_box(run(&g, Algorithm::JpAdg, &params).num_colors))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, strong, weak);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Fig. 3 bench: the ε knob — reordering cost shrinks as ε grows (fewer
+//! ADG iterations), for both JP-ADG and DEC-ADG-ITR.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgc_bench::{bench_graph_mesh, bench_graph_scale_free};
+use pgc_core::{run, Algorithm, Params};
+use std::hint::black_box;
+
+fn fig3(c: &mut Criterion) {
+    for (gname, g) in [
+        ("h-bai-like", bench_graph_scale_free()),
+        ("v-usa-like", bench_graph_mesh()),
+    ] {
+        for algo in [Algorithm::JpAdg, Algorithm::DecAdgItr] {
+            let mut group = c.benchmark_group(format!("fig3/{gname}/{}", algo.name()));
+            group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+            for eps in [0.01f64, 0.1, 1.0] {
+                let params = Params {
+                    epsilon: eps,
+                    ..Params::default()
+                };
+                group.bench_function(BenchmarkId::from_parameter(eps), |b| {
+                    b.iter(|| black_box(run(&g, algo, &params).num_colors))
+                });
+            }
+            group.finish();
+        }
+    }
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

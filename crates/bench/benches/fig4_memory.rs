@@ -1,0 +1,39 @@
+//! Fig. 4 bench: cache-simulator replay throughput per algorithm (the
+//! simulator is the experiment substrate here; the measured miss fractions
+//! themselves come from `pgc fig4`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgc_cachesim::simulate_algorithm;
+use pgc_core::{Algorithm, Params};
+use pgc_graph::gen::{generate, GraphSpec};
+use std::hint::black_box;
+
+fn fig4(c: &mut Criterion) {
+    let params = Params::default();
+    let g = generate(
+        &GraphSpec::Rmat {
+            scale: 11,
+            edge_factor: 8,
+        },
+        2,
+    );
+    let mut group = c.benchmark_group("fig4/trace-replay");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for algo in [
+        Algorithm::JpR,
+        Algorithm::JpAdg,
+        Algorithm::JpSl,
+        Algorithm::Itr,
+        Algorithm::DecAdgItr,
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(algo.name()), |b| {
+            b.iter(|| black_box(simulate_algorithm(&g, algo, &params).miss_fraction))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

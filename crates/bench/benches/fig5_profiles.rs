@@ -1,0 +1,48 @@
+//! Fig. 5 bench: Dolan–Moré performance-profile computation, plus the
+//! small quality-matrix evaluation feeding it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgc_core::{run, Algorithm, Params};
+use pgc_graph::gen::{generate, suite};
+use pgc_harness::profiles::performance_profiles;
+use std::hint::black_box;
+
+fn profile_computation(c: &mut Criterion) {
+    // A large synthetic metric matrix: 1000 instances × 12 solvers.
+    let names: Vec<String> = (0..12).map(|i| format!("s{i}")).collect();
+    let values: Vec<Vec<f64>> = (0..1000)
+        .map(|i| {
+            (0..12)
+                .map(|j| 10.0 + ((i * 31 + j * 7) % 13) as f64)
+                .collect()
+        })
+        .collect();
+    let taus: Vec<f64> = (0..50).map(|i| 1.0 + i as f64 * 0.02).collect();
+    c.bench_function("fig5/profile-computation", |b| {
+        b.iter(|| black_box(performance_profiles(&names, &values, &taus).len()))
+    });
+}
+
+fn quality_matrix(c: &mut Criterion) {
+    let params = Params::default();
+    let graphs: Vec<_> = suite(0)
+        .into_iter()
+        .take(3)
+        .map(|sg| generate(&sg.spec, 1))
+        .collect();
+    let algos = [Algorithm::JpR, Algorithm::JpAdg, Algorithm::DecAdgItr];
+    c.bench_function("fig5/quality-matrix-3x3", |b| {
+        b.iter(|| {
+            let mut total = 0u32;
+            for g in &graphs {
+                for &a in &algos {
+                    total += run(g, a, &params).num_colors;
+                }
+            }
+            black_box(total)
+        })
+    });
+}
+
+criterion_group!(benches, profile_computation, quality_matrix);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! "ADG beyond coloring" bench: densest subgraph, coreness estimates, and
+//! maximal-clique enumeration — the ADG-consumer workloads of the paper's
+//! closing section.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgc_bench::bench_graph_social;
+use std::hint::black_box;
+
+fn mining(c: &mut Criterion) {
+    let g = bench_graph_social();
+    let mut group = c.benchmark_group("mining");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.bench_function("densest-subgraph", |b| {
+        b.iter(|| black_box(pgc_mining::approx_densest_subgraph(&g, 0.1).density))
+    });
+    group.bench_function("approx-coreness", |b| {
+        b.iter(|| black_box(pgc_mining::approx_coreness(&g, 0.1).len()))
+    });
+    group.bench_function("exact-degeneracy", |b| {
+        b.iter(|| black_box(pgc_graph::degeneracy::degeneracy(&g).degeneracy))
+    });
+    group.bench_function("maximal-cliques", |b| {
+        b.iter(|| black_box(pgc_mining::count_maximal_cliques(&g)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, mining);
+criterion_main!(benches);

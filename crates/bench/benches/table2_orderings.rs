@@ -1,0 +1,34 @@
+//! Table II bench: cost of computing each vertex ordering (the
+//! "reordering" fraction of the paper's run-time bars).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgc_bench::bench_graph_scale_free;
+use pgc_order::{compute, AdgOptions, OrderingKind};
+use std::hint::black_box;
+
+fn orderings(c: &mut Criterion) {
+    let g = bench_graph_scale_free();
+    let mut group = c.benchmark_group("table2/orderings");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for kind in [
+        OrderingKind::FirstFit,
+        OrderingKind::Random,
+        OrderingKind::LargestFirst,
+        OrderingKind::LargestLogFirst,
+        OrderingKind::SmallestLast,
+        OrderingKind::SmallestLogLast,
+        OrderingKind::ApproxSmallestLast,
+        OrderingKind::Adg(AdgOptions::default()),
+        OrderingKind::Adg(AdgOptions::median()),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| black_box(compute(&g, &kind, 7).rho.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, orderings);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Table III bench: every coloring algorithm end-to-end on one scale-free
+//! and one social proxy (the full class-1/2/3 comparison).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgc_bench::{bench_graph_social, bench_graph_scale_free};
+use pgc_core::{run, Algorithm, Params};
+use std::hint::black_box;
+
+fn table3(c: &mut Criterion) {
+    let params = Params::default();
+    for (gname, g) in [
+        ("rmat", bench_graph_scale_free()),
+        ("ba-social", bench_graph_social()),
+    ] {
+        let mut group = c.benchmark_group(format!("table3/{gname}"));
+        group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+        for algo in Algorithm::all() {
+            group.bench_function(BenchmarkId::from_parameter(algo.name()), |b| {
+                b.iter(|| black_box(run(&g, algo, &params).num_colors))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, table3);
+criterion_main!(benches);

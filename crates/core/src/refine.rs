@@ -1,0 +1,219 @@
+//! Coloring refinement: iterated greedy recoloring and balancing.
+//!
+//! The paper's related work (§VII) covers two practical post-processing
+//! families it leaves orthogonal to its contributions: *recoloring*
+//! (Culberson's iterated greedy [130], [131]) which improves an existing
+//! coloring's color count, and *balanced coloring* ([138]–[140]) which
+//! equalizes color-class sizes for load-balanced scheduling. Both compose
+//! with every algorithm in this crate: run JP-ADG, then refine.
+
+use crate::greedy::greedy_in_sequence;
+use crate::verify::{color_histogram, num_colors};
+use crate::UNCOLORED;
+use pgc_graph::CsrGraph;
+use pgc_primitives::{FixedBitmap, SplitMix64};
+
+/// One pass of Culberson's iterated greedy: re-run greedy with vertices
+/// grouped by their current color class. Because each class is an
+/// independent set, the resulting coloring is proper and **never uses more
+/// colors** than the input; class-permutation heuristics let it escape
+/// local minima.
+///
+/// `passes` alternates three class orders (reverse color index, decreasing
+/// size, random) — the classic recipe. Returns the best coloring found.
+pub fn iterated_greedy(g: &CsrGraph, colors: &[u32], passes: usize, seed: u64) -> Vec<u32> {
+    assert_eq!(colors.len(), g.n());
+    let mut rng = SplitMix64::new(seed ^ 0x17E4);
+    let mut current = colors.to_vec();
+    let mut best = current.clone();
+    for pass in 0..passes {
+        let k = num_colors(&current) as usize;
+        if k <= 1 {
+            break;
+        }
+        // Order the color classes.
+        let mut class_order: Vec<u32> = (0..k as u32).collect();
+        match pass % 3 {
+            0 => class_order.reverse(),
+            1 => {
+                let hist = color_histogram(&current);
+                class_order.sort_unstable_by_key(|&c| std::cmp::Reverse(hist[c as usize]));
+            }
+            _ => {
+                // Fisher–Yates with the pass-local RNG.
+                for i in (1..k).rev() {
+                    let j = rng.below((i + 1) as u32) as usize;
+                    class_order.swap(i, j);
+                }
+            }
+        }
+        // Vertices grouped by class, classes in the chosen order.
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); k];
+        for v in g.vertices() {
+            buckets[current[v as usize] as usize].push(v);
+        }
+        let seq: Vec<u32> = class_order
+            .iter()
+            .flat_map(|&c| buckets[c as usize].iter().copied())
+            .collect();
+        current = greedy_in_sequence(g, seq);
+        debug_assert!(num_colors(&current) <= k as u32, "iterated greedy grew");
+        if num_colors(&current) < num_colors(&best) {
+            best = current.clone();
+        }
+    }
+    best
+}
+
+/// Summary of class-size balance: `(max, min, imbalance = max/avg)`.
+pub fn balance_stats(colors: &[u32]) -> (usize, usize, f64) {
+    let hist = color_histogram(colors);
+    if hist.is_empty() {
+        return (0, 0, 1.0);
+    }
+    let max = *hist.iter().max().unwrap();
+    let min = *hist.iter().min().unwrap();
+    let avg = colors.len() as f64 / hist.len() as f64;
+    (max, min, max as f64 / avg)
+}
+
+/// Greedy balancing ([139]-style "vertex moving"): repeatedly move
+/// vertices from overfull classes into the smallest permissible class.
+/// Properness and the color count are preserved; class sizes approach the
+/// mean. Returns the balanced coloring.
+pub fn balance_colors(g: &CsrGraph, colors: &[u32], max_rounds: usize) -> Vec<u32> {
+    assert_eq!(colors.len(), g.n());
+    let mut out = colors.to_vec();
+    let k = num_colors(&out) as usize;
+    if k <= 1 {
+        return out;
+    }
+    let target = g.n().div_ceil(k);
+    let mut hist = color_histogram(&out);
+    let mut forbidden = FixedBitmap::new(k);
+    for _ in 0..max_rounds {
+        let mut moved = 0usize;
+        for v in g.vertices() {
+            let c = out[v as usize] as usize;
+            if hist[c] <= target {
+                continue;
+            }
+            // Colors used by neighbors.
+            forbidden.clear_all();
+            for &u in g.neighbors(v) {
+                let cu = out[u as usize];
+                if cu != UNCOLORED {
+                    forbidden.set_saturating(cu as usize);
+                }
+            }
+            // Smallest-population permissible class strictly smaller than
+            // the current one.
+            let mut best: Option<usize> = None;
+            for cand in 0..k {
+                if cand != c && !forbidden.get(cand) && hist[cand] + 1 < hist[c]
+                    && best.is_none_or(|b| hist[cand] < hist[b]) {
+                        best = Some(cand);
+                    }
+            }
+            if let Some(b) = best {
+                out[v as usize] = b as u32;
+                hist[c] -= 1;
+                hist[b] += 1;
+                moved += 1;
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::assert_proper;
+    use crate::{run, Algorithm, Params};
+    use pgc_graph::gen::{generate, GraphSpec};
+
+    #[test]
+    fn iterated_greedy_never_worse_and_proper() {
+        for (i, spec) in [
+            GraphSpec::ErdosRenyi { n: 600, m: 3000 },
+            GraphSpec::BarabasiAlbert { n: 600, attach: 6 },
+            GraphSpec::RingOfCliques { cliques: 10, clique_size: 8 },
+        ]
+        .iter()
+        .enumerate()
+        {
+            let g = generate(spec, i as u64);
+            let base = run(&g, Algorithm::JpR, &Params::default());
+            let refined = iterated_greedy(&g, &base.colors, 6, 9);
+            assert_proper(&g, &refined);
+            assert!(
+                num_colors(&refined) <= base.num_colors,
+                "{spec:?}: {} > {}",
+                num_colors(&refined),
+                base.num_colors
+            );
+        }
+    }
+
+    #[test]
+    fn iterated_greedy_improves_bad_colorings() {
+        // JP-R on a scale-free graph leaves slack that recoloring recovers.
+        let g = generate(&GraphSpec::BarabasiAlbert { n: 5_000, attach: 10 }, 3);
+        let base = run(&g, Algorithm::JpR, &Params::default());
+        let refined = iterated_greedy(&g, &base.colors, 9, 1);
+        assert!(
+            num_colors(&refined) < base.num_colors,
+            "expected improvement from {}",
+            base.num_colors
+        );
+    }
+
+    #[test]
+    fn iterated_greedy_fixed_point_on_optimal() {
+        // A bipartite 2-coloring cannot improve.
+        let g = generate(&GraphSpec::Grid2d { rows: 12, cols: 12 }, 0);
+        let two = crate::greedy::greedy_saturation_degree(&g);
+        assert_eq!(num_colors(&two), 2);
+        let refined = iterated_greedy(&g, &two, 5, 0);
+        assert_eq!(num_colors(&refined), 2);
+        assert_proper(&g, &refined);
+    }
+
+    #[test]
+    fn balance_preserves_properness_and_count() {
+        let g = generate(&GraphSpec::ErdosRenyi { n: 800, m: 3200 }, 5);
+        let base = run(&g, Algorithm::GreedyFf, &Params::default());
+        let balanced = balance_colors(&g, &base.colors, 20);
+        assert_proper(&g, &balanced);
+        assert!(num_colors(&balanced) <= base.num_colors);
+        let (_, _, imb_before) = balance_stats(&base.colors);
+        let (_, _, imb_after) = balance_stats(&balanced);
+        assert!(
+            imb_after <= imb_before + 1e-9,
+            "imbalance grew: {imb_before} -> {imb_after}"
+        );
+    }
+
+    #[test]
+    fn balance_improves_skewed_first_fit() {
+        // First-fit heavily overloads color 0; balancing must help.
+        let g = generate(&GraphSpec::ErdosRenyi { n: 2_000, m: 6_000 }, 2);
+        let base = crate::greedy::greedy_first_fit(&g);
+        let (max_before, ..) = balance_stats(&base);
+        let balanced = balance_colors(&g, &base, 30);
+        let (max_after, ..) = balance_stats(&balanced);
+        assert!(max_after < max_before, "{max_after} !< {max_before}");
+    }
+
+    #[test]
+    fn balance_trivial_cases() {
+        let g = generate(&GraphSpec::Empty { n: 6 }, 0);
+        let colors = vec![0u32; 6];
+        assert_eq!(balance_colors(&g, &colors, 5), colors);
+        assert_eq!(balance_stats(&[]).2, 1.0);
+    }
+}

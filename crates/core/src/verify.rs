@@ -1,0 +1,159 @@
+//! Coloring verification and quality oracles.
+//!
+//! Every algorithm in this crate is checked against these oracles in tests:
+//! a coloring is *proper* iff no edge is monochromatic and every vertex is
+//! colored. The bound helpers encode the paper's guarantees (Table III
+//! "Quality" column) so tests and the harness can assert them.
+
+use crate::UNCOLORED;
+use pgc_graph::CsrGraph;
+use rayon::prelude::*;
+
+/// True iff every vertex has a color and no edge is monochromatic.
+pub fn is_proper(g: &CsrGraph, colors: &[u32]) -> bool {
+    find_violation(g, colors).is_none()
+}
+
+/// The first violation, if any: either an uncolored vertex (`(v, v)`) or a
+/// monochromatic edge `(u, v)`.
+pub fn find_violation(g: &CsrGraph, colors: &[u32]) -> Option<(u32, u32)> {
+    if colors.len() != g.n() {
+        return Some((0, 0));
+    }
+    g.vertices().into_par_iter().find_map_any(|v| {
+        if colors[v as usize] == UNCOLORED {
+            return Some((v, v));
+        }
+        g.neighbors(v)
+            .iter()
+            .find(|&&u| colors[u as usize] == colors[v as usize])
+            .map(|&u| (v, u))
+    })
+}
+
+/// Panic with a diagnostic if the coloring is not proper.
+pub fn assert_proper(g: &CsrGraph, colors: &[u32]) {
+    if let Some((v, u)) = find_violation(g, colors) {
+        if v == u {
+            panic!("vertex {v} is uncolored");
+        }
+        panic!(
+            "edge ({v},{u}) is monochromatic: color {}",
+            colors[v as usize]
+        );
+    }
+}
+
+/// Number of distinct colors used = max color + 1 (colors are 0-based and,
+/// for all algorithms here, form a contiguous prefix).
+pub fn num_colors(colors: &[u32]) -> u32 {
+    colors
+        .iter()
+        .copied()
+        .filter(|&c| c != UNCOLORED)
+        .max()
+        .map_or(0, |c| c + 1)
+}
+
+/// Size of each color class.
+pub fn color_histogram(colors: &[u32]) -> Vec<usize> {
+    let k = num_colors(colors) as usize;
+    let mut hist = vec![0usize; k];
+    for &c in colors {
+        if c != UNCOLORED {
+            hist[c as usize] += 1;
+        }
+    }
+    hist
+}
+
+/// The paper's quality bound for a given algorithm family, in colors.
+/// `d` is the exact degeneracy, `delta` the max degree.
+pub mod bounds {
+    /// Greedy/JP with any order: Δ + 1.
+    pub fn trivial(delta: u32) -> u32 {
+        delta + 1
+    }
+
+    /// JP-SL / Greedy-SL: d + 1.
+    pub fn sl(d: u32) -> u32 {
+        d + 1
+    }
+
+    /// JP-ADG / DEC-ADG-ITR: ⌈2(1+ε)d⌉ + 1 (Corollary 1).
+    pub fn jp_adg(d: u32, epsilon: f64) -> u32 {
+        (2.0 * (1.0 + epsilon) * d as f64).ceil() as u32 + 1
+    }
+
+    /// JP-ADG-M: 4d + 1 (Corollary 2).
+    pub fn jp_adg_m(d: u32) -> u32 {
+        4 * d + 1
+    }
+
+    /// DEC-ADG: ⌈(2+ε)d⌉ (Claim 2, for 0 < ε ≤ 8).
+    pub fn dec_adg(d: u32, epsilon: f64) -> u32 {
+        ((2.0 + epsilon) * d as f64).ceil() as u32
+    }
+
+    /// DEC-ADG-M: ⌈(4+ε)d⌉ (§V-I.3).
+    pub fn dec_adg_m(d: u32, epsilon: f64) -> u32 {
+        ((4.0 + epsilon) * d as f64).ceil() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgc_graph::builder::from_edges;
+
+    #[test]
+    fn proper_accepts_valid() {
+        let g = from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(is_proper(&g, &[0, 1, 0]));
+    }
+
+    #[test]
+    fn detects_monochromatic_edge() {
+        let g = from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(!is_proper(&g, &[0, 0, 1]));
+        let (a, b) = find_violation(&g, &[0, 0, 1]).unwrap();
+        assert!((a, b) == (0, 1) || (a, b) == (1, 0));
+    }
+
+    #[test]
+    fn detects_uncolored() {
+        let g = from_edges(2, &[(0, 1)]);
+        assert_eq!(find_violation(&g, &[0, UNCOLORED]), Some((1, 1)));
+    }
+
+    #[test]
+    fn detects_length_mismatch() {
+        let g = from_edges(2, &[(0, 1)]);
+        assert!(!is_proper(&g, &[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "monochromatic")]
+    fn assert_proper_panics() {
+        let g = from_edges(2, &[(0, 1)]);
+        assert_proper(&g, &[3, 3]);
+    }
+
+    #[test]
+    fn counting_and_histogram() {
+        assert_eq!(num_colors(&[0, 2, 1, 0]), 3);
+        assert_eq!(num_colors(&[]), 0);
+        assert_eq!(num_colors(&[UNCOLORED]), 0);
+        assert_eq!(color_histogram(&[0, 2, 1, 0]), vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn bound_formulas() {
+        assert_eq!(bounds::trivial(7), 8);
+        assert_eq!(bounds::sl(3), 4);
+        assert_eq!(bounds::jp_adg(10, 0.01), 21 + 1);
+        assert_eq!(bounds::jp_adg_m(10), 41);
+        assert_eq!(bounds::dec_adg(10, 6.0), 80);
+        assert_eq!(bounds::dec_adg_m(10, 6.0), 100);
+    }
+}

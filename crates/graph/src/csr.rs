@@ -1,0 +1,252 @@
+//! Compressed Sparse Row graphs (§II-A).
+//!
+//! The paper stores `G` "using CSR, the standard graph representation that
+//! consists of n sorted arrays with neighbors of each vertex (2m words) and
+//! offsets to each array (n words)". Vertices are `u32` ids `0..n` (the
+//! paper's `1..n` shifted to 0-based); the id order is the total order `≺`
+//! used to sort neighborhoods.
+
+/// An immutable, undirected, simple graph in CSR form.
+///
+/// Invariants (enforced by [`crate::builder::EdgeListBuilder`] and checked
+/// by [`CsrGraph::validate`]):
+/// * `offsets.len() == n + 1`, `offsets[0] == 0`, non-decreasing,
+/// * each neighbor list is strictly increasing (sorted, no duplicates),
+/// * no self-loops,
+/// * symmetry: `u ∈ N(v) ⇔ v ∈ N(u)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    neighbors: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Construct from raw CSR arrays. Debug builds validate the invariants.
+    pub fn from_raw(offsets: Vec<usize>, neighbors: Vec<u32>) -> Self {
+        let g = Self { offsets, neighbors };
+        debug_assert!(g.validate().is_ok(), "{:?}", g.validate());
+        g
+    }
+
+    /// The empty graph on `n` isolated vertices.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            offsets: vec![0; n + 1],
+            neighbors: Vec::new(),
+        }
+    }
+
+    /// Number of vertices `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m` (half the stored directed arcs).
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Number of stored directed arcs (`2m`).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> u32 {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as u32
+    }
+
+    /// Sorted neighbor slice of vertex `v`.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.neighbors[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// True if `{u, v}` is an edge (binary search in the sorted list).
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Maximum degree Δ.
+    pub fn max_degree(&self) -> u32 {
+        (0..self.n() as u32).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Minimum degree δ.
+    pub fn min_degree(&self) -> u32 {
+        (0..self.n() as u32).map(|v| self.degree(v)).min().unwrap_or(0)
+    }
+
+    /// Average degree δ̂ = 2m / n.
+    pub fn avg_degree(&self) -> f64 {
+        if self.n() == 0 {
+            0.0
+        } else {
+            self.num_arcs() as f64 / self.n() as f64
+        }
+    }
+
+    /// All vertex ids.
+    #[inline]
+    pub fn vertices(&self) -> std::ops::Range<u32> {
+        0..self.n() as u32
+    }
+
+    /// Iterate undirected edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// The raw offsets array (read-only; used by the cache simulator to map
+    /// traversals onto addresses).
+    #[inline]
+    pub fn raw_offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw neighbor array (read-only).
+    #[inline]
+    pub fn raw_neighbors(&self) -> &[u32] {
+        &self.neighbors
+    }
+
+    /// Check all CSR invariants; returns a description of the first
+    /// violation, if any.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.offsets.is_empty() {
+            return Err("offsets must have length n+1 >= 1".into());
+        }
+        if self.offsets[0] != 0 {
+            return Err("offsets[0] must be 0".into());
+        }
+        if *self.offsets.last().unwrap() != self.neighbors.len() {
+            return Err("offsets must end at neighbors.len()".into());
+        }
+        let n = self.n() as u32;
+        for v in 0..n {
+            let (lo, hi) = (self.offsets[v as usize], self.offsets[v as usize + 1]);
+            if lo > hi {
+                return Err(format!("offsets decrease at vertex {v}"));
+            }
+            let nbrs = &self.neighbors[lo..hi];
+            for w in nbrs.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!("neighbors of {v} not strictly increasing"));
+                }
+            }
+            for &u in nbrs {
+                if u >= n {
+                    return Err(format!("neighbor {u} of {v} out of range"));
+                }
+                if u == v {
+                    return Err(format!("self-loop at {v}"));
+                }
+                if !self.has_edge(u, v) {
+                    return Err(format!("asymmetric edge ({v},{u})"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Degree array `D = [deg(v_1) … deg(v_n)]` (Alg. 1, line 4).
+    pub fn degree_array(&self) -> Vec<u32> {
+        (0..self.n() as u32).map(|v| self.degree(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::EdgeListBuilder;
+
+    fn triangle() -> CsrGraph {
+        let mut b = EdgeListBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        b.build()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(5);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_vertex_graph() {
+        let g = CsrGraph::empty(0);
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn triangle_basics() {
+        let g = triangle();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 0));
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.min_degree(), 2);
+        assert!((g.avg_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edges_iterator_each_edge_once() {
+        let g = triangle();
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn degree_array_matches() {
+        let g = triangle();
+        assert_eq!(g.degree_array(), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn validate_catches_asymmetry() {
+        let g = CsrGraph {
+            offsets: vec![0, 1, 1],
+            neighbors: vec![1],
+        };
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_self_loop() {
+        let g = CsrGraph {
+            offsets: vec![0, 1],
+            neighbors: vec![0],
+        };
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_unsorted() {
+        let g = CsrGraph {
+            offsets: vec![0, 2, 3, 5],
+            neighbors: vec![2, 1, 0, 0, 1],
+        };
+        assert!(g.validate().is_err());
+    }
+}

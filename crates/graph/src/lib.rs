@@ -1,0 +1,27 @@
+//! # pgc-graph
+//!
+//! Graph substrate for the SC'20 graph-coloring reproduction:
+//!
+//! * [`csr`] — the paper's graph representation (§II-A): CSR with `n`
+//!   offsets and `2m` sorted neighbor words, undirected simple graphs,
+//! * [`builder`] — edge-list → CSR construction (dedup, de-loop,
+//!   symmetrize, sort) with parallel sorting,
+//! * [`gen`] — seeded synthetic generators standing in for the paper's
+//!   SNAP/KONECT/WebGraph datasets (Table V) and the Kronecker weak-scaling
+//!   workloads (§VI-F); see DESIGN.md §5 for the substitution argument,
+//! * [`io`] — plain edge-list and DIMACS `.col` readers/writers so real
+//!   datasets can be used when available,
+//! * [`degeneracy`] — exact degeneracy, coreness, and the smallest-degree-
+//!   last (SL) removal order via linear-time bucket peeling (Matula–Beck),
+//!   the ground truth against which ADG's approximation is validated.
+
+pub mod builder;
+pub mod csr;
+pub mod degeneracy;
+pub mod gen;
+pub mod io;
+pub mod transform;
+
+pub use builder::EdgeListBuilder;
+pub use csr::CsrGraph;
+pub use degeneracy::{degeneracy, DegeneracyInfo};

@@ -1,0 +1,640 @@
+//! One function per table/figure of the paper's evaluation (§VI).
+//!
+//! Every function returns a [`Table`] whose rows mirror what the paper
+//! plots; the `pgc` binary prints them as text or CSV. All workloads come
+//! from the synthetic proxy suite (`pgc_graph::gen::suite`, DESIGN.md §5).
+
+use crate::profiles::performance_profiles;
+use crate::table::{ms, Table};
+use pgc_core::{run, Algorithm, Params};
+use pgc_graph::gen::{generate, suite, GraphSpec, SuiteGraph};
+use pgc_graph::CsrGraph;
+use pgc_order::{compute, max_back_degree, AdgOptions, OrderingKind, UpdateStyle};
+use std::time::Duration;
+
+/// Shared experiment configuration.
+#[derive(Clone, Debug)]
+pub struct ExpConfig {
+    /// Workload scale: 0 = smoke test, 1 = default evaluation, 2 = large.
+    pub scale: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Repetitions per measurement (minimum is reported, after a warm-up
+    /// run that is discarded — the paper excludes warm-up data too).
+    pub reps: usize,
+    /// Thread counts for the scaling experiments.
+    pub threads: Vec<usize>,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        Self {
+            scale: 1,
+            seed: 0xC0FFEE,
+            reps: 3,
+            threads: vec![1, 2, 4, 8],
+        }
+    }
+}
+
+impl ExpConfig {
+    fn params(&self) -> Params {
+        Params {
+            seed: self.seed,
+            ..Params::default()
+        }
+    }
+}
+
+/// Generate every suite graph once.
+fn load_suite(cfg: &ExpConfig) -> Vec<(SuiteGraph, CsrGraph)> {
+    suite(cfg.scale)
+        .into_iter()
+        .map(|sg| {
+            let g = generate(&sg.spec, cfg.seed);
+            (sg, g)
+        })
+        .collect()
+}
+
+/// Run `f` `reps`+1 times, discard the first (warm-up), keep the run with
+/// the smallest total time.
+fn best_run(reps: usize, mut f: impl FnMut() -> pgc_core::ColoringRun) -> pgc_core::ColoringRun {
+    let mut best = f();
+    let mut best_t = Duration::MAX; // warm-up run never wins
+    for _ in 0..reps.max(1) {
+        let r = f();
+        let t = r.total_time();
+        if t < best_t {
+            best_t = t;
+            best = r;
+        }
+    }
+    best
+}
+
+/// Execute `f` inside a rayon pool of `t` threads.
+pub fn with_threads<R: Send>(t: usize, f: impl FnOnce() -> R + Send) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(t)
+        .build()
+        .expect("pool")
+        .install(f)
+}
+
+// ---------------------------------------------------------------------
+// Fig. 1: run-times and coloring quality across the suite
+// ---------------------------------------------------------------------
+
+/// Fig. 1: per (graph, algorithm): ordering/coloring time split, color
+/// count, and color count relative to JP-R (the paper's quality axis).
+pub fn fig1(cfg: &ExpConfig) -> Table {
+    let params = cfg.params();
+    let mut t = Table::new(&[
+        "graph", "algorithm", "class", "order_ms", "color_ms", "total_ms", "colors",
+        "vs_JP-R", "rounds", "conflicts",
+    ]);
+    for (sg, g) in load_suite(cfg) {
+        let jpr = best_run(cfg.reps, || run(&g, Algorithm::JpR, &params));
+        for algo in Algorithm::fig1_set() {
+            let r = if algo == Algorithm::JpR {
+                jpr.clone()
+            } else {
+                best_run(cfg.reps, || run(&g, algo, &params))
+            };
+            pgc_core::verify::assert_proper(&g, &r.colors);
+            t.row(vec![
+                sg.name.to_string(),
+                algo.name().to_string(),
+                if algo.is_speculative() { "SC" } else { "JP" }.to_string(),
+                ms(r.ordering_time),
+                ms(r.coloring_time),
+                ms(r.total_time()),
+                r.num_colors.to_string(),
+                format!("{:.3}", r.num_colors as f64 / jpr.num_colors as f64),
+                r.rounds.to_string(),
+                r.conflicts.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Fig. 2: strong and weak scaling
+// ---------------------------------------------------------------------
+
+/// Strong-scaling algorithms shown in Fig. 2.
+fn scaling_algorithms() -> Vec<Algorithm> {
+    vec![
+        Algorithm::JpAdg,
+        Algorithm::DecAdgItr,
+        Algorithm::JpR,
+        Algorithm::JpLlf,
+        Algorithm::Itr,
+        Algorithm::JpSll,
+    ]
+}
+
+/// Fig. 2 (middle/right): strong scaling on the h-bai and s-pok proxies.
+pub fn fig2_strong(cfg: &ExpConfig) -> Table {
+    let params = cfg.params();
+    let mut t = Table::new(&["graph", "algorithm", "threads", "total_ms", "colors"]);
+    for (sg, g) in load_suite(cfg)
+        .into_iter()
+        .filter(|(sg, _)| sg.name == "h-bai" || sg.name == "s-pok")
+    {
+        for algo in scaling_algorithms() {
+            for &threads in &cfg.threads {
+                let r = with_threads(threads, || best_run(cfg.reps, || run(&g, algo, &params)));
+                t.row(vec![
+                    sg.name.to_string(),
+                    algo.name().to_string(),
+                    threads.to_string(),
+                    ms(r.total_time()),
+                    r.num_colors.to_string(),
+                ]);
+            }
+        }
+    }
+    t
+}
+
+/// Fig. 2 (left): weak scaling on Kronecker graphs — edges/vertex grows
+/// with the thread count ("1+1 … 32+32" in the paper).
+pub fn fig2_weak(cfg: &ExpConfig) -> Table {
+    let params = cfg.params();
+    let scale = 12 + cfg.scale as u32 * 2;
+    let mut t = Table::new(&[
+        "edge_factor", "threads", "n", "m", "algorithm", "total_ms", "colors",
+    ]);
+    for (ef, threads) in [(1usize, 1usize), (2, 2), (4, 4), (8, 8), (16, 16), (32, 32)] {
+        let g = generate(
+            &GraphSpec::Rmat {
+                scale,
+                edge_factor: ef,
+            },
+            cfg.seed,
+        );
+        for algo in scaling_algorithms() {
+            let r = with_threads(threads, || best_run(cfg.reps, || run(&g, algo, &params)));
+            t.row(vec![
+                ef.to_string(),
+                threads.to_string(),
+                g.n().to_string(),
+                g.m().to_string(),
+                algo.name().to_string(),
+                ms(r.total_time()),
+                r.num_colors.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Fig. 3: impact of ε
+// ---------------------------------------------------------------------
+
+/// Fig. 3: ε ∈ {0.01 … 1.0} vs run-time and quality for JP-ADG and
+/// DEC-ADG-ITR on the h-bai and v-usa proxies.
+pub fn fig3(cfg: &ExpConfig) -> Table {
+    let mut t = Table::new(&[
+        "graph", "algorithm", "epsilon", "total_ms", "colors", "adg_iterations",
+    ]);
+    for (sg, g) in load_suite(cfg)
+        .into_iter()
+        .filter(|(sg, _)| sg.name == "h-bai" || sg.name == "v-usa")
+    {
+        for eps in [0.01, 0.03, 0.1, 0.3, 1.0] {
+            let mut params = cfg.params();
+            params.epsilon = eps;
+            for algo in [Algorithm::JpAdg, Algorithm::DecAdgItr] {
+                let r = best_run(cfg.reps, || run(&g, algo, &params));
+                let ord = pgc_order::adg(&g, &AdgOptions::with_epsilon(eps));
+                t.row(vec![
+                    sg.name.to_string(),
+                    algo.name().to_string(),
+                    format!("{eps}"),
+                    ms(r.total_time()),
+                    r.num_colors.to_string(),
+                    ord.stats.iterations.to_string(),
+                ]);
+            }
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Fig. 4: memory pressure (cache-simulator substitute for PAPI)
+// ---------------------------------------------------------------------
+
+/// Fig. 4: L3-miss and stalled-cycle fractions per algorithm on the h-bai
+/// and h-hud-like proxies, from the trace-driven cache simulator.
+pub fn fig4(cfg: &ExpConfig) -> Table {
+    let params = cfg.params();
+    let mut t = Table::new(&[
+        "graph", "algorithm", "class", "accesses", "l3_miss_frac", "stall_frac",
+    ]);
+    for (sg, g) in load_suite(cfg)
+        .into_iter()
+        .filter(|(sg, _)| sg.name == "h-bai" || sg.name == "h-wdb")
+    {
+        for algo in [
+            Algorithm::Itr,
+            Algorithm::ItrAsl,
+            Algorithm::DecAdgItr,
+            Algorithm::JpAdg,
+            Algorithm::JpAsl,
+            Algorithm::JpFf,
+            Algorithm::JpLf,
+            Algorithm::JpLlf,
+            Algorithm::JpR,
+            Algorithm::JpSl,
+            Algorithm::JpSll,
+        ] {
+            let rep = pgc_cachesim::simulate_algorithm(&g, algo, &params);
+            t.row(vec![
+                sg.name.to_string(),
+                algo.name().to_string(),
+                if algo.is_speculative() { "SC" } else { "JP" }.to_string(),
+                rep.stats.accesses.to_string(),
+                format!("{:.4}", rep.miss_fraction),
+                format!("{:.4}", rep.stall_fraction),
+            ]);
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Fig. 5: performance profiles of coloring quality
+// ---------------------------------------------------------------------
+
+/// Fig. 5: Dolan–Moré profile of color counts over the whole suite.
+pub fn fig5(cfg: &ExpConfig) -> Table {
+    let params = cfg.params();
+    let algos = Algorithm::fig1_set();
+    let names: Vec<String> = algos.iter().map(|a| a.name().to_string()).collect();
+    let mut values: Vec<Vec<f64>> = Vec::new();
+    for (_, g) in load_suite(cfg) {
+        values.push(
+            algos
+                .iter()
+                .map(|&a| run(&g, a, &params).num_colors as f64)
+                .collect(),
+        );
+    }
+    let taus: Vec<f64> = vec![1.0, 1.05, 1.1, 1.2, 1.3, 1.4, 1.5, 1.75, 2.0];
+    let profiles = performance_profiles(&names, &values, &taus);
+    let mut header: Vec<String> = vec!["algorithm".into()];
+    header.extend(taus.iter().map(|t| format!("tau={t}")));
+    let mut t = Table::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    for p in profiles {
+        let mut row = vec![p.name.clone()];
+        row.extend(p.fractions.iter().map(|f| format!("{:.0}%", f * 100.0)));
+        t.row(row);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Table II: ordering heuristics
+// ---------------------------------------------------------------------
+
+/// Table II analogue with *measured* quantities: peeling iterations, work
+/// touches, and the achieved degeneracy-approximation ratio (max
+/// back-degree / d), including ADG's guaranteed 2(1+ε).
+pub fn table2(cfg: &ExpConfig) -> Table {
+    let mut t = Table::new(&[
+        "graph", "ordering", "time_ms", "iterations", "max_back_deg", "d",
+        "approx_ratio", "guarantee",
+    ]);
+    let kinds: Vec<(OrderingKind, String)> = vec![
+        (OrderingKind::FirstFit, "n/a".into()),
+        (OrderingKind::Random, "n/a".into()),
+        (OrderingKind::LargestFirst, "n/a".into()),
+        (OrderingKind::LargestLogFirst, "n/a".into()),
+        (OrderingKind::SmallestLast, "exact".into()),
+        (OrderingKind::SmallestLogLast, "none".into()),
+        (OrderingKind::ApproxSmallestLast, "none".into()),
+        (
+            OrderingKind::Adg(AdgOptions::default()),
+            format!("{:.2}", 2.0 * 1.01),
+        ),
+        (OrderingKind::Adg(AdgOptions::median()), "4.00".into()),
+    ];
+    for (sg, g) in load_suite(cfg).into_iter().take(4) {
+        let d = pgc_graph::degeneracy::degeneracy(&g).degeneracy;
+        for (kind, guarantee) in &kinds {
+            let t0 = std::time::Instant::now();
+            let ord = compute(&g, kind, cfg.seed);
+            let dt = t0.elapsed();
+            let back = max_back_degree(&g, &ord);
+            t.row(vec![
+                sg.name.to_string(),
+                kind.name().to_string(),
+                ms(dt),
+                ord.stats.iterations.to_string(),
+                back.to_string(),
+                d.to_string(),
+                if d > 0 {
+                    format!("{:.2}", back as f64 / d as f64)
+                } else {
+                    "-".into()
+                },
+                guarantee.clone(),
+            ]);
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Table III: algorithm comparison
+// ---------------------------------------------------------------------
+
+/// The paper's quality bound for `algo` given measured `d`, `Δ`, and the
+/// run parameters; `None` if the algorithm only has the trivial bound.
+pub fn quality_bound(algo: Algorithm, d: u32, delta: u32, params: &Params) -> u32 {
+    use pgc_core::verify::bounds;
+    match algo {
+        Algorithm::JpSl | Algorithm::GreedySl => bounds::sl(d),
+        Algorithm::JpAdg => bounds::jp_adg(d, params.epsilon),
+        Algorithm::JpAdgM => bounds::jp_adg_m(d),
+        Algorithm::DecAdg => bounds::dec_adg(d, params.dec_epsilon).max(1),
+        Algorithm::DecAdgM => bounds::dec_adg_m(d, params.dec_epsilon).max(1),
+        Algorithm::DecAdgItr => bounds::jp_adg(d, params.epsilon),
+        _ => bounds::trivial(delta),
+    }
+}
+
+/// Table III analogue: for every algorithm, measured colors vs the proven
+/// bound, measured DAG depth (longest `Gρ` path for JP algorithms), rounds,
+/// and conflicts.
+pub fn table3(cfg: &ExpConfig) -> Table {
+    let params = cfg.params();
+    let mut t = Table::new(&[
+        "graph", "algorithm", "colors", "bound", "bound_ok", "dag_path", "rounds",
+        "conflicts", "total_ms",
+    ]);
+    for (sg, g) in load_suite(cfg).into_iter().take(4) {
+        let info = pgc_graph::degeneracy::degeneracy(&g);
+        let (d, delta) = (info.degeneracy, g.max_degree());
+        for algo in Algorithm::all() {
+            let r = run(&g, algo, &params);
+            pgc_core::verify::assert_proper(&g, &r.colors);
+            let bound = quality_bound(algo, d, delta, &params);
+            let dag_path = match algo {
+                Algorithm::JpFf
+                | Algorithm::JpR
+                | Algorithm::JpLf
+                | Algorithm::JpLlf
+                | Algorithm::JpSl
+                | Algorithm::JpSll
+                | Algorithm::JpAsl => {
+                    let kind = match algo {
+                        Algorithm::JpFf => OrderingKind::FirstFit,
+                        Algorithm::JpR => OrderingKind::Random,
+                        Algorithm::JpLf => OrderingKind::LargestFirst,
+                        Algorithm::JpLlf => OrderingKind::LargestLogFirst,
+                        Algorithm::JpSl => OrderingKind::SmallestLast,
+                        Algorithm::JpSll => OrderingKind::SmallestLogLast,
+                        _ => OrderingKind::ApproxSmallestLast,
+                    };
+                    let ord = compute(&g, &kind, params.seed);
+                    pgc_core::jp::dag_longest_path(&g, &ord.rho).to_string()
+                }
+                Algorithm::JpAdg => {
+                    let ord = compute(
+                        &g,
+                        &OrderingKind::Adg(AdgOptions::with_epsilon(params.epsilon)),
+                        params.seed,
+                    );
+                    pgc_core::jp::dag_longest_path(&g, &ord.rho).to_string()
+                }
+                _ => "-".to_string(),
+            };
+            t.row(vec![
+                sg.name.to_string(),
+                algo.name().to_string(),
+                r.num_colors.to_string(),
+                bound.to_string(),
+                (r.num_colors <= bound).to_string(),
+                dag_path,
+                r.rounds.to_string(),
+                r.conflicts.to_string(),
+                ms(r.total_time()),
+            ]);
+        }
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// §VI-J ablations
+// ---------------------------------------------------------------------
+
+/// Design-choice ablations (§VI-J): batch sorting on/off, push vs pull,
+/// average vs median, sort algorithm, ITRB superstep size.
+pub fn ablations(cfg: &ExpConfig) -> Table {
+    let mut t = Table::new(&["graph", "variant", "total_ms", "colors", "rounds"]);
+    let variants: Vec<(String, Params)> = {
+        let base = cfg.params();
+        let mut v = vec![(
+            "JP-ADG default (sortR, push, radix)".to_string(),
+            base.clone(),
+        )];
+        v.push((
+            "JP-ADG no batch sort".to_string(),
+            Params {
+                adg_sort_batches: false,
+                ..base.clone()
+            },
+        ));
+        v.push((
+            "JP-ADG pull update".to_string(),
+            Params {
+                adg_update: UpdateStyle::Pull,
+                ..base.clone()
+            },
+        ));
+        v.push((
+            "JP-ADG counting sort".to_string(),
+            Params {
+                adg_sort: pgc_order::SortAlgo::Counting,
+                ..base.clone()
+            },
+        ));
+        v.push((
+            "JP-ADG quicksort".to_string(),
+            Params {
+                adg_sort: pgc_order::SortAlgo::Quick,
+                ..base.clone()
+            },
+        ));
+        v
+    };
+    for (sg, g) in load_suite(cfg).into_iter().take(4) {
+        for (name, params) in &variants {
+            let algo = if name.starts_with("JP-ADG-M") {
+                Algorithm::JpAdgM
+            } else {
+                Algorithm::JpAdg
+            };
+            let r = best_run(cfg.reps, || run(&g, algo, params));
+            t.row(vec![
+                sg.name.to_string(),
+                name.clone(),
+                ms(r.total_time()),
+                r.num_colors.to_string(),
+                r.rounds.to_string(),
+            ]);
+        }
+        // Median variant and DEC-ADG-ITR batching as separate rows.
+        let base = cfg.params();
+        let r = best_run(cfg.reps, || run(&g, Algorithm::JpAdgM, &base));
+        t.row(vec![
+            sg.name.to_string(),
+            "JP-ADG-M (median)".into(),
+            ms(r.total_time()),
+            r.num_colors.to_string(),
+            r.rounds.to_string(),
+        ]);
+        for batch in [0usize, 1024, 16384] {
+            let p = Params {
+                itrb_batch: batch,
+                ..base.clone()
+            };
+            let r = best_run(cfg.reps, || run(&g, Algorithm::ItrB, &p));
+            t.row(vec![
+                sg.name.to_string(),
+                format!("ITRB batch={batch}"),
+                ms(r.total_time()),
+                r.num_colors.to_string(),
+                r.rounds.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// "ADG beyond coloring" (paper §VIII): densest-subgraph density vs the
+/// d/2 lower bound, coreness-estimate quality, and maximal-clique counts —
+/// all driven by the same ADG levels the coloring algorithms use.
+pub fn mining(cfg: &ExpConfig) -> Table {
+    let mut t = Table::new(&[
+        "graph", "d", "densest_density", "guarantee_floor", "coreness_mean_ratio",
+        "max_clique", "num_cliques",
+    ]);
+    let eps = 0.1;
+    for (sg, g) in load_suite(cfg).into_iter().take(6) {
+        let info = pgc_graph::degeneracy::degeneracy(&g);
+        let d = info.degeneracy;
+        let dense = pgc_mining::approx_densest_subgraph(&g, eps);
+        let est = pgc_mining::approx_coreness(&g, eps);
+        let (mut num, mut den) = (0.0, 0.0);
+        for (&e, &c) in est.iter().zip(&info.coreness) {
+            if c > 0 {
+                num += e as f64 / c as f64;
+                den += 1.0;
+            }
+        }
+        let omega = pgc_mining::max_clique_size(&g);
+        let cliques = pgc_mining::count_maximal_cliques(&g);
+        t.row(vec![
+            sg.name.to_string(),
+            d.to_string(),
+            format!("{:.2}", dense.density),
+            format!("{:.2}", d as f64 / 2.0 / (2.0 * (1.0 + eps))),
+            format!("{:.2}", if den > 0.0 { num / den } else { 1.0 }),
+            omega.to_string(),
+            cliques.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Validate the headline guarantees on the whole suite (used by the `check`
+/// subcommand and integration tests): every contribution algorithm must
+/// stay within its proven color bound.
+pub fn check_guarantees(cfg: &ExpConfig) -> Table {
+    let params = cfg.params();
+    let mut t = Table::new(&["graph", "d", "algorithm", "colors", "bound", "ok"]);
+    for (sg, g) in load_suite(cfg) {
+        let d = pgc_graph::degeneracy::degeneracy(&g).degeneracy;
+        for algo in [
+            Algorithm::JpSl,
+            Algorithm::JpAdg,
+            Algorithm::JpAdgM,
+            Algorithm::DecAdg,
+            Algorithm::DecAdgM,
+            Algorithm::DecAdgItr,
+        ] {
+            let r = run(&g, algo, &params);
+            pgc_core::verify::assert_proper(&g, &r.colors);
+            let bound = quality_bound(algo, d, g.max_degree(), &params);
+            t.row(vec![
+                sg.name.to_string(),
+                d.to_string(),
+                algo.name().to_string(),
+                r.num_colors.to_string(),
+                bound.to_string(),
+                (r.num_colors <= bound).to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_cfg() -> ExpConfig {
+        ExpConfig {
+            scale: 0,
+            seed: 1,
+            reps: 1,
+            threads: vec![1, 2],
+        }
+    }
+
+    #[test]
+    fn fig1_smoke() {
+        let t = fig1(&smoke_cfg());
+        assert_eq!(t.rows.len(), 10 * Algorithm::fig1_set().len());
+    }
+
+    #[test]
+    fn fig3_smoke() {
+        let t = fig3(&smoke_cfg());
+        assert_eq!(t.rows.len(), 2 * 5 * 2);
+    }
+
+    #[test]
+    fn table2_smoke() {
+        let t = table2(&smoke_cfg());
+        assert_eq!(t.rows.len(), 4 * 9);
+    }
+
+    #[test]
+    fn check_guarantees_all_hold() {
+        let t = check_guarantees(&smoke_cfg());
+        for row in &t.rows {
+            assert_eq!(row[5], "true", "bound violated: {row:?}");
+        }
+    }
+
+    #[test]
+    fn fig5_profiles_end_at_full_coverage() {
+        let t = fig5(&smoke_cfg());
+        // At large tau every algorithm covers (nearly) all instances.
+        for row in &t.rows {
+            let last = row.last().unwrap().trim_end_matches('%');
+            let pct: f64 = last.parse().unwrap();
+            assert!(pct >= 50.0, "{row:?}");
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! `pgc` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! pgc <command> [--scale 0|1|2] [--seed N] [--reps R] [--csv]
+//!
+//! commands:
+//!   fig1         run-times + coloring quality across the graph suite
+//!   fig2-strong  strong scaling (thread sweep)
+//!   fig2-weak    weak scaling (Kronecker, edges/vertex sweep)
+//!   fig3         impact of epsilon on run-time and quality
+//!   fig4         memory pressure via the cache simulator
+//!   fig5         performance profiles of coloring quality
+//!   table2       ordering heuristics comparison
+//!   table3       algorithm comparison with quality bounds
+//!   ablations    design-choice ablations (sorting, push/pull, batching)
+//!   mining       ADG beyond coloring: densest subgraph, coreness, cliques
+//!   check        verify every proven color bound on the whole suite
+//!   all          everything above, in order
+//! ```
+
+use pgc_harness::experiments as exp;
+use pgc_harness::table::Table;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pgc <fig1|fig2-strong|fig2-weak|fig3|fig4|fig5|table2|table3|ablations|mining|check|all> \
+         [--scale 0|1|2] [--seed N] [--reps R] [--csv]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let command = args[0].clone();
+    let mut cfg = exp::ExpConfig::default();
+    let mut csv = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                cfg.scale = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--seed" => {
+                cfg.seed = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--reps" => {
+                cfg.reps = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--csv" => {
+                csv = true;
+                i += 1;
+            }
+            _ => usage(),
+        }
+    }
+
+    let emit = |title: &str, t: &Table| {
+        if csv {
+            print!("{}", t.to_csv());
+        } else {
+            println!("## {title}\n");
+            print!("{}", t.to_text());
+            println!();
+        }
+    };
+
+    match command.as_str() {
+        "fig1" => emit("Fig. 1: run-times and coloring quality", &exp::fig1(&cfg)),
+        "fig2-strong" => emit("Fig. 2: strong scaling", &exp::fig2_strong(&cfg)),
+        "fig2-weak" => emit("Fig. 2: weak scaling (Kronecker)", &exp::fig2_weak(&cfg)),
+        "fig3" => emit("Fig. 3: impact of epsilon", &exp::fig3(&cfg)),
+        "fig4" => emit("Fig. 4: memory pressure (cache simulator)", &exp::fig4(&cfg)),
+        "fig5" => emit("Fig. 5: performance profiles (quality)", &exp::fig5(&cfg)),
+        "table2" => emit("Table II: ordering heuristics", &exp::table2(&cfg)),
+        "table3" => emit("Table III: algorithm comparison", &exp::table3(&cfg)),
+        "ablations" => emit("Section VI-J: design-choice ablations", &exp::ablations(&cfg)),
+        "mining" => emit("ADG beyond coloring (densest/coreness/cliques)", &exp::mining(&cfg)),
+        "check" => {
+            let t = exp::check_guarantees(&cfg);
+            emit("Quality-bound check", &t);
+            let bad = t.rows.iter().filter(|r| r[5] != "true").count();
+            if bad > 0 {
+                eprintln!("{bad} bound violations!");
+                std::process::exit(1);
+            }
+            if !csv {
+                println!("all proven bounds hold ✓");
+            }
+        }
+        "all" => {
+            emit("Table II: ordering heuristics", &exp::table2(&cfg));
+            emit("Table III: algorithm comparison", &exp::table3(&cfg));
+            emit("Fig. 1: run-times and coloring quality", &exp::fig1(&cfg));
+            emit("Fig. 2: strong scaling", &exp::fig2_strong(&cfg));
+            emit("Fig. 2: weak scaling (Kronecker)", &exp::fig2_weak(&cfg));
+            emit("Fig. 3: impact of epsilon", &exp::fig3(&cfg));
+            emit("Fig. 4: memory pressure (cache simulator)", &exp::fig4(&cfg));
+            emit("Fig. 5: performance profiles (quality)", &exp::fig5(&cfg));
+            emit("Section VI-J: design-choice ablations", &exp::ablations(&cfg));
+            emit(
+                "ADG beyond coloring (densest/coreness/cliques)",
+                &exp::mining(&cfg),
+            );
+            emit("Quality-bound check", &exp::check_guarantees(&cfg));
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,117 @@
+//! Dolan–Moré performance profiles (§VI-I, Fig. 5).
+//!
+//! Given a metric matrix `value[instance][solver]` (lower is better — e.g.
+//! color counts per graph per algorithm), the profile of solver `s` at
+//! ratio τ is the fraction of instances where `value[i][s] ≤ τ ·
+//! min_s' value[i][s']`. The paper uses this to summarize coloring quality
+//! across the whole graph suite: JP-ADG, DEC-ADG-ITR, and JP-SL dominate.
+
+/// One solver's cumulative profile sampled at the given τ values.
+#[derive(Clone, Debug)]
+pub struct Profile {
+    /// Solver label.
+    pub name: String,
+    /// Fraction of instances within each τ of the best, in `[0, 1]`.
+    pub fractions: Vec<f64>,
+}
+
+/// Compute performance profiles.
+///
+/// * `names[s]` — solver labels,
+/// * `values[i][s]` — metric for instance `i`, solver `s` (lower = better),
+/// * `taus` — ratios to sample (≥ 1.0).
+pub fn performance_profiles(names: &[String], values: &[Vec<f64>], taus: &[f64]) -> Vec<Profile> {
+    assert!(taus.iter().all(|&t| t >= 1.0), "tau must be >= 1");
+    let s = names.len();
+    for row in values {
+        assert_eq!(row.len(), s, "ragged value matrix");
+    }
+    let n = values.len();
+    let best: Vec<f64> = values
+        .iter()
+        .map(|row| row.iter().copied().fold(f64::INFINITY, f64::min))
+        .collect();
+    (0..s)
+        .map(|j| {
+            let fractions = taus
+                .iter()
+                .map(|&tau| {
+                    if n == 0 {
+                        return 0.0;
+                    }
+                    let within = values
+                        .iter()
+                        .zip(&best)
+                        .filter(|(row, &b)| row[j] <= tau * b + 1e-12)
+                        .count();
+                    within as f64 / n as f64
+                })
+                .collect();
+            Profile {
+                name: names[j].clone(),
+                fractions,
+            }
+        })
+        .collect()
+}
+
+/// The τ at which a solver first covers `target` fraction of instances
+/// (∞ if never within the sampled range).
+pub fn tau_to_cover(profile: &Profile, taus: &[f64], target: f64) -> f64 {
+    for (i, &f) in profile.fractions.iter().enumerate() {
+        if f >= target {
+            return taus[i];
+        }
+    }
+    f64::INFINITY
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn ideal_solver_covers_everything_at_tau_1() {
+        // Solver 0 is always best; solver 1 is 50% worse on one instance.
+        let values = vec![vec![10.0, 10.0], vec![10.0, 15.0]];
+        let taus = [1.0, 1.25, 1.5];
+        let p = performance_profiles(&names(&["a", "b"]), &values, &taus);
+        assert_eq!(p[0].fractions, vec![1.0, 1.0, 1.0]);
+        assert_eq!(p[1].fractions, vec![0.5, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn monotone_in_tau() {
+        let values = vec![
+            vec![3.0, 4.0, 5.0],
+            vec![4.0, 3.0, 9.0],
+            vec![5.0, 5.0, 5.0],
+        ];
+        let taus = [1.0, 1.2, 1.5, 2.0, 3.0];
+        for p in performance_profiles(&names(&["x", "y", "z"]), &values, &taus) {
+            for w in p.fractions.windows(2) {
+                assert!(w[0] <= w[1] + 1e-12, "{}: not monotone", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn tau_to_cover_finds_threshold() {
+        let values = vec![vec![1.0, 2.0], vec![1.0, 1.0]];
+        let taus = [1.0, 1.5, 2.0];
+        let p = performance_profiles(&names(&["a", "b"]), &values, &taus);
+        assert_eq!(tau_to_cover(&p[0], &taus, 1.0), 1.0);
+        assert_eq!(tau_to_cover(&p[1], &taus, 1.0), 2.0);
+        assert_eq!(tau_to_cover(&p[1], &taus, 0.5), 1.0);
+    }
+
+    #[test]
+    fn empty_instances() {
+        let p = performance_profiles(&names(&["a"]), &[], &[1.0]);
+        assert_eq!(p[0].fractions, vec![0.0]);
+    }
+}

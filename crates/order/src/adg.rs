@@ -1,0 +1,691 @@
+//! **ADG** — the parallel approximate degeneracy ordering (§III, Alg. 1),
+//! with the §V optimizations (Alg. 6) and the median variant **ADG-M**
+//! (§V-D).
+//!
+//! Core idea: instead of removing *one* minimum-degree vertex per step
+//! (SL — inherently sequential, depth Ω(n)), remove **all** vertices with
+//! degree ≤ (1+ε)·δ̂ in parallel, where δ̂ is the current average degree.
+//! Because at most `|U|/(1+ε)` vertices can exceed the average-based
+//! threshold, each iteration removes at least an ε/(1+ε) fraction of `U`
+//! (Lemma 1), so the loop runs O(log n) times and every removed vertex has
+//! at most 2(1+ε)·d equal-or-higher-ranked neighbors (Lemma 4, via the
+//! "average degree ≤ 2d in any subgraph of a d-degenerate graph" Lemma 3).
+//!
+//! Implemented optimizations (§V):
+//! * **V-A** — `U` and the removed batches `R(·)` live in one contiguous
+//!   array `[R(1) … R(i) | U]`; removal just advances an index pointer.
+//! * **V-B** — each batch is sorted by residual degree with a linear-time
+//!   integer sort, giving an explicit total order within the batch (this
+//!   consistently improves coloring quality and makes random tie-breaking
+//!   unnecessary).
+//! * **V-D** — ADG-M: threshold = median degree, removing ⌈|U|/2⌉ vertices
+//!   per round (exactly ⌈log₂ n⌉ rounds; 4-approximate by Lemma 15).
+//! * **V-E** — push (CRCW, atomic decrements) or pull (CREW, Alg. 2)
+//!   degree updates.
+//! * **V-F** — the degree sum Σ_U is maintained incrementally instead of
+//!   recomputed (subtracting the removed degrees and the cut size).
+
+use crate::{Levels, OrderingStats, VertexOrdering};
+use pgc_graph::CsrGraph;
+use pgc_primitives::rng::random_permutation;
+use pgc_primitives::sort::{sort_pairs, SortAlgo};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering as AtOrd};
+
+/// How the removal threshold is chosen each iteration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ThresholdRule {
+    /// `deg ≤ (1+ε)·δ̂` with δ̂ the average degree of `G[U]` (Alg. 1):
+    /// partial 2(1+ε)-approximate degeneracy order.
+    #[default]
+    Average,
+    /// Remove the ⌈|U|/2⌉ smallest-degree vertices (all of degree ≤ the
+    /// median δ_m ≤ 2δ̂): partial 4-approximate order, exactly ⌈log₂ n⌉
+    /// iterations (§V-D).
+    Median,
+}
+
+/// Degree-update style (§V-E). Both produce identical degrees; push needs
+/// atomics (CRCW), pull only concurrent reads (CREW, Alg. 2) at the cost of
+/// touching every remaining vertex's full neighborhood (the `O(m + nd)`
+/// work of Lemma 5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum UpdateStyle {
+    /// Removed vertices atomically decrement their active neighbors.
+    #[default]
+    Push,
+    /// Every remaining vertex counts its just-removed neighbors.
+    Pull,
+}
+
+/// Tunables for [`adg`]. `Default` matches the paper's evaluation
+/// parametrization (ε = 0.01, radix sort, push, batch sorting on).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdgOptions {
+    /// Approximation knob ε ≥ 0: larger ε → fewer iterations (more
+    /// parallelism), looser 2(1+ε) approximation (§IV-E tradeoff).
+    pub epsilon: f64,
+    /// Average (ADG) or median (ADG-M) thresholding.
+    pub rule: ThresholdRule,
+    /// §V-B explicit ordering: sort each batch by residual degree.
+    pub sort_batches: bool,
+    /// Which linear-time integer sort to use for batches (§VI-J choice).
+    pub sort_algo: SortAlgo,
+    /// Push (CRCW) or pull (CREW) degree updates.
+    pub update: UpdateStyle,
+    /// Maintain Σ_U incrementally (§V-F) instead of re-reducing.
+    pub cache_degree_sum: bool,
+    /// §V-C: fuse JP's DAG construction (predecessor counts) into the
+    /// UPDATE pass, so JP-ADG skips its own Part-1 scan.
+    pub fuse_rank: bool,
+    /// Seed for the random tie-break permutation (used when
+    /// `sort_batches == false`).
+    pub seed: u64,
+}
+
+impl Default for AdgOptions {
+    fn default() -> Self {
+        Self {
+            epsilon: 0.01,
+            rule: ThresholdRule::Average,
+            sort_batches: true,
+            sort_algo: SortAlgo::Radix,
+            update: UpdateStyle::Push,
+            cache_degree_sum: true,
+            fuse_rank: true,
+            seed: 0,
+        }
+    }
+}
+
+impl AdgOptions {
+    /// ADG-M (§V-D): median rule, otherwise default parametrization.
+    pub fn median() -> Self {
+        Self {
+            rule: ThresholdRule::Median,
+            ..Self::default()
+        }
+    }
+
+    /// Default options with a given ε.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        Self {
+            epsilon,
+            ..Self::default()
+        }
+    }
+
+    /// The guaranteed approximation factor `k` of the partial k-approximate
+    /// degeneracy ordering this configuration computes.
+    pub fn approx_factor(&self) -> f64 {
+        match self.rule {
+            ThresholdRule::Average => 2.0 * (1.0 + self.epsilon),
+            ThresholdRule::Median => 4.0,
+        }
+    }
+}
+
+/// Marker for "still active" in the rank array.
+const ACTIVE: u32 = u32::MAX;
+
+/// Compute the ADG (or ADG-M) partial approximate degeneracy ordering.
+///
+/// Returns a total priority (rank in high bits, §V-B batch position or the
+/// random permutation in low bits) plus the level structure consumed by
+/// DEC-ADG.
+pub fn adg(g: &CsrGraph, opts: &AdgOptions) -> VertexOrdering {
+    assert!(opts.epsilon >= 0.0, "epsilon must be non-negative");
+    let n = g.n();
+    let mut rho = vec![0u64; n];
+    if n == 0 {
+        return VertexOrdering {
+            rho,
+            levels: Some(Levels {
+                rank: Vec::new(),
+                seq: Vec::new(),
+                offsets: vec![0],
+            }),
+            stats: OrderingStats::default(),
+            pred_counts: Some(Vec::new()),
+        };
+    }
+
+    // Residual degrees D (atomics so the push update can decrement
+    // concurrently; pull only loads/stores them from the owning vertex).
+    let deg: Vec<AtomicU32> = g
+        .degree_array()
+        .into_iter()
+        .map(AtomicU32::new)
+        .collect();
+    // rank[v] = iteration of removal; ACTIVE while v ∈ U.
+    let rank: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(ACTIVE)).collect();
+    // §V-C fused JP predecessor counts (rank(v) of Alg. 6).
+    let pred: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+
+    // §V-A contiguous representation: order = [removed… | U], `index` points
+    // at the first element of U.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut index = 0usize;
+    let mut offsets = vec![0usize];
+    let mut level = 0u32;
+    let mut sum_deg: u64 = g.num_arcs() as u64; // Σ_U deg = 2m initially
+    let mut stats = OrderingStats::default();
+
+    let perm = if opts.sort_batches {
+        Vec::new()
+    } else {
+        random_permutation(n, opts.seed)
+    };
+
+    let mut scratch: Vec<(u32, u32)> = Vec::new();
+
+    while index < n {
+        let u_len = n - index;
+        stats.iterations += 1;
+        stats.sum_active += u_len as u64;
+
+        if !opts.cache_degree_sum {
+            // Re-reduce Σ_U (the unoptimized Alg. 1 path, lines 8–10).
+            sum_deg = order[index..]
+                .par_iter()
+                .map(|&v| deg[v as usize].load(AtOrd::Relaxed) as u64)
+                .sum();
+        }
+
+        // ---- Select R (Alg. 1 line 13 / §V-D) --------------------------
+        let r_len = match opts.rule {
+            ThresholdRule::Average => {
+                let avg = sum_deg as f64 / u_len as f64;
+                let thr = (1.0 + opts.epsilon) * avg;
+                let r_len = partition_stable(&mut order[index..], |v| {
+                    (deg[v as usize].load(AtOrd::Relaxed) as f64) <= thr
+                });
+                debug_assert!(
+                    r_len > 0,
+                    "a minimum-degree vertex always satisfies deg <= (1+eps)*avg"
+                );
+                if r_len == 0 {
+                    // Numeric-safety fallback: peel the minimum degree.
+                    let min = order[index..]
+                        .par_iter()
+                        .map(|&v| deg[v as usize].load(AtOrd::Relaxed))
+                        .min()
+                        .unwrap();
+                    partition_stable(&mut order[index..], |v| {
+                        deg[v as usize].load(AtOrd::Relaxed) <= min
+                    })
+                } else {
+                    r_len
+                }
+            }
+            ThresholdRule::Median => {
+                // Sort the whole U region by residual degree (linear-time
+                // integer sort), then take the smallest half (+1 if odd).
+                scratch.clear();
+                scratch.extend(
+                    order[index..]
+                        .iter()
+                        .map(|&v| (deg[v as usize].load(AtOrd::Relaxed), v)),
+                );
+                let bound = scratch.iter().map(|p| p.0).max().unwrap_or(0) + 1;
+                sort_pairs(&mut scratch, bound, opts.sort_algo);
+                for (slot, &(_, v)) in order[index..].iter_mut().zip(scratch.iter()) {
+                    *slot = v;
+                }
+                u_len.div_ceil(2)
+            }
+        };
+
+        // ---- §V-B: explicit ordering within the batch ------------------
+        if opts.sort_batches && opts.rule != ThresholdRule::Median {
+            // (The median path already sorted by degree.)
+            scratch.clear();
+            scratch.extend(
+                order[index..index + r_len]
+                    .iter()
+                    .map(|&v| (deg[v as usize].load(AtOrd::Relaxed), v)),
+            );
+            let bound = scratch.iter().map(|p| p.0).max().unwrap_or(0) + 1;
+            sort_pairs(&mut scratch, bound, opts.sort_algo);
+            for (slot, &(_, v)) in order[index..index + r_len].iter_mut().zip(scratch.iter()) {
+                *slot = v;
+            }
+        }
+
+        let batch = &order[index..index + r_len];
+
+        // ---- Assign ranks and priorities (Alg. 1 lines 16–17) ----------
+        batch.par_iter().enumerate().for_each(|(i, &v)| {
+            rank[v as usize].store(level, AtOrd::Relaxed);
+            // rho is written later (needs &mut); stash batch position via i
+            // implicitly — positions are re-derived below.
+            let _ = i;
+        });
+        if opts.sort_batches {
+            for (i, &v) in batch.iter().enumerate() {
+                rho[v as usize] = pack(level, i as u32);
+            }
+        } else {
+            for &v in batch {
+                rho[v as usize] = pack(level, perm[v as usize]);
+            }
+        }
+
+        // Degrees at removal (before the update), for Σ_U maintenance.
+        let rsum: u64 = batch
+            .par_iter()
+            .map(|&v| deg[v as usize].load(AtOrd::Relaxed) as u64)
+            .sum();
+
+        // ---- UPDATE (Alg. 1 lines 21–24 / Alg. 2 / §V-E) ---------------
+        let cut: u64 = match opts.update {
+            UpdateStyle::Push => batch
+                .par_iter()
+                .map(|&v| {
+                    let mut local_cut = 0u64;
+                    // §V-C: v's JP predecessors are its still-active
+                    // neighbors (removed later) plus same-batch neighbors
+                    // with a higher explicit priority.
+                    let mut npred = 0u32;
+                    let rho_v = rho[v as usize];
+                    for &u in g.neighbors(v) {
+                        let ru = rank[u as usize].load(AtOrd::Relaxed);
+                        if ru == ACTIVE {
+                            deg[u as usize].fetch_sub(1, AtOrd::Relaxed);
+                            local_cut += 1;
+                            npred += 1;
+                        } else if ru == level && rho[u as usize] > rho_v {
+                            npred += 1;
+                        }
+                    }
+                    if opts.fuse_rank {
+                        pred[v as usize].store(npred, AtOrd::Relaxed);
+                    }
+                    local_cut
+                })
+                .sum(),
+            UpdateStyle::Pull => order[index + r_len..]
+                .par_iter()
+                .map(|&v| {
+                    let removed_now = g
+                        .neighbors(v)
+                        .iter()
+                        .filter(|&&u| rank[u as usize].load(AtOrd::Relaxed) == level)
+                        .count() as u32;
+                    if removed_now > 0 {
+                        // Single owner: a plain store suffices in CREW.
+                        let cur = deg[v as usize].load(AtOrd::Relaxed);
+                        deg[v as usize].store(cur - removed_now, AtOrd::Relaxed);
+                    }
+                    removed_now as u64
+                })
+                .sum(),
+        };
+        stats.update_touches += match opts.update {
+            UpdateStyle::Push => batch.iter().map(|&v| g.degree(v) as u64).sum::<u64>(),
+            UpdateStyle::Pull => order[index + r_len..]
+                .iter()
+                .map(|&v| g.degree(v) as u64)
+                .sum::<u64>(),
+        };
+
+        // §V-F cached degree sum: Σ_{U'} = Σ_U − Σ_R deg − cut(R, U').
+        sum_deg = sum_deg - rsum - cut;
+
+        index += r_len;
+        offsets.push(index);
+        level += 1;
+    }
+
+    let rank_plain: Vec<u32> = rank.iter().map(|r| r.load(AtOrd::Relaxed)).collect();
+    let pred_counts = if !opts.fuse_rank {
+        None
+    } else if opts.update == UpdateStyle::Push {
+        Some(pred.iter().map(|p| p.load(AtOrd::Relaxed)).collect())
+    } else {
+        // The pull UPDATE never scans removed vertices, so the fused count
+        // is recovered with one O(m) pass (same asymptotics as Alg. 6).
+        Some(
+            (0..n as u32)
+                .into_par_iter()
+                .map(|v| {
+                    let rv = rho[v as usize];
+                    g.neighbors(v)
+                        .iter()
+                        .filter(|&&u| rho[u as usize] > rv)
+                        .count() as u32
+                })
+                .collect(),
+        )
+    };
+    VertexOrdering {
+        rho,
+        levels: Some(Levels {
+            rank: rank_plain,
+            seq: order,
+            offsets,
+        }),
+        stats,
+        pred_counts,
+    }
+}
+
+#[inline]
+fn pack(rank: u32, low: u32) -> u64 {
+    ((rank as u64) << 32) | low as u64
+}
+
+/// Stable in-place partition of `region` by `pred` (true-block first).
+/// Parallel per-chunk classification with deterministic, order-preserving
+/// concatenation. Returns the size of the true block.
+pub(crate) fn partition_stable<F: Fn(u32) -> bool + Sync>(region: &mut [u32], pred: F) -> usize {
+    let len = region.len();
+    if len == 0 {
+        return 0;
+    }
+    let chunk = (len / (rayon::current_num_threads() * 4).max(1)).max(4096);
+    let parts: Vec<(Vec<u32>, Vec<u32>)> = region
+        .par_chunks(chunk)
+        .map(|c| {
+            let mut yes = Vec::with_capacity(c.len());
+            let mut no = Vec::new();
+            for &v in c {
+                if pred(v) {
+                    yes.push(v);
+                } else {
+                    no.push(v);
+                }
+            }
+            (yes, no)
+        })
+        .collect();
+    let mut pos = 0usize;
+    for (yes, _) in &parts {
+        region[pos..pos + yes.len()].copy_from_slice(yes);
+        pos += yes.len();
+    }
+    let true_len = pos;
+    for (_, no) in &parts {
+        region[pos..pos + no.len()].copy_from_slice(no);
+        pos += no.len();
+    }
+    debug_assert_eq!(pos, len);
+    true_len
+}
+
+/// Upper bound on ADG iterations from Lemma 1: ⌈log n / log(1+ε)⌉ + 1.
+pub fn iteration_bound(n: usize, epsilon: f64) -> u32 {
+    if n <= 1 {
+        return 1;
+    }
+    ((n as f64).ln() / (1.0 + epsilon).ln() + 1.0).ceil() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::max_back_degree;
+    use pgc_graph::degeneracy::degeneracy;
+    use pgc_graph::gen::{generate, GraphSpec};
+
+    fn check_partial_approx(spec: &GraphSpec, opts: &AdgOptions, seed: u64) {
+        let g = generate(spec, seed);
+        let d = degeneracy(&g).degeneracy;
+        let ord = adg(&g, opts);
+        let back = max_back_degree(&g, &ord);
+        let bound = (opts.approx_factor() * d as f64).ceil() as u32;
+        assert!(
+            back <= bound,
+            "{spec:?}: back-degree {back} > {:.2}*d = {bound} (d={d})",
+            opts.approx_factor()
+        );
+    }
+
+    #[test]
+    fn adg_is_2_1eps_approximate() {
+        // Lemma 4 across structurally different graphs.
+        let opts = AdgOptions::default();
+        for (i, spec) in [
+            GraphSpec::ErdosRenyi { n: 800, m: 4000 },
+            GraphSpec::BarabasiAlbert { n: 800, attach: 6 },
+            GraphSpec::Rmat { scale: 10, edge_factor: 8 },
+            GraphSpec::Grid2d { rows: 25, cols: 30 },
+            GraphSpec::RingOfCliques { cliques: 12, clique_size: 9 },
+            GraphSpec::Star { n: 400 },
+            GraphSpec::Complete { n: 40 },
+        ]
+        .iter()
+        .enumerate()
+        {
+            check_partial_approx(spec, &opts, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn adg_various_epsilons() {
+        for eps in [0.0, 0.01, 0.1, 0.5, 1.0, 4.5] {
+            check_partial_approx(
+                &GraphSpec::BarabasiAlbert { n: 600, attach: 5 },
+                &AdgOptions::with_epsilon(eps),
+                9,
+            );
+        }
+    }
+
+    #[test]
+    fn adg_m_is_4_approximate() {
+        let opts = AdgOptions::median();
+        for (i, spec) in [
+            GraphSpec::ErdosRenyi { n: 700, m: 3500 },
+            GraphSpec::Rmat { scale: 9, edge_factor: 10 },
+            GraphSpec::Grid2d { rows: 20, cols: 20 },
+        ]
+        .iter()
+        .enumerate()
+        {
+            check_partial_approx(spec, &opts, i as u64 + 3);
+        }
+    }
+
+    #[test]
+    fn iteration_count_respects_lemma_1() {
+        for eps in [0.01, 0.1, 1.0] {
+            let g = generate(&GraphSpec::ErdosRenyi { n: 2000, m: 10_000 }, 4);
+            let ord = adg(&g, &AdgOptions::with_epsilon(eps));
+            assert!(
+                ord.stats.iterations <= iteration_bound(g.n(), eps),
+                "eps={eps}: {} > bound {}",
+                ord.stats.iterations,
+                iteration_bound(g.n(), eps)
+            );
+        }
+    }
+
+    #[test]
+    fn adg_m_halves_each_round() {
+        let g = generate(&GraphSpec::ErdosRenyi { n: 1024, m: 5000 }, 4);
+        let ord = adg(&g, &AdgOptions::median());
+        // ⌈log2 1024⌉ + 1 slack for the final odd batches.
+        assert!(ord.stats.iterations <= 11, "{}", ord.stats.iterations);
+        let levels = ord.levels.unwrap();
+        assert_eq!(levels.level(0).len(), 512);
+    }
+
+    #[test]
+    fn sum_active_is_geometric() {
+        // Lemma 2: Σ|U_i| ≤ (1+ε)/ε · n.
+        let eps = 0.5;
+        let g = generate(&GraphSpec::Rmat { scale: 11, edge_factor: 6 }, 2);
+        let ord = adg(&g, &AdgOptions::with_epsilon(eps));
+        let bound = ((1.0 + eps) / eps * g.n() as f64).ceil() as u64;
+        assert!(
+            ord.stats.sum_active <= bound,
+            "{} > {bound}",
+            ord.stats.sum_active
+        );
+    }
+
+    #[test]
+    fn push_and_pull_agree() {
+        let g = generate(&GraphSpec::BarabasiAlbert { n: 500, attach: 7 }, 6);
+        let push = adg(
+            &g,
+            &AdgOptions {
+                update: UpdateStyle::Push,
+                ..Default::default()
+            },
+        );
+        let pull = adg(
+            &g,
+            &AdgOptions {
+                update: UpdateStyle::Pull,
+                ..Default::default()
+            },
+        );
+        assert_eq!(push.rho, pull.rho, "push/pull must give identical orders");
+        assert_eq!(
+            push.levels.unwrap().rank,
+            pull.levels.unwrap().rank
+        );
+    }
+
+    #[test]
+    fn cached_and_recomputed_sum_agree() {
+        let g = generate(&GraphSpec::ErdosRenyi { n: 600, m: 2500 }, 8);
+        let cached = adg(&g, &AdgOptions::default());
+        let fresh = adg(
+            &g,
+            &AdgOptions {
+                cache_degree_sum: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(cached.rho, fresh.rho);
+    }
+
+    #[test]
+    fn sort_algorithms_agree() {
+        let g = generate(&GraphSpec::Rmat { scale: 9, edge_factor: 8 }, 5);
+        let base = adg(&g, &AdgOptions::default());
+        for algo in [SortAlgo::Counting, SortAlgo::Quick] {
+            let other = adg(
+                &g,
+                &AdgOptions {
+                    sort_algo: algo,
+                    ..Default::default()
+                },
+            );
+            // Stable sorts with identical keys ⇒ identical explicit order.
+            assert_eq!(base.rho, other.rho, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn unsorted_batches_use_random_tiebreak() {
+        let g = generate(&GraphSpec::ErdosRenyi { n: 300, m: 900 }, 2);
+        let a = adg(
+            &g,
+            &AdgOptions {
+                sort_batches: false,
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let b = adg(
+            &g,
+            &AdgOptions {
+                sort_batches: false,
+                seed: 2,
+                ..Default::default()
+            },
+        );
+        // Ranks (high bits) identical; tie-breaks (low bits) differ.
+        let ranks = |o: &VertexOrdering| o.rho.iter().map(|r| r >> 32).collect::<Vec<_>>();
+        assert_eq!(ranks(&a), ranks(&b));
+        assert_ne!(a.rho, b.rho);
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        let g = generate(&GraphSpec::Empty { n: 0 }, 0);
+        let ord = adg(&g, &AdgOptions::default());
+        assert!(ord.rho.is_empty());
+
+        let g = generate(&GraphSpec::Empty { n: 5 }, 0);
+        let ord = adg(&g, &AdgOptions::default());
+        assert_eq!(ord.stats.iterations, 1, "isolated vertices peel at once");
+
+        let g = generate(&GraphSpec::Complete { n: 2 }, 0);
+        let ord = adg(&g, &AdgOptions::default());
+        assert!(ord.is_total());
+    }
+
+    #[test]
+    fn partition_stable_is_stable_and_correct() {
+        let mut v: Vec<u32> = (0..10_000).collect();
+        let t = partition_stable(&mut v, |x| x % 3 == 0);
+        assert_eq!(t, v.iter().filter(|&&x| x % 3 == 0).count().min(t).max(t));
+        let (yes, no) = v.split_at(t);
+        assert!(yes.iter().all(|&x| x % 3 == 0));
+        assert!(no.iter().all(|&x| x % 3 != 0));
+        // Stability: both blocks remain in ascending (original) order.
+        assert!(yes.windows(2).all(|w| w[0] < w[1]));
+        assert!(no.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn fused_pred_counts_match_definition() {
+        // §V-C: rank(v) must equal |{u in N(v): rho(u) > rho(v)}| for both
+        // update styles and both batch-ordering modes.
+        let g = generate(&GraphSpec::Rmat { scale: 9, edge_factor: 8 }, 6);
+        for opts in [
+            AdgOptions::default(),
+            AdgOptions {
+                update: UpdateStyle::Pull,
+                ..Default::default()
+            },
+            AdgOptions {
+                sort_batches: false,
+                seed: 3,
+                ..Default::default()
+            },
+            AdgOptions::median(),
+        ] {
+            let ord = adg(&g, &opts);
+            let counts = ord.pred_counts.as_ref().expect("fused by default");
+            for v in g.vertices() {
+                let expect = g
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&u| ord.rho[u as usize] > ord.rho[v as usize])
+                    .count() as u32;
+                assert_eq!(counts[v as usize], expect, "vertex {v}, {opts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fuse_rank_can_be_disabled() {
+        let g = generate(&GraphSpec::Path { n: 50 }, 0);
+        let ord = adg(
+            &g,
+            &AdgOptions {
+                fuse_rank: false,
+                ..Default::default()
+            },
+        );
+        assert!(ord.pred_counts.is_none());
+    }
+
+    #[test]
+    fn levels_offsets_consistent() {
+        let g = generate(&GraphSpec::BarabasiAlbert { n: 400, attach: 5 }, 3);
+        let ord = adg(&g, &AdgOptions::default());
+        let l = ord.levels.unwrap();
+        assert_eq!(*l.offsets.last().unwrap(), g.n());
+        assert_eq!(l.num_levels() as u32, ord.stats.iterations);
+        for i in 0..l.num_levels() {
+            assert!(!l.level(i).is_empty(), "level {i} empty");
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! `DecrementAndFetch` / `Join` counters (§II-D).
+//!
+//! The JP engine (Alg. 3) keeps `count[v] = |pred(v)|` and colors `v` when
+//! the last predecessor's `Join(count[v])` drives the counter to zero. The
+//! paper assumes an atomic DAF primitive; here it is `AtomicU32::fetch_sub`.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// An array of atomic join counters, one per vertex.
+pub struct JoinCounters {
+    counts: Vec<AtomicU32>,
+}
+
+impl JoinCounters {
+    /// Build counters from initial values (typically predecessor counts).
+    pub fn from_values(values: &[u32]) -> Self {
+        Self {
+            counts: values.iter().map(|&v| AtomicU32::new(v)).collect(),
+        }
+    }
+
+    /// Number of counters.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True if there are no counters.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// `DecrementAndFetch`: atomically decrement counter `i` and return the
+    /// *new* value. `AcqRel` ordering makes the colored-predecessor writes
+    /// visible to whichever thread observes zero and proceeds to color `i` —
+    /// the release half publishes our color write, the acquire half reads
+    /// the other predecessors' color writes.
+    #[inline]
+    pub fn decrement_and_fetch(&self, i: usize) -> u32 {
+        let prev = self.counts[i].fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "join counter underflow at {i}");
+        prev - 1
+    }
+
+    /// `Join`: decrement and report whether the caller is the releasing
+    /// thread (counter hit zero).
+    #[inline]
+    pub fn join(&self, i: usize) -> bool {
+        self.decrement_and_fetch(i) == 0
+    }
+
+    /// Current value (test/diagnostic use).
+    #[inline]
+    pub fn load(&self, i: usize) -> u32 {
+        self.counts[i].load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn daf_counts_down() {
+        let c = JoinCounters::from_values(&[3]);
+        assert_eq!(c.decrement_and_fetch(0), 2);
+        assert_eq!(c.decrement_and_fetch(0), 1);
+        assert!(c.join(0));
+    }
+
+    #[test]
+    fn exactly_one_releaser_under_contention() {
+        // With k concurrent joins on a counter initialized to k, exactly one
+        // caller must observe zero — the JP correctness invariant.
+        let k = 1000u32;
+        let c = JoinCounters::from_values(&[k]);
+        let releasers: usize = (0..k)
+            .into_par_iter()
+            .map(|_| c.join(0) as usize)
+            .sum();
+        assert_eq!(releasers, 1);
+        assert_eq!(c.load(0), 0);
+    }
+
+    #[test]
+    fn independent_counters() {
+        let c = JoinCounters::from_values(&[1, 2]);
+        assert_eq!(c.len(), 2);
+        assert!(c.join(0));
+        assert!(!c.join(1));
+        assert!(c.join(1));
+    }
+}

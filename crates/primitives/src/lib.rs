@@ -1,0 +1,33 @@
+//! # pgc-primitives
+//!
+//! Parallel compute primitives used throughout the graph-coloring
+//! reproduction of Besta et al., *"High-Performance Parallel Graph Coloring
+//! with Strong Guarantees on Work, Depth, and Quality"* (SC'20).
+//!
+//! The paper (§II-D) assumes a small set of classic work–depth primitives:
+//!
+//! * [`reduce`] — `Reduce`, `Count`, and `PrefixSum` with `O(n)` work and
+//!   `O(log n)` depth (realized on rayon's fork–join scheduler),
+//! * [`join`] — `DecrementAndFetch` / `Join` counters used by the
+//!   Jones–Plassmann engine to release a vertex once all its DAG
+//!   predecessors are colored,
+//! * [`bitmap`] — dense atomic bitmaps for the sets `U` and `R` of the ADG
+//!   algorithm and per-vertex forbidden-color bitmaps `B_v` of DEC-ADG,
+//! * [`sort`] — linear-time counting/radix integer sorts used by the §V-B
+//!   "explicit ordering in R(·)" optimization,
+//! * [`rng`] — a counter-based (hash) RNG giving deterministic *parallel*
+//!   randomness: every `(seed, round, vertex)` triple yields an independent
+//!   stream, so Monte-Carlo coloring (SIM-COL) is reproducible regardless of
+//!   thread schedule.
+
+pub mod bitmap;
+pub mod join;
+pub mod reduce;
+pub mod rng;
+pub mod sort;
+
+pub use bitmap::{AtomicBitmap, FixedBitmap};
+pub use join::JoinCounters;
+pub use reduce::{count, prefix_sum_exclusive, reduce_max, reduce_sum_u64};
+pub use rng::{hash_mix, random_permutation, Rng, SplitMix64};
+pub use sort::{counting_sort_by_key, radix_sort_pairs};

@@ -1,0 +1,166 @@
+//! `Reduce`, `Count`, and `PrefixSum` (§II-D of the paper).
+//!
+//! In the work–depth model these run in `O(n)` work and `O(log n)` depth.
+//! We realize them with rayon's fork–join parallel iterators, whose
+//! divide-and-conquer splitting yields exactly the logarithmic-depth
+//! reduction tree assumed by the paper's analysis.
+
+use rayon::prelude::*;
+
+/// Below this size the overhead of spawning tasks dominates: run serially.
+/// (Matches the perf-book guidance of not parallelizing tiny loops.)
+pub const SEQ_THRESHOLD: usize = 1 << 12;
+
+/// `Reduce` with operator `f` over `items`: returns `Σ f(x)`.
+///
+/// `O(n)` work, `O(log n)` depth.
+pub fn reduce_sum_u64<T: Sync, F: Fn(&T) -> u64 + Sync>(items: &[T], f: F) -> u64 {
+    if items.len() < SEQ_THRESHOLD {
+        items.iter().map(&f).sum()
+    } else {
+        items.par_iter().map(&f).sum()
+    }
+}
+
+/// `Count(S)`: the number of elements satisfying the predicate — the paper's
+/// `Count` is `Reduce` with the indicator operator (§II-D).
+pub fn count<T: Sync, F: Fn(&T) -> bool + Sync>(items: &[T], pred: F) -> usize {
+    reduce_sum_u64(items, |x| pred(x) as u64) as usize
+}
+
+/// Parallel maximum with a default for empty input.
+pub fn reduce_max<T: Sync, F: Fn(&T) -> u64 + Sync>(items: &[T], f: F) -> u64 {
+    if items.len() < SEQ_THRESHOLD {
+        items.iter().map(&f).max().unwrap_or(0)
+    } else {
+        items.par_iter().map(&f).max().unwrap_or(0)
+    }
+}
+
+/// Exclusive prefix sum: `out[i] = Σ_{j<i} input[j]`; returns the total.
+///
+/// Classic two-pass blocked scan: per-block sums in parallel, sequential
+/// scan over `O(P)` block sums, then parallel block fix-up. `O(n)` work,
+/// `O(log n)` depth (the middle pass is over a constant-per-core number of
+/// blocks).
+pub fn prefix_sum_exclusive(input: &[u64], out: &mut Vec<u64>) -> u64 {
+    let n = input.len();
+    out.clear();
+    out.resize(n, 0);
+    if n == 0 {
+        return 0;
+    }
+    if n < SEQ_THRESHOLD {
+        let mut acc = 0u64;
+        for i in 0..n {
+            out[i] = acc;
+            acc += input[i];
+        }
+        return acc;
+    }
+    let num_blocks = rayon::current_num_threads().max(1) * 4;
+    let block = n.div_ceil(num_blocks);
+    // Pass 1: per-block sums.
+    let mut block_sums: Vec<u64> = input
+        .par_chunks(block)
+        .map(|c| c.iter().sum::<u64>())
+        .collect();
+    // Pass 2: sequential exclusive scan of block sums.
+    let mut acc = 0u64;
+    for s in block_sums.iter_mut() {
+        let v = *s;
+        *s = acc;
+        acc += v;
+    }
+    let total = acc;
+    // Pass 3: per-block exclusive scans offset by the block prefix.
+    out.par_chunks_mut(block)
+        .zip(input.par_chunks(block))
+        .zip(block_sums.par_iter())
+        .for_each(|((o, i), &base)| {
+            let mut a = base;
+            for (oj, &ij) in o.iter_mut().zip(i) {
+                *oj = a;
+                a += ij;
+            }
+        });
+    total
+}
+
+/// Convenience: exclusive prefix sum of `u32` degrees into `usize` offsets
+/// (the CSR construction path). Returns the total.
+pub fn prefix_sum_offsets(counts: &[u32]) -> (Vec<usize>, usize) {
+    let mut offsets = Vec::with_capacity(counts.len() + 1);
+    let mut acc = 0usize;
+    offsets.push(0);
+    for &c in counts {
+        acc += c as usize;
+        offsets.push(acc);
+    }
+    (offsets, acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_sum_small_and_large() {
+        let small: Vec<u64> = (0..100).collect();
+        assert_eq!(reduce_sum_u64(&small, |&x| x), 4950);
+        let large: Vec<u64> = (0..100_000).collect();
+        assert_eq!(reduce_sum_u64(&large, |&x| x), 100_000u64 * 99_999 / 2);
+    }
+
+    #[test]
+    fn count_matches_filter() {
+        let v: Vec<u64> = (0..50_000).collect();
+        assert_eq!(count(&v, |&x| x % 3 == 0), v.iter().filter(|&&x| x % 3 == 0).count());
+    }
+
+    #[test]
+    fn reduce_max_works() {
+        let v: Vec<u64> = vec![3, 9, 1, 9, 2];
+        assert_eq!(reduce_max(&v, |&x| x), 9);
+        let empty: Vec<u64> = vec![];
+        assert_eq!(reduce_max(&empty, |&x| x), 0);
+        let large: Vec<u64> = (0..60_000).rev().collect();
+        assert_eq!(reduce_max(&large, |&x| x), 59_999);
+    }
+
+    #[test]
+    fn prefix_sum_small() {
+        let input = vec![1u64, 2, 3, 4];
+        let mut out = Vec::new();
+        let total = prefix_sum_exclusive(&input, &mut out);
+        assert_eq!(out, vec![0, 1, 3, 6]);
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn prefix_sum_empty() {
+        let mut out = Vec::new();
+        assert_eq!(prefix_sum_exclusive(&[], &mut out), 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn prefix_sum_large_matches_sequential() {
+        let input: Vec<u64> = (0..200_000).map(|i| (i * 7 + 3) % 11).collect();
+        let mut out = Vec::new();
+        let total = prefix_sum_exclusive(&input, &mut out);
+        let mut acc = 0u64;
+        for i in 0..input.len() {
+            assert_eq!(out[i], acc, "mismatch at {i}");
+            acc += input[i];
+        }
+        assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn offsets_from_counts() {
+        let (offs, total) = prefix_sum_offsets(&[2, 0, 3]);
+        assert_eq!(offs, vec![0, 2, 2, 5]);
+        assert_eq!(total, 5);
+    }
+}

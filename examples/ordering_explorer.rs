@@ -1,0 +1,66 @@
+//! Ordering explorer: how much does the vertex order matter?
+//!
+//! Reproduces the paper's core narrative interactively: for one graph, run
+//! every ordering through the same JP engine and print quality, the
+//! measured DAG depth (longest priority path — the parallelism bottleneck),
+//! and the degeneracy-approximation each ordering achieves.
+//!
+//! ```sh
+//! cargo run --release --example ordering_explorer [-- n attach]
+//! ```
+
+use parallel_graph_coloring as pgc;
+use pgc::color::jp::{dag_longest_path, jp_color};
+use pgc::color::verify;
+use pgc::graph::degeneracy::degeneracy;
+use pgc::graph::gen::{generate, GraphSpec};
+use pgc::order::{compute, max_back_degree, AdgOptions, OrderingKind};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(50_000);
+    let attach: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+
+    let g = generate(&GraphSpec::BarabasiAlbert { n, attach }, 1);
+    let d = degeneracy(&g).degeneracy;
+    println!(
+        "Barabasi-Albert n={n} attach={attach}:  m={} Delta={} d={d}\n",
+        g.m(),
+        g.max_degree()
+    );
+    println!(
+        "{:<8} {:>8} {:>10} {:>12} {:>12} {:>10}",
+        "order", "colors", "DAG depth", "back-degree", "back/d", "iters"
+    );
+
+    for kind in [
+        OrderingKind::FirstFit,
+        OrderingKind::Random,
+        OrderingKind::LargestFirst,
+        OrderingKind::LargestLogFirst,
+        OrderingKind::SmallestLogLast,
+        OrderingKind::ApproxSmallestLast,
+        OrderingKind::SmallestLast,
+        OrderingKind::Adg(AdgOptions::default()),
+        OrderingKind::Adg(AdgOptions::median()),
+    ] {
+        let ord = compute(&g, &kind, 7);
+        let colors = jp_color(&g, &ord.rho);
+        verify::assert_proper(&g, &colors);
+        let back = max_back_degree(&g, &ord);
+        println!(
+            "{:<8} {:>8} {:>10} {:>12} {:>12.2} {:>10}",
+            kind.name(),
+            verify::num_colors(&colors),
+            dag_longest_path(&g, &ord.rho),
+            back,
+            back as f64 / d.max(1) as f64,
+            ord.stats.iterations
+        );
+    }
+    println!(
+        "\nReading guide: SL has the best back-degree (= d) but Θ(n) \
+         sequential iterations; ADG provably stays within 2(1+ε)·d using \
+         O(log n) iterations — that tradeoff is the paper."
+    );
+}

@@ -1,0 +1,66 @@
+//! Quickstart: color a scale-free graph with JP-ADG and inspect the
+//! guarantees.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use parallel_graph_coloring as pgc;
+use pgc::color::{run, verify, Algorithm, Params};
+use pgc::graph::degeneracy::degeneracy;
+use pgc::graph::gen::{generate, GraphSpec};
+
+fn main() {
+    // 1. Build a graph. Generators cover the paper's dataset families; real
+    //    edge lists load via pgc::graph::io::read_edge_list.
+    let spec = GraphSpec::BarabasiAlbert {
+        n: 100_000,
+        attach: 8,
+    };
+    let g = generate(&spec, 42);
+    println!(
+        "graph: n={} m={} max_deg={} avg_deg={:.1}",
+        g.n(),
+        g.m(),
+        g.max_degree(),
+        g.avg_degree()
+    );
+
+    // 2. The degeneracy d drives every quality bound. For scale-free
+    //    graphs d is far below the max degree — that gap is why JP-ADG's
+    //    2(1+eps)d+1 guarantee beats the classic Delta+1.
+    let d = degeneracy(&g).degeneracy;
+    println!("degeneracy d = {d} (Delta = {})", g.max_degree());
+
+    // 3. Color with JP-ADG (paper default eps = 0.01).
+    let params = Params::default();
+    let run_adg = run(&g, Algorithm::JpAdg, &params);
+    verify::assert_proper(&g, &run_adg.colors);
+    let bound = verify::bounds::jp_adg(d, params.epsilon);
+    println!(
+        "JP-ADG:  {} colors (guarantee {}), order {:.1?} + color {:.1?}",
+        run_adg.num_colors, bound, run_adg.ordering_time, run_adg.coloring_time
+    );
+
+    // 4. Compare with the classic parallel baseline JP-R.
+    let run_r = run(&g, Algorithm::JpR, &params);
+    println!(
+        "JP-R:    {} colors (guarantee {}), total {:.1?}",
+        run_r.num_colors,
+        g.max_degree() + 1,
+        run_r.total_time()
+    );
+
+    // 5. And with the speculative contribution DEC-ADG-ITR.
+    let run_dec = run(&g, Algorithm::DecAdgItr, &params);
+    println!(
+        "DEC-ADG-ITR: {} colors (guarantee {}), {} conflicts repaired",
+        run_dec.num_colors, bound, run_dec.conflicts
+    );
+
+    assert!(run_adg.num_colors <= run_r.num_colors);
+    println!(
+        "\nJP-ADG used {:.0}% of JP-R's colors.",
+        100.0 * run_adg.num_colors as f64 / run_r.num_colors as f64
+    );
+}

@@ -1,0 +1,104 @@
+//! Sparse-Jacobian compression via graph coloring — the paper's first
+//! motivating application ([1], [3]: "what color is your Jacobian?").
+//!
+//! Estimating a sparse Jacobian J by finite differences costs one function
+//! evaluation per *group of structurally orthogonal columns* (columns that
+//! share no row). Two columns conflict iff some row has non-zeros in both —
+//! exactly an edge in the column-intersection graph, so a proper coloring
+//! of that graph is a valid grouping, and fewer colors = fewer function
+//! evaluations.
+//!
+//! ```sh
+//! cargo run --release --example sparse_jacobian
+//! ```
+
+use parallel_graph_coloring as pgc;
+use pgc::color::{run, verify, Algorithm, Params};
+use pgc::graph::EdgeListBuilder;
+use pgc::primitives::SplitMix64;
+
+/// A random sparse matrix pattern: `rows × cols`, about `nnz_per_row`
+/// non-zeros per row (plus a diagonal band so every column is used).
+struct SparsePattern {
+    cols: usize,
+    /// Row-major list of column indices per row.
+    rows: Vec<Vec<u32>>,
+}
+
+fn random_pattern(rows: usize, cols: usize, nnz_per_row: usize, seed: u64) -> SparsePattern {
+    let mut rng = SplitMix64::new(seed);
+    let mut r = Vec::with_capacity(rows);
+    for i in 0..rows {
+        let mut cs: Vec<u32> = (0..nnz_per_row)
+            .map(|_| rng.below(cols as u32))
+            .collect();
+        cs.push((i % cols) as u32); // banded diagonal keeps it realistic
+        cs.sort_unstable();
+        cs.dedup();
+        r.push(cs);
+    }
+    SparsePattern { cols, rows: r }
+}
+
+/// Column-intersection graph: vertices = columns, edge {a,b} iff some row
+/// contains both.
+fn column_intersection_graph(p: &SparsePattern) -> pgc::graph::CsrGraph {
+    let mut b = EdgeListBuilder::new(p.cols);
+    for row in &p.rows {
+        for i in 0..row.len() {
+            for j in (i + 1)..row.len() {
+                b.add_edge(row[i], row[j]);
+            }
+        }
+    }
+    b.build()
+}
+
+fn main() {
+    let pattern = random_pattern(20_000, 5_000, 4, 7);
+    let g = column_intersection_graph(&pattern);
+    println!(
+        "column-intersection graph: n={} m={} Delta={}",
+        g.n(),
+        g.m(),
+        g.max_degree()
+    );
+
+    let params = Params::default();
+    // One function evaluation per color: compare the naive column-at-a-time
+    // cost against colored grouping with three algorithms.
+    println!("naive finite differences: {} evaluations", g.n());
+    for algo in [Algorithm::JpR, Algorithm::JpAdg, Algorithm::DecAdgItr] {
+        let r = run(&g, algo, &params);
+        verify::assert_proper(&g, &r.colors);
+        println!(
+            "{:<12} {:>4} evaluations ({:.1}x compression), {:?}",
+            algo.name(),
+            r.num_colors,
+            g.n() as f64 / r.num_colors as f64,
+            r.total_time()
+        );
+    }
+
+    // Demonstrate that the grouping is usable: rebuild the groups and check
+    // structural orthogonality directly on the matrix pattern.
+    let r = run(&g, Algorithm::JpAdg, &params);
+    let k = r.num_colors as usize;
+    let mut groups: Vec<Vec<u32>> = vec![Vec::new(); k];
+    for (col, &c) in r.colors.iter().enumerate() {
+        groups[c as usize].push(col as u32);
+    }
+    for row in &pattern.rows {
+        let mut seen = vec![false; k];
+        for &c in row {
+            let g = r.colors[c as usize] as usize;
+            assert!(!seen[g], "two columns of one group share row — invalid!");
+            seen[g] = true;
+        }
+    }
+    println!(
+        "verified: all {} groups structurally orthogonal across {} rows",
+        k,
+        pattern.rows.len()
+    );
+}

@@ -1,0 +1,41 @@
+//! # parallel-graph-coloring
+//!
+//! A from-scratch Rust reproduction of Besta et al., *"High-Performance
+//! Parallel Graph Coloring with Strong Guarantees on Work, Depth, and
+//! Quality"* (ACM/IEEE Supercomputing 2020).
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`primitives`] — work–depth compute primitives (§II-D),
+//! * [`graph`] — CSR graphs, generators, I/O, exact degeneracy (§II-A/B),
+//! * [`order`] — vertex orderings incl. the ADG approximate degeneracy
+//!   ordering, the paper's contribution #1 (§III),
+//! * [`color`] — the coloring algorithms: JP-X / JP-ADG (§IV-A), SIM-COL &
+//!   DEC-ADG (§IV-B), DEC-ADG-ITR (§IV-C), speculative baselines, greedy
+//!   baselines, verification and metrics,
+//! * [`cachesim`] — the software cache simulator substituting for the
+//!   paper's PAPI hardware-counter measurements (Fig. 4).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use parallel_graph_coloring as pgc;
+//! use pgc::graph::gen::{self, GraphSpec};
+//! use pgc::color::{self, Algorithm, Params};
+//!
+//! // A scale-free graph similar in spirit to the paper's social networks.
+//! let g = gen::generate(&GraphSpec::BarabasiAlbert { n: 2_000, attach: 8 }, 42);
+//! let run = color::run(&g, Algorithm::JpAdg, &Params::default());
+//! color::verify::assert_proper(&g, &run.colors);
+//! // JP-ADG guarantees at most 2(1+eps)d + 1 colors.
+//! let d = pgc::graph::degeneracy::degeneracy(&g).degeneracy;
+//! let bound = (2.0 * (1.0 + 0.01) * d as f64).ceil() as u32 + 1;
+//! assert!(run.num_colors <= bound);
+//! ```
+
+pub use pgc_cachesim as cachesim;
+pub use pgc_mining as mining;
+pub use pgc_core as color;
+pub use pgc_graph as graph;
+pub use pgc_order as order;
+pub use pgc_primitives as primitives;

@@ -1,0 +1,104 @@
+//! End-to-end pipelines for the extension modules: coloring → refinement →
+//! balancing, and distance-2 coloring — the §VII-adjacent features composed
+//! through the public facade.
+
+use parallel_graph_coloring as pgc;
+use pgc::color::refine::{balance_colors, balance_stats, iterated_greedy};
+use pgc::color::{distance2, run, verify, Algorithm, Params};
+use pgc::graph::gen::{generate, GraphSpec};
+
+#[test]
+fn color_refine_balance_pipeline() {
+    // The production pipeline a scheduler would run: fast parallel coloring,
+    // then quality refinement, then load balancing.
+    let g = generate(&GraphSpec::BarabasiAlbert { n: 8_000, attach: 9 }, 21);
+    let params = Params::default();
+
+    let stage1 = run(&g, Algorithm::JpAdg, &params);
+    verify::assert_proper(&g, &stage1.colors);
+
+    let stage2 = iterated_greedy(&g, &stage1.colors, 6, params.seed);
+    verify::assert_proper(&g, &stage2);
+    let k2 = verify::num_colors(&stage2);
+    assert!(k2 <= stage1.num_colors, "refinement must not add colors");
+
+    let stage3 = balance_colors(&g, &stage2, 20);
+    verify::assert_proper(&g, &stage3);
+    assert!(verify::num_colors(&stage3) <= k2);
+    let (_, _, imb2) = balance_stats(&stage2);
+    let (_, _, imb3) = balance_stats(&stage3);
+    assert!(imb3 <= imb2 + 1e-9, "balancing must not worsen imbalance");
+}
+
+#[test]
+fn refinement_composes_with_every_parallel_algorithm() {
+    let g = generate(&GraphSpec::Rmat { scale: 10, edge_factor: 8 }, 4);
+    let params = Params::default();
+    for algo in [Algorithm::JpR, Algorithm::Itr, Algorithm::DecAdg] {
+        let base = run(&g, algo, &params);
+        let refined = iterated_greedy(&g, &base.colors, 3, 5);
+        verify::assert_proper(&g, &refined);
+        assert!(
+            verify::num_colors(&refined) <= base.num_colors,
+            "{}",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn distance2_pipeline_on_mesh() {
+    // Distance-2 coloring of a grid: a valid frequency assignment where
+    // same-channel nodes are never within 2 hops.
+    let g = generate(&GraphSpec::Grid2d { rows: 40, cols: 40 }, 0);
+    let greedy = distance2::greedy_d2(&g, g.vertices());
+    assert!(distance2::is_proper_d2(&g, &greedy));
+    // Interior grid vertices have 12 distance-≤2 neighbors; the greedy
+    // bound is Δ²+1 = 17 but real usage is near the clique-ish lower
+    // bound 5 (a vertex plus its 4 neighbors are pairwise within 2 hops).
+    let k = verify::num_colors(&greedy);
+    assert!((5..=17).contains(&k), "grid d2 colors = {k}");
+
+    let spec = distance2::speculative_d2(&g, 3);
+    assert!(distance2::is_proper_d2(&g, &spec.colors));
+    // Both are proper distance-1 colorings as well.
+    verify::assert_proper(&g, &greedy);
+    verify::assert_proper(&g, &spec.colors);
+}
+
+#[test]
+fn distance2_matches_square_graph_coloring() {
+    // A distance-2 coloring of G is exactly a distance-1 coloring of G²:
+    // build G² explicitly and cross-verify.
+    let g = generate(&GraphSpec::ErdosRenyi { n: 300, m: 600 }, 9);
+    let mut square_edges: Vec<(u32, u32)> = g.edges().collect();
+    for v in g.vertices() {
+        let nbrs = g.neighbors(v);
+        for i in 0..nbrs.len() {
+            for j in (i + 1)..nbrs.len() {
+                square_edges.push((nbrs[i], nbrs[j]));
+            }
+        }
+    }
+    let g2 = pgc::graph::builder::from_edges(g.n(), &square_edges);
+
+    let d2 = distance2::greedy_d2(&g, g.vertices());
+    verify::assert_proper(&g2, &d2);
+
+    // And conversely: any proper coloring of G² is distance-2 proper on G.
+    let c2 = run(&g2, Algorithm::JpAdg, &Params::default());
+    assert!(distance2::is_proper_d2(&g, &c2.colors));
+}
+
+#[test]
+fn mining_and_coloring_agree_on_structure() {
+    // The clique number lower-bounds every proper coloring; ADG-based
+    // coloring should sit between ω and the degeneracy bound.
+    let g = generate(&GraphSpec::RingOfCliques { cliques: 12, clique_size: 9 }, 0);
+    let omega = pgc::mining::max_clique_size(&g) as u32;
+    assert_eq!(omega, 9);
+    let r = run(&g, Algorithm::JpAdg, &Params::default());
+    assert!(r.num_colors >= omega, "chromatic >= clique number");
+    let d = pgc::graph::degeneracy::degeneracy(&g).degeneracy;
+    assert!(r.num_colors <= verify::bounds::jp_adg(d, 0.01));
+}

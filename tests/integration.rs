@@ -1,0 +1,215 @@
+//! Cross-crate integration tests: every algorithm on every graph family,
+//! end-to-end through the public facade, with the paper's quality bounds
+//! asserted against the exact degeneracy.
+
+use parallel_graph_coloring as pgc;
+use pgc::color::{run, verify, Algorithm, Params};
+use pgc::graph::degeneracy::degeneracy;
+use pgc::graph::gen::{generate, suite, GraphSpec};
+
+fn family_specs() -> Vec<GraphSpec> {
+    vec![
+        GraphSpec::ErdosRenyi { n: 1_000, m: 5_000 },
+        GraphSpec::BarabasiAlbert { n: 1_000, attach: 7 },
+        GraphSpec::Rmat {
+            scale: 10,
+            edge_factor: 8,
+        },
+        GraphSpec::Grid2d { rows: 30, cols: 34 },
+        GraphSpec::RingOfCliques {
+            cliques: 16,
+            clique_size: 12,
+        },
+        GraphSpec::PlantedColoring {
+            n: 900,
+            k: 12,
+            m: 5_000,
+        },
+        GraphSpec::KOut { n: 800, k: 5 },
+        GraphSpec::Star { n: 500 },
+        GraphSpec::Complete { n: 40 },
+        GraphSpec::Path { n: 700 },
+    ]
+}
+
+#[test]
+fn all_algorithms_proper_on_all_families() {
+    let params = Params::default();
+    for (i, spec) in family_specs().iter().enumerate() {
+        let g = generate(spec, i as u64 + 10);
+        for algo in Algorithm::all() {
+            let r = run(&g, algo, &params);
+            verify::assert_proper(&g, &r.colors);
+        }
+    }
+}
+
+#[test]
+fn quality_bounds_hold_on_all_families() {
+    let params = Params::default();
+    for (i, spec) in family_specs().iter().enumerate() {
+        let g = generate(spec, i as u64 + 20);
+        let d = degeneracy(&g).degeneracy;
+        let delta = g.max_degree();
+        let checks: Vec<(Algorithm, u32)> = vec![
+            (Algorithm::GreedySl, verify::bounds::sl(d)),
+            (Algorithm::JpSl, verify::bounds::sl(d)),
+            (Algorithm::JpAdg, verify::bounds::jp_adg(d, params.epsilon)),
+            (Algorithm::JpAdgM, verify::bounds::jp_adg_m(d)),
+            (
+                Algorithm::DecAdg,
+                verify::bounds::dec_adg(d, params.dec_epsilon).max(1),
+            ),
+            (
+                Algorithm::DecAdgM,
+                verify::bounds::dec_adg_m(d, params.dec_epsilon).max(1),
+            ),
+            (
+                Algorithm::DecAdgItr,
+                verify::bounds::jp_adg(d, params.epsilon),
+            ),
+            (Algorithm::JpR, verify::bounds::trivial(delta)),
+            (Algorithm::Itr, verify::bounds::trivial(delta)),
+        ];
+        for (algo, bound) in checks {
+            let r = run(&g, algo, &params);
+            assert!(
+                r.num_colors <= bound,
+                "{} on {spec:?}: {} > bound {bound} (d={d}, Delta={delta})",
+                algo.name(),
+                r.num_colors
+            );
+        }
+    }
+}
+
+#[test]
+fn planted_coloring_quality_sanity() {
+    // On a k-partite graph, chi <= k; the ADG algorithms shouldn't be
+    // wildly above it (the paper's "superior quality" claim in miniature).
+    let k = 16u32;
+    let g = generate(
+        &GraphSpec::PlantedColoring {
+            n: 2_000,
+            k,
+            m: 16_000,
+        },
+        5,
+    );
+    let params = Params::default();
+    let adg = run(&g, Algorithm::JpAdg, &params);
+    let r = run(&g, Algorithm::JpR, &params);
+    assert!(adg.num_colors <= r.num_colors, "ADG should not lose to R");
+    assert!(
+        adg.num_colors <= 3 * k,
+        "JP-ADG used {} colors on a {k}-colorable graph",
+        adg.num_colors
+    );
+}
+
+#[test]
+fn determinism_across_thread_counts() {
+    // JP-family and DEC-family colorings are functions of (graph, seed) —
+    // independent of the rayon pool size.
+    let g = generate(&GraphSpec::Rmat { scale: 10, edge_factor: 8 }, 3);
+    let params = Params::default();
+    for algo in [Algorithm::JpAdg, Algorithm::DecAdg, Algorithm::Itr] {
+        let base = run(&g, algo, &params);
+        for threads in [1usize, 2, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let r = pool.install(|| run(&g, algo, &params));
+            assert_eq!(
+                r.colors,
+                base.colors,
+                "{} differs at {threads} threads",
+                algo.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn quality_ordering_matches_paper_on_scale_free() {
+    // The paper's Fig. 1 pattern: ADG/SL-based orderings beat LF/LLF beat
+    // R/FF on scale-free graphs. Allow equality (small instances).
+    let g = generate(&GraphSpec::BarabasiAlbert { n: 20_000, attach: 10 }, 8);
+    let params = Params::default();
+    let colors =
+        |a: Algorithm| run(&g, a, &params).num_colors;
+    let (adg, sl, llf, r) = (
+        colors(Algorithm::JpAdg),
+        colors(Algorithm::JpSl),
+        colors(Algorithm::JpLlf),
+        colors(Algorithm::JpR),
+    );
+    assert!(adg <= llf, "JP-ADG ({adg}) should beat JP-LLF ({llf})");
+    assert!(sl <= llf, "JP-SL ({sl}) should beat JP-LLF ({llf})");
+    assert!(llf <= r, "JP-LLF ({llf}) should beat JP-R ({r})");
+    assert!(
+        (adg as i64 - sl as i64).abs() <= 2,
+        "ADG ({adg}) should be within ~2 colors of exact SL ({sl})"
+    );
+}
+
+#[test]
+fn suite_graphs_generate_and_color() {
+    let params = Params::default();
+    for sg in suite(0) {
+        let g = generate(&sg.spec, 1);
+        let r = run(&g, Algorithm::JpAdg, &params);
+        verify::assert_proper(&g, &r.colors);
+        let d = degeneracy(&g).degeneracy;
+        assert!(r.num_colors <= verify::bounds::jp_adg(d, params.epsilon));
+    }
+}
+
+#[test]
+fn io_roundtrip_preserves_coloring_behaviour() {
+    let g = generate(&GraphSpec::ErdosRenyi { n: 500, m: 2_000 }, 2);
+    let mut buf = Vec::new();
+    pgc::graph::io::write_dimacs_col(&g, &mut buf).unwrap();
+    let g2 = pgc::graph::io::read_dimacs_col(&buf[..]).unwrap();
+    assert_eq!(g, g2);
+    let params = Params::default();
+    assert_eq!(
+        run(&g, Algorithm::JpAdg, &params).colors,
+        run(&g2, Algorithm::JpAdg, &params).colors
+    );
+}
+
+#[test]
+fn epsilon_tradeoff_direction() {
+    // Larger epsilon => fewer ADG iterations (more parallelism) and
+    // no-better quality, per Fig. 3.
+    let g = generate(&GraphSpec::BarabasiAlbert { n: 10_000, attach: 8 }, 4);
+    let tight = pgc::order::adg(&g, &pgc::order::AdgOptions::with_epsilon(0.01));
+    let loose = pgc::order::adg(&g, &pgc::order::AdgOptions::with_epsilon(1.0));
+    assert!(loose.stats.iterations <= tight.stats.iterations);
+
+    let p_tight = Params {
+        epsilon: 0.01,
+        ..Params::default()
+    };
+    let p_loose = Params {
+        epsilon: 4.0,
+        ..Params::default()
+    };
+    let c_tight = run(&g, Algorithm::JpAdg, &p_tight).num_colors;
+    let c_loose = run(&g, Algorithm::JpAdg, &p_loose).num_colors;
+    assert!(
+        c_tight <= c_loose + 1,
+        "tight epsilon should not be much worse: {c_tight} vs {c_loose}"
+    );
+}
+
+#[test]
+fn cachesim_integration() {
+    let g = generate(&GraphSpec::Rmat { scale: 9, edge_factor: 8 }, 6);
+    let params = Params::default();
+    let rep = pgc::cachesim::simulate_algorithm(&g, Algorithm::JpAdg, &params);
+    assert!(rep.stats.accesses > g.m() as u64, "trace covers the edges");
+    assert!(rep.miss_fraction <= 1.0);
+}

@@ -1,0 +1,98 @@
+//! Property tests for the "ADG beyond coloring" applications
+//! (`pgc-mining`): densest subgraph, coreness estimates, maximal cliques.
+
+use parallel_graph_coloring as pgc;
+use pgc::graph::builder::from_edges;
+use pgc::graph::degeneracy::degeneracy;
+use pgc::graph::CsrGraph;
+use pgc::mining;
+use proptest::prelude::*;
+
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = CsrGraph> {
+    (2usize..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_m)
+            .prop_map(move |edges| from_edges(n, &edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn densest_subgraph_is_consistent_and_guaranteed(g in arb_graph(60, 250)) {
+        let eps = 0.1;
+        let d = degeneracy(&g).degeneracy as f64;
+        let r = mining::approx_densest_subgraph(&g, eps);
+        // Reported density matches the reported members.
+        let mut inside = vec![false; g.n()];
+        for &v in &r.vertices {
+            inside[v as usize] = true;
+        }
+        let m = g.edges().filter(|&(u, v)| inside[u as usize] && inside[v as usize]).count();
+        prop_assert_eq!(m, r.edges);
+        // Charikar-with-batching guarantee: density ≥ (d/2) / (2(1+ε)).
+        if d > 0.0 {
+            prop_assert!(r.density + 1e-9 >= d / 2.0 / (2.0 * (1.0 + eps)));
+        }
+        // Density can never exceed the true maximum average degree / 2.
+        prop_assert!(r.density <= g.m() as f64);
+    }
+
+    #[test]
+    fn coreness_estimates_dominate_exact(g in arb_graph(60, 250)) {
+        let info = degeneracy(&g);
+        for eps in [0.01, 0.5] {
+            let est = mining::approx_coreness(&g, eps);
+            let bound = (2.0 * (1.0 + eps) * info.degeneracy as f64).ceil() as u32;
+            for (&e, &c) in est.iter().zip(&info.coreness) {
+                prop_assert!(e >= c);
+                prop_assert!(e <= bound);
+            }
+        }
+    }
+
+    #[test]
+    fn clique_enumeration_invariants(g in arb_graph(14, 40)) {
+        // Every emitted set is a clique, maximal, and emitted exactly once.
+        let mut seen = std::collections::BTreeSet::new();
+        let mut total_members = 0usize;
+        mining::maximal_cliques(&g, &mut |c| {
+            // Clique.
+            for i in 0..c.len() {
+                for j in (i + 1)..c.len() {
+                    assert!(g.has_edge(c[i], c[j]), "not a clique: {c:?}");
+                }
+            }
+            // Maximal: no vertex extends it.
+            for v in g.vertices() {
+                if !c.contains(&v) {
+                    let extends = c.iter().all(|&u| g.has_edge(u, v));
+                    assert!(!extends, "{c:?} extendable by {v}");
+                }
+            }
+            assert!(seen.insert(c.to_vec()), "duplicate {c:?}");
+            total_members += c.len();
+        });
+        // Every vertex is in at least one maximal clique.
+        let mut covered = vec![false; g.n()];
+        for c in &seen {
+            for &v in c {
+                covered[v as usize] = true;
+            }
+        }
+        prop_assert!(covered.iter().all(|&b| b));
+        // Clique number is at least degeneracy-ish lower bound: ω ≥ 2 iff m > 0.
+        if g.m() > 0 {
+            prop_assert!(mining::max_clique_size(&g) >= 2);
+        }
+    }
+
+    #[test]
+    fn adg_and_exact_orders_agree_on_cliques(g in arb_graph(30, 120)) {
+        let mut a = std::collections::BTreeSet::new();
+        mining::maximal_cliques(&g, &mut |c| { a.insert(c.to_vec()); });
+        let mut b = std::collections::BTreeSet::new();
+        mining::cliques::maximal_cliques_adg(&g, 0.5, &mut |c| { b.insert(c.to_vec()); });
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests (proptest): the paper's invariants must hold on
+//! *arbitrary* graphs, not just the curated families.
+
+use parallel_graph_coloring as pgc;
+use pgc::color::{run, verify, Algorithm, Params};
+use pgc::graph::builder::from_edges;
+use pgc::graph::degeneracy::{degeneracy, max_forward_degree};
+use pgc::graph::CsrGraph;
+use pgc::order::{adg, compute, max_back_degree, AdgOptions, OrderingKind};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary simple undirected graph with up to `max_n`
+/// vertices and `max_m` raw edges (dedup happens in the builder).
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = CsrGraph> {
+    (2usize..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_m)
+            .prop_map(move |edges| from_edges(n, &edges))
+    })
+}
+
+fn arb_epsilon() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(0.01), Just(0.1), Just(0.5), Just(1.0), Just(3.0)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exact_degeneracy_order_has_forward_degree_d(g in arb_graph(80, 400)) {
+        let info = degeneracy(&g);
+        // The defining property of the exact order.
+        prop_assert_eq!(max_forward_degree(&g, &info.removal_pos), info.degeneracy);
+        // Degeneracy is the maximum coreness.
+        prop_assert_eq!(
+            info.coreness.iter().copied().max().unwrap_or(0),
+            info.degeneracy
+        );
+        // Degeneracy never exceeds the max degree.
+        prop_assert!(info.degeneracy <= g.max_degree());
+        // Lemma 13: sqrt(m) >= d/2.
+        prop_assert!((g.m() as f64).sqrt() >= info.degeneracy as f64 / 2.0);
+    }
+
+    #[test]
+    fn adg_is_partial_2_1eps_approximate(g in arb_graph(80, 400), eps in arb_epsilon()) {
+        let d = degeneracy(&g).degeneracy;
+        let ord = adg(&g, &AdgOptions::with_epsilon(eps));
+        let back = max_back_degree(&g, &ord);
+        let bound = (2.0 * (1.0 + eps) * d as f64).ceil() as u32;
+        prop_assert!(back <= bound, "back {} > bound {} (d={}, eps={})", back, bound, d, eps);
+        // Lemma 1: iteration count.
+        let it_bound = pgc::order::adg::iteration_bound(g.n(), eps);
+        prop_assert!(ord.stats.iterations <= it_bound);
+    }
+
+    #[test]
+    fn adg_m_is_partial_4_approximate(g in arb_graph(70, 300)) {
+        let d = degeneracy(&g).degeneracy;
+        let ord = adg(&g, &AdgOptions::median());
+        prop_assert!(max_back_degree(&g, &ord) <= 4 * d);
+        // Halving => ceil(log2 n) + 1 iterations.
+        let bound = (g.n() as f64).log2().ceil() as u32 + 1;
+        prop_assert!(ord.stats.iterations <= bound.max(1));
+    }
+
+    #[test]
+    fn jp_adg_respects_color_bound(g in arb_graph(60, 250), eps in arb_epsilon()) {
+        let d = degeneracy(&g).degeneracy;
+        let params = Params { epsilon: eps, ..Params::default() };
+        let r = run(&g, Algorithm::JpAdg, &params);
+        verify::assert_proper(&g, &r.colors);
+        prop_assert!(r.num_colors <= verify::bounds::jp_adg(d, eps));
+    }
+
+    #[test]
+    fn jp_sl_is_d_plus_one(g in arb_graph(60, 250)) {
+        let d = degeneracy(&g).degeneracy;
+        let r = run(&g, Algorithm::JpSl, &Params::default());
+        verify::assert_proper(&g, &r.colors);
+        prop_assert!(r.num_colors <= d + 1);
+    }
+
+    #[test]
+    fn speculative_algorithms_terminate_properly(g in arb_graph(60, 250), seed in 0u64..1000) {
+        let params = Params { seed, ..Params::default() };
+        // First-fit-based speculation stays within Δ+1; DEC-ADG's random
+        // draws only promise (2+ε)d (which can exceed Δ+1 on dense graphs).
+        for algo in [Algorithm::Itr, Algorithm::ItrB, Algorithm::DecAdgItr] {
+            let r = run(&g, algo, &params);
+            verify::assert_proper(&g, &r.colors);
+            prop_assert!(r.num_colors <= g.max_degree() + 1, "{}", algo.name());
+        }
+        let d = degeneracy(&g).degeneracy;
+        let r = run(&g, Algorithm::DecAdg, &params);
+        verify::assert_proper(&g, &r.colors);
+        prop_assert!(r.num_colors <= verify::bounds::dec_adg(d, params.dec_epsilon).max(1));
+    }
+
+    #[test]
+    fn jp_never_exceeds_delta_plus_one(g in arb_graph(60, 250), seed in 0u64..1000) {
+        let params = Params { seed, ..Params::default() };
+        for algo in [Algorithm::JpFf, Algorithm::JpR, Algorithm::JpLf, Algorithm::JpLlf,
+                     Algorithm::JpSll, Algorithm::JpAsl] {
+            let r = run(&g, algo, &params);
+            verify::assert_proper(&g, &r.colors);
+            prop_assert!(r.num_colors <= g.max_degree() + 1, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn all_orderings_total_on_arbitrary_graphs(g in arb_graph(60, 250), seed in 0u64..1000) {
+        for kind in [
+            OrderingKind::Random,
+            OrderingKind::SmallestLogLast,
+            OrderingKind::ApproxSmallestLast,
+            OrderingKind::Adg(AdgOptions::default()),
+        ] {
+            let ord = compute(&g, &kind, seed);
+            prop_assert!(ord.is_total(), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn colorings_are_seed_deterministic(g in arb_graph(50, 200), seed in 0u64..1000) {
+        let params = Params { seed, ..Params::default() };
+        for algo in [Algorithm::JpR, Algorithm::JpAdg, Algorithm::DecAdgItr] {
+            let a = run(&g, algo, &params);
+            let b = run(&g, algo, &params);
+            prop_assert_eq!(&a.colors, &b.colors, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn greedy_sequence_uses_each_color_below_its_position(g in arb_graph(50, 200)) {
+        // First-fit invariant: a vertex's color is at most its number of
+        // earlier neighbors.
+        let colors = pgc::color::greedy::greedy_first_fit(&g);
+        for v in g.vertices() {
+            let earlier = g.neighbors(v).iter().filter(|&&u| u < v).count() as u32;
+            prop_assert!(colors[v as usize] <= earlier);
+        }
+    }
+}
