@@ -15,8 +15,8 @@ fn fig1(c: &mut Criterion) {
     ] {
         let mut group = c.benchmark_group(format!("fig1/{gname}"));
         group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_secs(2));
+        group.warm_up_time(std::time::Duration::from_millis(300));
         for algo in Algorithm::fig1_set() {
             group.bench_function(BenchmarkId::from_parameter(algo.name()), |b| {
                 b.iter(|| black_box(run(&g, algo, &params).num_colors))

@@ -14,8 +14,8 @@ fn fig3(c: &mut Criterion) {
         for algo in [Algorithm::JpAdg, Algorithm::DecAdgItr] {
             let mut group = c.benchmark_group(format!("fig3/{gname}/{}", algo.name()));
             group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(300));
+            group.measurement_time(std::time::Duration::from_secs(2));
+            group.warm_up_time(std::time::Duration::from_millis(300));
             for eps in [0.01f64, 0.1, 1.0] {
                 let params = Params {
                     epsilon: eps,

@@ -2,7 +2,7 @@
 //! and one social proxy (the full class-1/2/3 comparison).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pgc_bench::{bench_graph_social, bench_graph_scale_free};
+use pgc_bench::{bench_graph_scale_free, bench_graph_social};
 use pgc_core::{run, Algorithm, Params};
 use std::hint::black_box;
 
@@ -14,8 +14,8 @@ fn table3(c: &mut Criterion) {
     ] {
         let mut group = c.benchmark_group(format!("table3/{gname}"));
         group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_secs(2));
+        group.warm_up_time(std::time::Duration::from_millis(300));
         for algo in Algorithm::all() {
             group.bench_function(BenchmarkId::from_parameter(algo.name()), |b| {
                 b.iter(|| black_box(run(&g, algo, &params).num_colors))

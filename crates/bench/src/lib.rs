@@ -31,7 +31,13 @@ pub fn bench_graph_social() -> CsrGraph {
 
 /// A mesh proxy (v-usa).
 pub fn bench_graph_mesh() -> CsrGraph {
-    generate(&GraphSpec::Grid2d { rows: 150, cols: 150 }, 0)
+    generate(
+        &GraphSpec::Grid2d {
+            rows: 150,
+            cols: 150,
+        },
+        0,
+    )
 }
 
 /// The conflict-heavy proxy (s-gmc).

@@ -186,37 +186,19 @@ pub fn simulate_with_config(
     match algo {
         GreedyFf | GreedyLf | GreedySl | GreedyId | GreedySd => trace_greedy(g, &mut cache),
         JpFf | JpR | JpLf | JpLlf | JpSl | JpSll | JpAsl => {
-            let kind = match algo {
-                JpFf => pgc_order::OrderingKind::FirstFit,
-                JpR => pgc_order::OrderingKind::Random,
-                JpLf => pgc_order::OrderingKind::LargestFirst,
-                JpLlf => pgc_order::OrderingKind::LargestLogFirst,
-                JpSl => pgc_order::OrderingKind::SmallestLast,
-                JpSll => pgc_order::OrderingKind::SmallestLogLast,
-                _ => pgc_order::OrderingKind::ApproxSmallestLast,
-            };
+            let kind = algo.ordering_kind(params).expect("JP ordering");
             let ord = pgc_order::compute(g, &kind, params.seed);
             trace_jp(g, &ord.rho, &mut cache);
         }
         JpAdg | JpAdgM => {
-            let rule = if algo == JpAdgM {
-                pgc_order::ThresholdRule::Median
-            } else {
-                pgc_order::ThresholdRule::Average
-            };
-            let opts = pgc_order::AdgOptions {
-                epsilon: params.epsilon,
-                rule,
-                seed: params.seed,
-                ..Default::default()
-            };
-            let ord = pgc_order::adg(g, &opts);
+            let kind = algo.ordering_kind(params).expect("ADG ordering");
+            let ord = pgc_order::compute(g, &kind, params.seed);
             trace_adg(g, ord.levels.as_ref().unwrap(), &mut cache);
             trace_jp(g, &ord.rho, &mut cache);
         }
-        Itr | ItrB | ItrAsl => {
+        Itr | ItrB | ItrAsl | SimCol => {
             let run = pgc_core::run(g, algo, params);
-            trace_itr(g, run.rounds.max(1), run.conflicts, &mut cache);
+            trace_itr(g, run.rounds().max(1), run.conflicts(), &mut cache);
         }
         DecAdg | DecAdgM | DecAdgItr => {
             let run = pgc_core::run(g, algo, params);
@@ -236,7 +218,12 @@ pub fn simulate_with_config(
                     mem.color_vertex(g, v, false);
                 }
             }
-            trace_itr(g, 1 + (run.conflicts > 0) as u32, run.conflicts, &mut cache);
+            trace_itr(
+                g,
+                1 + (run.conflicts() > 0) as u32,
+                run.conflicts(),
+                &mut cache,
+            );
         }
     }
     report(algo, cache.stats())
@@ -249,7 +236,13 @@ mod tests {
 
     #[test]
     fn reports_are_well_formed() {
-        let g = generate(&GraphSpec::Rmat { scale: 9, edge_factor: 8 }, 1);
+        let g = generate(
+            &GraphSpec::Rmat {
+                scale: 9,
+                edge_factor: 8,
+            },
+            1,
+        );
         let params = Params::default();
         for algo in [
             Algorithm::JpR,
@@ -288,9 +281,18 @@ mod tests {
             sets: 64,
             ways: 16,
         };
-        let grid = generate(&GraphSpec::Grid2d { rows: 200, cols: 200 }, 0);
+        let grid = generate(
+            &GraphSpec::Grid2d {
+                rows: 200,
+                cols: 200,
+            },
+            0,
+        );
         let er = generate(
-            &GraphSpec::ErdosRenyi { n: 40_000, m: 80_000 },
+            &GraphSpec::ErdosRenyi {
+                n: 40_000,
+                m: 80_000,
+            },
             0,
         );
         let rg = simulate_with_config(&grid, Algorithm::GreedyFf, &params, small);

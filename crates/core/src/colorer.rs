@@ -1,0 +1,161 @@
+//! The uniform dispatch layer: every coloring algorithm in the workspace is
+//! a [`Colorer`], and [`colorer`] maps an [`Algorithm`] tag to its
+//! implementation. The [`run`](crate::run) facade is a thin wrapper over
+//! this registry, so the harness, the benches, and any future backend drive
+//! exactly the same code path.
+//!
+//! [`Instrumentation`] is the shared measurement record (the quantities the
+//! paper reports: ordering/coloring wall time, outer rounds, conflicts).
+//! Algorithm implementations fill it via the [`Instrumentation::ordering`] /
+//! [`Instrumentation::coloring`] phase timers instead of hand-rolling
+//! `Instant::now()` pairs, and experiment drivers reuse
+//! [`best_of`] for the paper's best-of-reps-after-warm-up protocol.
+
+use crate::{Algorithm, ColoringRun, Params};
+use pgc_graph::CsrGraph;
+use std::time::{Duration, Instant};
+
+/// Measurements of one coloring execution (times, rounds, conflicts).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Instrumentation {
+    /// Preprocessing/ordering wall time (the "reordering_time" fraction of
+    /// the paper's Fig. 1 bars).
+    pub ordering_time: Duration,
+    /// Coloring wall time (the "coloring_time" fraction).
+    pub coloring_time: Duration,
+    /// Outer parallel rounds: ADG/peeling iterations plus coloring rounds
+    /// (level-sync JP path length / speculative repair rounds).
+    pub rounds: u32,
+    /// Vertices re-colored due to conflicts (speculative algorithms only).
+    pub conflicts: u64,
+}
+
+impl Instrumentation {
+    /// Total wall time (ordering + coloring).
+    pub fn total_time(&self) -> Duration {
+        self.ordering_time + self.coloring_time
+    }
+
+    /// Run `f`, adding its wall time to `ordering_time`.
+    pub fn ordering<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let r = f();
+        self.ordering_time += t0.elapsed();
+        r
+    }
+
+    /// Run `f`, adding its wall time to `coloring_time`.
+    pub fn coloring<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let r = f();
+        self.coloring_time += t0.elapsed();
+        r
+    }
+
+    /// Accumulate round/conflict counters from one phase.
+    pub fn record_rounds(&mut self, rounds: u32, conflicts: u64) {
+        self.rounds += rounds;
+        self.conflicts += conflicts;
+    }
+}
+
+/// A graph-coloring algorithm behind the uniform interface.
+///
+/// Implementations live next to their engines (`greedy`, `jp`, `simcol`,
+/// `speculative`, `dec`); [`colorer`] wires the [`Algorithm`] tags to them.
+pub trait Colorer {
+    /// The registry tag this instance implements.
+    fn algorithm(&self) -> Algorithm;
+
+    /// Color `g`, returning the coloring plus its [`Instrumentation`].
+    fn color(&self, g: &CsrGraph, params: &Params) -> ColoringRun;
+}
+
+/// The `Algorithm → Box<dyn Colorer>` registry.
+///
+/// Every variant resolves to exactly one implementation; the match is
+/// exhaustive, so adding a variant without registering it is a compile
+/// error.
+pub fn colorer(algo: Algorithm) -> Box<dyn Colorer> {
+    use Algorithm::*;
+    match algo {
+        GreedyFf | GreedyLf | GreedySl | GreedyId | GreedySd => {
+            Box::new(crate::greedy::Greedy::new(algo))
+        }
+        JpFf | JpR | JpLf | JpLlf | JpSl | JpSll | JpAsl | JpAdg | JpAdgM => {
+            Box::new(crate::jp::Jp::new(algo))
+        }
+        SimCol => Box::new(crate::simcol::SimCol),
+        Itr | ItrB | ItrAsl => Box::new(crate::speculative::Speculative::new(algo)),
+        DecAdg | DecAdgM | DecAdgItr => Box::new(crate::dec::Dec::new(algo)),
+    }
+}
+
+/// The paper's measurement protocol: run once to warm up (discarded), then
+/// `reps` measured runs, keeping the one with the smallest total time.
+pub fn best_of(reps: usize, mut f: impl FnMut() -> ColoringRun) -> ColoringRun {
+    let mut best = f(); // warm-up; only kept so the return value exists
+    let mut best_t = Duration::MAX; // ... but it never wins the comparison
+    for _ in 0..reps.max(1) {
+        let r = f();
+        let t = r.total_time();
+        if t < best_t {
+            best_t = t;
+            best = r;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgc_graph::gen::{generate, GraphSpec};
+
+    #[test]
+    fn registry_covers_every_algorithm() {
+        for algo in Algorithm::all() {
+            assert_eq!(colorer(algo).algorithm(), algo, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn registry_and_facade_agree() {
+        let g = generate(&GraphSpec::BarabasiAlbert { n: 400, attach: 5 }, 11);
+        let params = Params::default();
+        for algo in Algorithm::all() {
+            let via_registry = colorer(algo).color(&g, &params);
+            let via_facade = crate::run(&g, algo, &params);
+            assert_eq!(via_registry.colors, via_facade.colors, "{}", algo.name());
+            assert_eq!(via_registry.algorithm, algo);
+        }
+    }
+
+    #[test]
+    fn phase_timers_accumulate() {
+        let mut instr = Instrumentation::default();
+        let x = instr.ordering(|| 21);
+        let y = instr.coloring(|| x * 2);
+        assert_eq!(y, 42);
+        instr.record_rounds(3, 7);
+        instr.record_rounds(2, 1);
+        assert_eq!(instr.rounds, 5);
+        assert_eq!(instr.conflicts, 8);
+        assert_eq!(
+            instr.total_time(),
+            instr.ordering_time + instr.coloring_time
+        );
+    }
+
+    #[test]
+    fn best_of_discards_warm_up() {
+        let mut calls = 0u32;
+        let g = generate(&GraphSpec::Path { n: 8 }, 0);
+        let r = best_of(3, || {
+            calls += 1;
+            crate::run(&g, Algorithm::GreedyFf, &Params::default())
+        });
+        assert_eq!(calls, 4, "one warm-up plus three measured reps");
+        assert_eq!(r.num_colors, 2);
+    }
+}

@@ -18,6 +18,7 @@
 //! upgrade an existing speculative heuristic ([40]) to a
 //! `2(1+ε)d + 1` quality guarantee while staying fast in practice.
 
+use crate::colorer::{Colorer, Instrumentation};
 use crate::simcol::{palette_layout, SimColEngine};
 use crate::{Algorithm, ColoringRun, Params, UNCOLORED};
 use pgc_graph::CsrGraph;
@@ -27,7 +28,38 @@ use pgc_primitives::bitmap::AtomicBitmap;
 use pgc_primitives::random_permutation;
 use rayon::prelude::*;
 use std::sync::atomic::AtomicU32;
-use std::time::Instant;
+
+/// [`Colorer`] for the decomposition contributions: DEC-ADG, DEC-ADG-M,
+/// and DEC-ADG-ITR.
+pub struct Dec {
+    algo: Algorithm,
+}
+
+impl Dec {
+    pub fn new(algo: Algorithm) -> Self {
+        use Algorithm::*;
+        assert!(
+            matches!(algo, DecAdg | DecAdgM | DecAdgItr),
+            "not a DEC-ADG algorithm: {algo:?}"
+        );
+        Self { algo }
+    }
+}
+
+impl Colorer for Dec {
+    fn algorithm(&self) -> Algorithm {
+        self.algo
+    }
+
+    fn color(&self, g: &CsrGraph, params: &Params) -> ColoringRun {
+        match self.algo {
+            Algorithm::DecAdg => dec_adg(g, self.algo, ThresholdRule::Average, params),
+            Algorithm::DecAdgM => dec_adg(g, self.algo, ThresholdRule::Median, params),
+            Algorithm::DecAdgItr => dec_adg_itr(g, params),
+            _ => unreachable!("checked in Dec::new"),
+        }
+    }
+}
 
 /// `deg_ℓ(v)` (§IV-B): the number of neighbors of `v` in its own or any
 /// higher partition — the only neighbors that can ever constrain `v`'s
@@ -63,57 +95,53 @@ fn adg_options_for(params: &Params, rule: ThresholdRule, epsilon: f64) -> AdgOpt
 /// or median ADG variant; `params.dec_epsilon` is the ε of Alg. 4.
 pub fn dec_adg(g: &CsrGraph, algo: Algorithm, rule: ThresholdRule, params: &Params) -> ColoringRun {
     let eps = params.dec_epsilon;
-    assert!(eps > 0.0 && eps <= 8.0, "DEC-ADG requires 0 < ε ≤ 8 (Claim 2)");
+    assert!(
+        eps > 0.0 && eps <= 8.0,
+        "DEC-ADG requires 0 < ε ≤ 8 (Claim 2)"
+    );
     let mu = eps / 4.0; // Alg. 5 instantiation µ = ε/4.
 
     // Alg. 4 line 8: ADG* with accuracy ε/12 (so the Claim 2 algebra
     // (1+ε/4)·2(1+ε/12) ≤ 2+ε goes through).
-    let t0 = Instant::now();
-    let ord = adg(g, &adg_options_for(params, rule, eps / 12.0));
+    let mut instr = Instrumentation::default();
+    let ord = instr.ordering(|| adg(g, &adg_options_for(params, rule, eps / 12.0)));
     let levels = ord.levels.expect("ADG always produces levels");
-    let ordering_time = t0.elapsed();
+    instr.record_rounds(ord.stats.iterations, 0);
 
-    let t1 = Instant::now();
-    let n = g.n();
-    let deg_l = constraint_degrees(g, &levels.rank);
-    // Alg. 4 line 11: bitmaps of ⌈(1+µ)·deg_ℓ(v)⌉(+1) bits; SIM-COL line 7
-    // draws from exactly that palette.
-    let (palette, bv_offset) = palette_layout(&deg_l, mu);
-    let bv = AtomicBitmap::new(*bv_offset.last().unwrap_or(&0) as usize);
-    let colors: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNCOLORED)).collect();
-    let tent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNCOLORED)).collect();
-    let engine = SimColEngine {
-        g,
-        colors: &colors,
-        tent: &tent,
-        bv: &bv,
-        bv_offset: &bv_offset,
-        palette: &palette,
-        seed: params.seed ^ 0xDEC,
-    };
+    let (colors, rounds, conflicts) = instr.coloring(|| {
+        let n = g.n();
+        let deg_l = constraint_degrees(g, &levels.rank);
+        // Alg. 4 line 11: bitmaps of ⌈(1+µ)·deg_ℓ(v)⌉(+1) bits; SIM-COL
+        // line 7 draws from exactly that palette.
+        let (palette, bv_offset) = palette_layout(&deg_l, mu);
+        let bv = AtomicBitmap::new(*bv_offset.last().unwrap_or(&0) as usize);
+        let colors: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNCOLORED)).collect();
+        let tent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNCOLORED)).collect();
+        let engine = SimColEngine {
+            g,
+            colors: &colors,
+            tent: &tent,
+            bv: &bv,
+            bv_offset: &bv_offset,
+            palette: &palette,
+            seed: params.seed ^ 0xDEC,
+        };
 
-    // Alg. 4 lines 12–19: color partitions from the highest rank down.
-    let mut rounds = ord.stats.iterations;
-    let mut conflicts = 0u64;
-    let mut round_base = 0u64;
-    for l in (0..levels.num_levels()).rev() {
-        let stats = engine.color_partition_random(levels.level(l), round_base);
-        rounds += stats.rounds;
-        conflicts += stats.retries;
-        round_base += stats.rounds as u64;
-    }
-    let coloring_time = t1.elapsed();
-
-    let colors: Vec<u32> = colors.into_iter().map(|c| c.into_inner()).collect();
-    ColoringRun {
-        algorithm: algo,
-        num_colors: crate::verify::num_colors(&colors),
-        colors,
-        ordering_time,
-        coloring_time,
-        rounds,
-        conflicts,
-    }
+        // Alg. 4 lines 12–19: color partitions from the highest rank down.
+        let mut rounds = 0u32;
+        let mut conflicts = 0u64;
+        let mut round_base = 0u64;
+        for l in (0..levels.num_levels()).rev() {
+            let stats = engine.color_partition_random(levels.level(l), round_base);
+            rounds += stats.rounds;
+            conflicts += stats.retries;
+            round_base += stats.rounds as u64;
+        }
+        let colors: Vec<u32> = colors.into_iter().map(|c| c.into_inner()).collect();
+        (colors, rounds, conflicts)
+    });
+    instr.record_rounds(rounds, conflicts);
+    ColoringRun::new(algo, colors, instr)
 }
 
 /// DEC-ADG-ITR (§IV-C): ADG decomposition + first-fit speculative coloring
@@ -121,64 +149,59 @@ pub fn dec_adg(g: &CsrGraph, algo: Algorithm, rule: ThresholdRule, params: &Para
 /// (the JP-ADG knob, default 0.01 — this algorithm competes in the same
 /// quality regime as JP-ADG, unlike DEC-ADG's larger ε).
 pub fn dec_adg_itr(g: &CsrGraph, params: &Params) -> ColoringRun {
-    let t0 = Instant::now();
-    let ord = adg(
-        g,
-        &adg_options_for(params, ThresholdRule::Average, params.epsilon),
-    );
+    let mut instr = Instrumentation::default();
+    let ord = instr.ordering(|| {
+        adg(
+            g,
+            &adg_options_for(params, ThresholdRule::Average, params.epsilon),
+        )
+    });
     let levels = ord.levels.expect("ADG always produces levels");
-    let ordering_time = t0.elapsed();
+    instr.record_rounds(ord.stats.iterations, 0);
 
-    let t1 = Instant::now();
-    let n = g.n();
-    let deg_l = constraint_degrees(g, &levels.rank);
-    // First-fit never needs more than deg_ℓ(v)+1 candidates.
-    let palette: Vec<u32> = deg_l.iter().map(|&d| d + 1).collect();
-    let mut bv_offset = Vec::with_capacity(n + 1);
-    let mut acc = 0u64;
-    bv_offset.push(0);
-    for &p in &palette {
-        acc += p as u64;
-        bv_offset.push(acc);
-    }
-    let bv = AtomicBitmap::new(acc as usize);
-    let colors: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNCOLORED)).collect();
-    let tent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNCOLORED)).collect();
-    let engine = SimColEngine {
-        g,
-        colors: &colors,
-        tent: &tent,
-        bv: &bv,
-        bv_offset: &bv_offset,
-        palette: &palette,
-        seed: params.seed ^ 0x17,
-    };
-    // Conflict winners by random priority (a total order guarantees
-    // progress of the deterministic first-fit draw).
-    let priority: Vec<u64> = random_permutation(n, params.seed ^ 0xABC)
-        .into_iter()
-        .map(|p| p as u64)
-        .collect();
+    let (colors, rounds, conflicts) = instr.coloring(|| {
+        let n = g.n();
+        let deg_l = constraint_degrees(g, &levels.rank);
+        // First-fit never needs more than deg_ℓ(v)+1 candidates.
+        let palette: Vec<u32> = deg_l.iter().map(|&d| d + 1).collect();
+        let mut bv_offset = Vec::with_capacity(n + 1);
+        let mut acc = 0u64;
+        bv_offset.push(0);
+        for &p in &palette {
+            acc += p as u64;
+            bv_offset.push(acc);
+        }
+        let bv = AtomicBitmap::new(acc as usize);
+        let colors: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNCOLORED)).collect();
+        let tent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNCOLORED)).collect();
+        let engine = SimColEngine {
+            g,
+            colors: &colors,
+            tent: &tent,
+            bv: &bv,
+            bv_offset: &bv_offset,
+            palette: &palette,
+            seed: params.seed ^ 0x17,
+        };
+        // Conflict winners by random priority (a total order guarantees
+        // progress of the deterministic first-fit draw).
+        let priority: Vec<u64> = random_permutation(n, params.seed ^ 0xABC)
+            .into_iter()
+            .map(|p| p as u64)
+            .collect();
 
-    let mut rounds = ord.stats.iterations;
-    let mut conflicts = 0u64;
-    for l in (0..levels.num_levels()).rev() {
-        let stats = engine.color_partition_first_fit(levels.level(l), &priority);
-        rounds += stats.rounds;
-        conflicts += stats.retries;
-    }
-    let coloring_time = t1.elapsed();
-
-    let colors: Vec<u32> = colors.into_iter().map(|c| c.into_inner()).collect();
-    ColoringRun {
-        algorithm: Algorithm::DecAdgItr,
-        num_colors: crate::verify::num_colors(&colors),
-        colors,
-        ordering_time,
-        coloring_time,
-        rounds,
-        conflicts,
-    }
+        let mut rounds = 0u32;
+        let mut conflicts = 0u64;
+        for l in (0..levels.num_levels()).rev() {
+            let stats = engine.color_partition_first_fit(levels.level(l), &priority);
+            rounds += stats.rounds;
+            conflicts += stats.retries;
+        }
+        let colors: Vec<u32> = colors.into_iter().map(|c| c.into_inner()).collect();
+        (colors, rounds, conflicts)
+    });
+    instr.record_rounds(rounds, conflicts);
+    ColoringRun::new(Algorithm::DecAdgItr, colors, instr)
 }
 
 #[cfg(test)]
@@ -192,9 +215,15 @@ mod tests {
         vec![
             GraphSpec::ErdosRenyi { n: 600, m: 3000 },
             GraphSpec::BarabasiAlbert { n: 600, attach: 6 },
-            GraphSpec::Rmat { scale: 9, edge_factor: 8 },
+            GraphSpec::Rmat {
+                scale: 9,
+                edge_factor: 8,
+            },
             GraphSpec::Grid2d { rows: 20, cols: 25 },
-            GraphSpec::RingOfCliques { cliques: 10, clique_size: 12 },
+            GraphSpec::RingOfCliques {
+                cliques: 10,
+                clique_size: 12,
+            },
             GraphSpec::Star { n: 300 },
         ]
     }
@@ -223,7 +252,10 @@ mod tests {
         // Claim 2 holds for all 0 < ε ≤ 8; smaller ε gives tighter colors
         // (at the cost of losing the w.h.p. runtime proof, which needs
         // ε > 4).
-        let params = Params { dec_epsilon: 1.0, ..Params::default() };
+        let params = Params {
+            dec_epsilon: 1.0,
+            ..Params::default()
+        };
         let g = generate(&GraphSpec::BarabasiAlbert { n: 800, attach: 8 }, 2);
         let d = degeneracy(&g).degeneracy;
         let run = dec_adg(&g, Algorithm::DecAdg, ThresholdRule::Average, &params);
@@ -234,7 +266,13 @@ mod tests {
     #[test]
     fn dec_adg_m_proper_and_within_bound() {
         let params = Params::default();
-        let g = generate(&GraphSpec::Rmat { scale: 9, edge_factor: 10 }, 4);
+        let g = generate(
+            &GraphSpec::Rmat {
+                scale: 9,
+                edge_factor: 10,
+            },
+            4,
+        );
         let d = degeneracy(&g).degeneracy;
         let run = dec_adg(&g, Algorithm::DecAdgM, ThresholdRule::Median, &params);
         assert_proper(&g, &run.colors);
@@ -307,17 +345,26 @@ mod tests {
     #[should_panic(expected = "0 < ε ≤ 8")]
     fn rejects_out_of_range_epsilon() {
         let g = generate(&GraphSpec::Path { n: 4 }, 0);
-        let params = Params { dec_epsilon: 9.0, ..Params::default() };
+        let params = Params {
+            dec_epsilon: 9.0,
+            ..Params::default()
+        };
         dec_adg(&g, Algorithm::DecAdg, ThresholdRule::Average, &params);
     }
 
     #[test]
     fn conflicts_recorded_on_cliques() {
-        let g = generate(&GraphSpec::RingOfCliques { cliques: 8, clique_size: 16 }, 3);
+        let g = generate(
+            &GraphSpec::RingOfCliques {
+                cliques: 8,
+                clique_size: 16,
+            },
+            3,
+        );
         let params = Params::default();
         let run = dec_adg(&g, Algorithm::DecAdg, ThresholdRule::Average, &params);
         // Tight palettes inside clique partitions must retry sometimes.
-        assert!(run.rounds > 0);
+        assert!(run.rounds() > 0);
         assert_proper(&g, &run.colors);
     }
 }

@@ -224,9 +224,7 @@ mod tests {
         let d2 = greedy_d2(&g, g.vertices());
         assert!(crate::verify::is_proper(&g, &d2), "d2 implies d1");
         assert!(!is_proper_d2(&g, &d1), "2 colors cannot satisfy distance 2");
-        assert!(
-            crate::verify::num_colors(&d2) > crate::verify::num_colors(&d1)
-        );
+        assert!(crate::verify::num_colors(&d2) > crate::verify::num_colors(&d1));
     }
 
     #[test]

@@ -6,9 +6,54 @@
 //! ID and SD re-prioritize dynamically as vertices get colored — they are
 //! the best-quality (and inherently sequential) baselines of the paper.
 
-use crate::UNCOLORED;
+use crate::colorer::{Colorer, Instrumentation};
+use crate::{Algorithm, ColoringRun, Params, UNCOLORED};
 use pgc_graph::CsrGraph;
 use pgc_primitives::FixedBitmap;
+
+/// [`Colorer`] for the five sequential Greedy baselines
+/// (FF/LF/SL/ID/SD). Ordered variants charge their ordering to
+/// `Instrumentation::ordering_time`; the dynamic ID/SD orders are part of
+/// the coloring scan itself.
+pub struct Greedy {
+    algo: Algorithm,
+}
+
+impl Greedy {
+    pub fn new(algo: Algorithm) -> Self {
+        use Algorithm::*;
+        assert!(
+            matches!(algo, GreedyFf | GreedyLf | GreedySl | GreedyId | GreedySd),
+            "not a greedy algorithm: {algo:?}"
+        );
+        Self { algo }
+    }
+}
+
+impl Colorer for Greedy {
+    fn algorithm(&self) -> Algorithm {
+        self.algo
+    }
+
+    fn color(&self, g: &CsrGraph, params: &Params) -> ColoringRun {
+        let mut instr = Instrumentation::default();
+        let colors = match self.algo {
+            Algorithm::GreedyFf => instr.coloring(|| greedy_first_fit(g)),
+            Algorithm::GreedyLf | Algorithm::GreedySl => {
+                let kind = self
+                    .algo
+                    .ordering_kind(params)
+                    .expect("ordered greedy variants have an ordering");
+                let ord = instr.ordering(|| pgc_order::compute(g, &kind, params.seed));
+                instr.coloring(|| greedy_by_priority(g, &ord.rho))
+            }
+            Algorithm::GreedyId => instr.coloring(|| greedy_incidence_degree(g)),
+            Algorithm::GreedySd => instr.coloring(|| greedy_saturation_degree(g)),
+            _ => unreachable!("checked in Greedy::new"),
+        };
+        ColoringRun::new(self.algo, colors, instr)
+    }
+}
 
 /// Greedy over an explicit vertex sequence.
 pub fn greedy_in_sequence(g: &CsrGraph, seq: impl IntoIterator<Item = u32>) -> Vec<u32> {
@@ -196,7 +241,11 @@ mod tests {
         let ord = pgc_order::compute(&g, &pgc_order::OrderingKind::SmallestLast, 1);
         let colors = greedy_by_priority(&g, &ord.rho);
         assert_proper(&g, &colors);
-        assert!(num_colors(&colors) <= d + 1, "{} > d+1", num_colors(&colors));
+        assert!(
+            num_colors(&colors) <= d + 1,
+            "{} > d+1",
+            num_colors(&colors)
+        );
     }
 
     #[test]

@@ -22,11 +22,60 @@
 //! function of its predecessors' colors only, so both engines (and any
 //! thread interleaving) produce bit-identical colorings.
 
-use crate::UNCOLORED;
+use crate::colorer::{Colorer, Instrumentation};
+use crate::{Algorithm, ColoringRun, Params, UNCOLORED};
 use pgc_graph::CsrGraph;
 use pgc_primitives::{FixedBitmap, JoinCounters};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering as AtOrd};
+
+/// [`Colorer`] for the Jones–Plassmann family: any `Algorithm` whose
+/// [`ordering_kind`](Algorithm::ordering_kind) yields the JP priority
+/// function (JP-FF/R/LF/LLF/SL/SLL/ASL/ADG/ADG-M).
+pub struct Jp {
+    algo: Algorithm,
+}
+
+impl Jp {
+    pub fn new(algo: Algorithm) -> Self {
+        use Algorithm::*;
+        assert!(
+            matches!(
+                algo,
+                JpFf | JpR | JpLf | JpLlf | JpSl | JpSll | JpAsl | JpAdg | JpAdgM
+            ),
+            "not a JP algorithm: {algo:?}"
+        );
+        Self { algo }
+    }
+}
+
+impl Colorer for Jp {
+    fn algorithm(&self) -> Algorithm {
+        self.algo
+    }
+
+    fn color(&self, g: &CsrGraph, params: &Params) -> ColoringRun {
+        let kind = self
+            .algo
+            .ordering_kind(params)
+            .expect("JP algorithms have an ordering");
+        let mut instr = Instrumentation::default();
+        let ord = instr.ordering(|| pgc_order::compute(g, &kind, params.seed));
+        let (colors, color_rounds) = instr.coloring(|| {
+            if params.jp_level_sync {
+                jp_color_levels(g, &ord.rho)
+            } else if let Some(counts) = &ord.pred_counts {
+                // §V-C: the ordering fused JP's Part-1 DAG construction.
+                (jp_color_with_counts(g, &ord.rho, counts), 0)
+            } else {
+                (jp_color(g, &ord.rho), 0)
+            }
+        });
+        instr.record_rounds(ord.stats.iterations + color_rounds, 0);
+        ColoringRun::new(self.algo, colors, instr)
+    }
+}
 
 /// Number of predecessors (higher-priority neighbors) per vertex — the
 /// initial `count[]` of Alg. 3 (line 11).
@@ -142,10 +191,7 @@ pub fn jp_color_with_counts(g: &CsrGraph, rho: &[u64], counts: &[u32]) -> Vec<u3
         }
     });
 
-    colors
-        .into_iter()
-        .map(|c| c.into_inner())
-        .collect()
+    colors.into_iter().map(|c| c.into_inner()).collect()
 }
 
 /// Level-synchronous JP. Returns `(colors, rounds)`; `rounds` equals the
@@ -186,10 +232,7 @@ pub fn jp_color_levels(g: &CsrGraph, rho: &[u64]) -> (Vec<u32>, u32) {
             })
             .collect();
     }
-    (
-        colors.into_iter().map(|c| c.into_inner()).collect(),
-        rounds,
-    )
+    (colors.into_iter().map(|c| c.into_inner()).collect(), rounds)
 }
 
 /// Length (in vertices) of the longest directed path in `Gρ` — the `|P|`
@@ -232,7 +275,10 @@ mod tests {
     use pgc_primitives::random_permutation;
 
     fn random_rho(n: usize, seed: u64) -> Vec<u64> {
-        random_permutation(n, seed).into_iter().map(|p| p as u64).collect()
+        random_permutation(n, seed)
+            .into_iter()
+            .map(|p| p as u64)
+            .collect()
     }
 
     #[test]
@@ -247,7 +293,13 @@ mod tests {
 
     #[test]
     fn async_and_level_sync_agree() {
-        let g = generate(&GraphSpec::Rmat { scale: 9, edge_factor: 8 }, 2);
+        let g = generate(
+            &GraphSpec::Rmat {
+                scale: 9,
+                edge_factor: 8,
+            },
+            2,
+        );
         let rho = random_rho(g.n(), 5);
         let a = jp_color(&g, &rho);
         let (b, rounds) = jp_color_levels(&g, &rho);
@@ -276,7 +328,13 @@ mod tests {
 
     #[test]
     fn delta_plus_one_always_holds() {
-        let g = generate(&GraphSpec::RingOfCliques { cliques: 10, clique_size: 8 }, 1);
+        let g = generate(
+            &GraphSpec::RingOfCliques {
+                cliques: 10,
+                clique_size: 8,
+            },
+            1,
+        );
         let rho = random_rho(g.n(), 7);
         let colors = jp_color(&g, &rho);
         assert!(num_colors(&colors) <= g.max_degree() + 1);

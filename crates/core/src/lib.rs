@@ -16,22 +16,27 @@
 //!   (Table III class 2 quality baselines).
 //! * [`verify`] — proper-coloring verification and quality-bound oracles.
 //!
-//! The uniform entry point is [`run`] with an [`Algorithm`] tag and
-//! [`Params`]; it returns a [`ColoringRun`] carrying the coloring plus the
-//! measurements the paper reports (times, rounds, conflicts).
+//! Dispatch is uniform: every algorithm is a [`Colorer`] (see [`colorer`]
+//! for the `Algorithm → Box<dyn Colorer>` registry), and the [`run`] facade
+//! resolves an [`Algorithm`] tag through that registry. A run returns a
+//! [`ColoringRun`] carrying the coloring plus the shared [`Instrumentation`]
+//! record (times, rounds, conflicts) the paper reports.
 
+pub mod colorer;
 pub mod dec;
 pub mod distance2;
 pub mod greedy;
-pub mod refine;
 pub mod jp;
+pub mod refine;
 pub mod simcol;
 pub mod speculative;
 pub mod verify;
 
+pub use colorer::{best_of, colorer, Colorer, Instrumentation};
+
 use pgc_graph::CsrGraph;
 use pgc_order::{AdgOptions, OrderingKind, SortAlgo, ThresholdRule, UpdateStyle};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Sentinel for "not yet colored". Valid colors are `0..n`.
 pub const UNCOLORED: u32 = u32::MAX;
@@ -74,6 +79,9 @@ pub enum Algorithm {
     ItrB,
     /// ITR guided by the ASL order (Patwary et al. [32]).
     ItrAsl,
+    /// **SIM-COL** (Alg. 5): randomized speculation with per-vertex
+    /// `⌈(1+µ)·deg⌉` palettes; ≤ ⌈(1+µ)Δ⌉ colors, O(log n) rounds w.h.p.
+    SimCol,
     /// **DEC-ADG** (contribution #3): (2+ε)d colors w.h.p. depth bounds.
     DecAdg,
     /// DEC-ADG with the median ADG variant: (4+ε)d colors.
@@ -104,6 +112,7 @@ impl Algorithm {
             Algorithm::Itr => "ITR",
             Algorithm::ItrB => "ITRB",
             Algorithm::ItrAsl => "ITR-ASL",
+            Algorithm::SimCol => "SIM-COL",
             Algorithm::DecAdg => "DEC-ADG",
             Algorithm::DecAdgM => "DEC-ADG-M",
             Algorithm::DecAdgItr => "DEC-ADG-ITR",
@@ -115,13 +124,14 @@ impl Algorithm {
     pub fn all() -> Vec<Algorithm> {
         use Algorithm::*;
         vec![
-            GreedyFf, GreedyLf, GreedySl, GreedyId, GreedySd, JpFf, JpR, JpLf, JpLlf, JpSl,
-            JpSll, JpAsl, JpAdg, JpAdgM, Itr, ItrB, ItrAsl, DecAdg, DecAdgM, DecAdgItr,
+            GreedyFf, GreedyLf, GreedySl, GreedyId, GreedySd, JpFf, JpR, JpLf, JpLlf, JpSl, JpSll,
+            JpAsl, JpAdg, JpAdgM, Itr, ItrB, ItrAsl, SimCol, DecAdg, DecAdgM, DecAdgItr,
         ]
     }
 
     /// The parallel algorithms compared in Fig. 1 (greedy baselines and the
-    /// mostly-theoretical DEC-ADG excluded, as in the paper's plots).
+    /// mostly-theoretical SIM-COL / DEC-ADG excluded, as in the paper's
+    /// plots).
     pub fn fig1_set() -> Vec<Algorithm> {
         use Algorithm::*;
         vec![
@@ -137,10 +147,38 @@ impl Algorithm {
             Algorithm::Itr
                 | Algorithm::ItrB
                 | Algorithm::ItrAsl
+                | Algorithm::SimCol
                 | Algorithm::DecAdg
                 | Algorithm::DecAdgM
                 | Algorithm::DecAdgItr
         )
+    }
+
+    /// The vertex ordering this algorithm is built on, if it has one:
+    /// the JP family's priority function, the ordered greedy baselines'
+    /// sequence, and ITR-ASL's conflict-winner priorities. `None` for
+    /// algorithms whose order is internal (first-fit, ID/SD, random
+    /// speculation) or managed by the ADG decomposition.
+    pub fn ordering_kind(&self, params: &Params) -> Option<OrderingKind> {
+        use Algorithm::*;
+        match self {
+            GreedyLf | JpLf => Some(OrderingKind::LargestFirst),
+            GreedySl | JpSl => Some(OrderingKind::SmallestLast),
+            JpFf => Some(OrderingKind::FirstFit),
+            JpR => Some(OrderingKind::Random),
+            JpLlf => Some(OrderingKind::LargestLogFirst),
+            JpSll => Some(OrderingKind::SmallestLogLast),
+            JpAsl | ItrAsl => Some(OrderingKind::ApproxSmallestLast),
+            JpAdg => Some(OrderingKind::Adg(
+                params.adg_options(ThresholdRule::Average, params.epsilon),
+            )),
+            JpAdgM => Some(OrderingKind::Adg(
+                params.adg_options(ThresholdRule::Median, params.epsilon),
+            )),
+            GreedyFf | GreedyId | GreedySd | Itr | ItrB | SimCol | DecAdg | DecAdgM | DecAdgItr => {
+                None
+            }
+        }
     }
 }
 
@@ -154,6 +192,10 @@ pub struct Params {
     /// end note: "the algorithm attains its runtime and color bounds for
     /// 4 < ε ≤ 8").
     pub dec_epsilon: f64,
+    /// Standalone SIM-COL's palette headroom µ > 0 (Alg. 5): palettes hold
+    /// `⌈(1+µ)·deg(v)⌉` colors, so quality is ≤ ⌈(1+µ)Δ⌉ and larger µ means
+    /// fewer conflict rounds.
+    pub simcol_mu: f64,
     /// Seed for every random choice (orderings, SIM-COL draws, tie-breaks).
     pub seed: u64,
     /// Integer sort used inside ADG (§VI-J ablation).
@@ -174,6 +216,7 @@ impl Default for Params {
         Self {
             epsilon: 0.01,
             dec_epsilon: 6.0,
+            simcol_mu: 0.2,
             seed: 0xC0FFEE,
             adg_sort: SortAlgo::Radix,
             adg_update: UpdateStyle::Push,
@@ -185,7 +228,7 @@ impl Default for Params {
 }
 
 impl Params {
-    fn adg_options(&self, rule: ThresholdRule, epsilon: f64) -> AdgOptions {
+    pub(crate) fn adg_options(&self, rule: ThresholdRule, epsilon: f64) -> AdgOptions {
         AdgOptions {
             epsilon,
             rule,
@@ -208,123 +251,51 @@ pub struct ColoringRun {
     pub colors: Vec<u32>,
     /// Number of distinct colors used (the paper's quality metric).
     pub num_colors: u32,
-    /// Preprocessing/ordering wall time (the "reordering_time" fraction of
-    /// Fig. 1 bars).
-    pub ordering_time: Duration,
-    /// Coloring wall time (the "coloring_time" fraction).
-    pub coloring_time: Duration,
-    /// Outer parallel rounds: ADG/peeling iterations plus coloring rounds
-    /// (level-sync JP path length / speculative repair rounds).
-    pub rounds: u32,
-    /// Vertices that had to be re-colored due to conflicts (speculative
-    /// algorithms only).
-    pub conflicts: u64,
+    /// Shared measurement record: times, rounds, conflicts.
+    pub instr: Instrumentation,
 }
 
 impl ColoringRun {
+    /// Package a finished coloring; `num_colors` is derived from `colors`.
+    pub fn new(algorithm: Algorithm, colors: Vec<u32>, instr: Instrumentation) -> Self {
+        Self {
+            algorithm,
+            num_colors: verify::num_colors(&colors),
+            colors,
+            instr,
+        }
+    }
+
     /// Total wall time.
     pub fn total_time(&self) -> Duration {
-        self.ordering_time + self.coloring_time
+        self.instr.total_time()
+    }
+
+    /// Preprocessing/ordering wall time.
+    pub fn ordering_time(&self) -> Duration {
+        self.instr.ordering_time
+    }
+
+    /// Coloring wall time.
+    pub fn coloring_time(&self) -> Duration {
+        self.instr.coloring_time
+    }
+
+    /// Outer parallel rounds (peeling + coloring/repair rounds).
+    pub fn rounds(&self) -> u32 {
+        self.instr.rounds
+    }
+
+    /// Vertices re-colored due to conflicts.
+    pub fn conflicts(&self) -> u64 {
+        self.instr.conflicts
     }
 }
 
-fn jp_run(
-    g: &CsrGraph,
-    algo: Algorithm,
-    kind: &OrderingKind,
-    params: &Params,
-) -> ColoringRun {
-    let t0 = Instant::now();
-    let ord = pgc_order::compute(g, kind, params.seed);
-    let ordering_time = t0.elapsed();
-    let t1 = Instant::now();
-    let (colors, rounds) = if params.jp_level_sync {
-        jp::jp_color_levels(g, &ord.rho)
-    } else if let Some(counts) = &ord.pred_counts {
-        // §V-C: the ordering fused JP's Part-1 DAG construction.
-        (jp::jp_color_with_counts(g, &ord.rho, counts), 0)
-    } else {
-        (jp::jp_color(g, &ord.rho), 0)
-    };
-    let coloring_time = t1.elapsed();
-    let num_colors = verify::num_colors(&colors);
-    ColoringRun {
-        algorithm: algo,
-        colors,
-        num_colors,
-        ordering_time,
-        coloring_time,
-        rounds: ord.stats.iterations + rounds,
-        conflicts: 0,
-    }
-}
-
-fn greedy_run(g: &CsrGraph, algo: Algorithm, params: &Params) -> ColoringRun {
-    let t0 = Instant::now();
-    let colors = match algo {
-        Algorithm::GreedyFf => greedy::greedy_first_fit(g),
-        Algorithm::GreedyLf => {
-            let ord = pgc_order::compute(g, &OrderingKind::LargestFirst, params.seed);
-            greedy::greedy_by_priority(g, &ord.rho)
-        }
-        Algorithm::GreedySl => {
-            let ord = pgc_order::compute(g, &OrderingKind::SmallestLast, params.seed);
-            greedy::greedy_by_priority(g, &ord.rho)
-        }
-        Algorithm::GreedyId => greedy::greedy_incidence_degree(g),
-        Algorithm::GreedySd => greedy::greedy_saturation_degree(g),
-        _ => unreachable!("not a greedy algorithm: {algo:?}"),
-    };
-    let coloring_time = t0.elapsed();
-    ColoringRun {
-        algorithm: algo,
-        num_colors: verify::num_colors(&colors),
-        colors,
-        ordering_time: Duration::ZERO,
-        coloring_time,
-        rounds: 0,
-        conflicts: 0,
-    }
-}
-
-/// Run `algo` on `g` with the given parameters.
+/// Run `algo` on `g` with the given parameters, through the [`colorer`]
+/// registry.
 pub fn run(g: &CsrGraph, algo: Algorithm, params: &Params) -> ColoringRun {
-    use Algorithm::*;
-    match algo {
-        GreedyFf | GreedyLf | GreedySl | GreedyId | GreedySd => greedy_run(g, algo, params),
-        JpFf => jp_run(g, algo, &OrderingKind::FirstFit, params),
-        JpR => jp_run(g, algo, &OrderingKind::Random, params),
-        JpLf => jp_run(g, algo, &OrderingKind::LargestFirst, params),
-        JpLlf => jp_run(g, algo, &OrderingKind::LargestLogFirst, params),
-        JpSl => jp_run(g, algo, &OrderingKind::SmallestLast, params),
-        JpSll => jp_run(g, algo, &OrderingKind::SmallestLogLast, params),
-        JpAsl => jp_run(g, algo, &OrderingKind::ApproxSmallestLast, params),
-        JpAdg => jp_run(
-            g,
-            algo,
-            &OrderingKind::Adg(params.adg_options(ThresholdRule::Average, params.epsilon)),
-            params,
-        ),
-        JpAdgM => jp_run(
-            g,
-            algo,
-            &OrderingKind::Adg(params.adg_options(ThresholdRule::Median, params.epsilon)),
-            params,
-        ),
-        Itr => speculative::itr_run(g, algo, None, 0, params.seed),
-        ItrB => speculative::itr_run(g, algo, None, params.itrb_batch, params.seed),
-        ItrAsl => {
-            let t0 = Instant::now();
-            let ord = pgc_order::compute(g, &OrderingKind::ApproxSmallestLast, params.seed);
-            let ordering_time = t0.elapsed();
-            let mut run = speculative::itr_run(g, algo, Some(&ord.rho), 0, params.seed);
-            run.ordering_time = ordering_time;
-            run
-        }
-        DecAdg => dec::dec_adg(g, algo, ThresholdRule::Average, params),
-        DecAdgM => dec::dec_adg(g, algo, ThresholdRule::Median, params),
-        DecAdgItr => dec::dec_adg_itr(g, params),
-    }
+    colorer(algo).color(g, params)
 }
 
 #[cfg(test)]
@@ -332,18 +303,39 @@ mod tests {
     use super::*;
     use pgc_graph::gen::{generate, GraphSpec};
 
+    /// The loosest deterministic quality bound each algorithm promises on
+    /// any graph (Δ+1 for first-fit-style draws, ⌈(1+µ)Δ⌉ for SIM-COL's
+    /// random palettes, (2+ε)d ≤ (2+ε)Δ for DEC-ADG's).
+    fn universal_bound(algo: Algorithm, delta: u32, params: &Params) -> u32 {
+        match algo {
+            Algorithm::SimCol => verify::bounds::sim_col(delta, params.simcol_mu),
+            Algorithm::DecAdg | Algorithm::DecAdgM => {
+                verify::bounds::dec_adg_m(delta, params.dec_epsilon).max(1)
+            }
+            _ => verify::bounds::trivial(delta),
+        }
+    }
+
     #[test]
     fn every_algorithm_produces_a_proper_coloring() {
-        let g = generate(&GraphSpec::Rmat { scale: 9, edge_factor: 8 }, 7);
+        let g = generate(
+            &GraphSpec::Rmat {
+                scale: 9,
+                edge_factor: 8,
+            },
+            7,
+        );
         let params = Params::default();
         for algo in Algorithm::all() {
             let run = run(&g, algo, &params);
             verify::assert_proper(&g, &run.colors);
             assert!(run.num_colors > 0, "{}", algo.name());
+            let bound = universal_bound(algo, g.max_degree(), &params);
             assert!(
-                run.num_colors <= g.max_degree() + 1,
-                "{} exceeded Delta+1",
-                algo.name()
+                run.num_colors <= bound,
+                "{} used {} colors, above its universal bound {bound}",
+                algo.name(),
+                run.num_colors
             );
         }
     }
@@ -380,9 +372,29 @@ mod tests {
     #[test]
     fn speculative_classification() {
         assert!(Algorithm::Itr.is_speculative());
+        assert!(Algorithm::SimCol.is_speculative());
         assert!(Algorithm::DecAdgItr.is_speculative());
         assert!(!Algorithm::JpAdg.is_speculative());
         assert!(!Algorithm::GreedySl.is_speculative());
+    }
+
+    #[test]
+    fn ordering_kinds_match_names() {
+        let params = Params::default();
+        assert_eq!(
+            Algorithm::JpAdg.ordering_kind(&params).unwrap().name(),
+            "ADG"
+        );
+        assert_eq!(
+            Algorithm::JpAdgM.ordering_kind(&params).unwrap().name(),
+            "ADG-M"
+        );
+        assert_eq!(
+            Algorithm::GreedySl.ordering_kind(&params).unwrap().name(),
+            "SL"
+        );
+        assert!(Algorithm::Itr.ordering_kind(&params).is_none());
+        assert!(Algorithm::DecAdg.ordering_kind(&params).is_none());
     }
 
     #[test]
@@ -393,6 +405,6 @@ mod tests {
         p.jp_level_sync = true;
         let b = run(&g, Algorithm::JpAdg, &p);
         assert_eq!(a.colors, b.colors, "JP is schedule-deterministic");
-        assert!(b.rounds > 0);
+        assert!(b.rounds() > 0);
     }
 }

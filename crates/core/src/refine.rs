@@ -110,10 +110,13 @@ pub fn balance_colors(g: &CsrGraph, colors: &[u32], max_rounds: usize) -> Vec<u3
             // the current one.
             let mut best: Option<usize> = None;
             for cand in 0..k {
-                if cand != c && !forbidden.get(cand) && hist[cand] + 1 < hist[c]
-                    && best.is_none_or(|b| hist[cand] < hist[b]) {
-                        best = Some(cand);
-                    }
+                if cand != c
+                    && !forbidden.get(cand)
+                    && hist[cand] + 1 < hist[c]
+                    && best.is_none_or(|b| hist[cand] < hist[b])
+                {
+                    best = Some(cand);
+                }
             }
             if let Some(b) = best {
                 out[v as usize] = b as u32;
@@ -141,7 +144,10 @@ mod tests {
         for (i, spec) in [
             GraphSpec::ErdosRenyi { n: 600, m: 3000 },
             GraphSpec::BarabasiAlbert { n: 600, attach: 6 },
-            GraphSpec::RingOfCliques { cliques: 10, clique_size: 8 },
+            GraphSpec::RingOfCliques {
+                cliques: 10,
+                clique_size: 8,
+            },
         ]
         .iter()
         .enumerate()
@@ -162,7 +168,13 @@ mod tests {
     #[test]
     fn iterated_greedy_improves_bad_colorings() {
         // JP-R on a scale-free graph leaves slack that recoloring recovers.
-        let g = generate(&GraphSpec::BarabasiAlbert { n: 5_000, attach: 10 }, 3);
+        let g = generate(
+            &GraphSpec::BarabasiAlbert {
+                n: 5_000,
+                attach: 10,
+            },
+            3,
+        );
         let base = run(&g, Algorithm::JpR, &Params::default());
         let refined = iterated_greedy(&g, &base.colors, 9, 1);
         assert!(

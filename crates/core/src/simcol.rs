@@ -21,12 +21,30 @@
 //! `B_v`, asymmetric conflict resolution) that §IV-C plugs into DEC-ADG to
 //! form DEC-ADG-ITR.
 
-use crate::UNCOLORED;
+use crate::colorer::{Colorer, Instrumentation};
+use crate::{Algorithm, ColoringRun, Params, UNCOLORED};
 use pgc_graph::CsrGraph;
 use pgc_primitives::bitmap::AtomicBitmap;
 use pgc_primitives::rng::uniform_at;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering as AtOrd};
+
+/// [`Colorer`] for standalone SIM-COL (Alg. 5) on the whole graph, with
+/// palette headroom `params.simcol_mu`.
+pub struct SimCol;
+
+impl Colorer for SimCol {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::SimCol
+    }
+
+    fn color(&self, g: &CsrGraph, params: &Params) -> ColoringRun {
+        let mut instr = Instrumentation::default();
+        let (colors, stats) = instr.coloring(|| sim_col(g, params.simcol_mu, params.seed));
+        instr.record_rounds(stats.rounds, stats.retries);
+        ColoringRun::new(Algorithm::SimCol, colors, instr)
+    }
+}
 
 /// Shared state for coloring partitions of one graph.
 pub struct SimColEngine<'a> {
@@ -59,7 +77,10 @@ pub struct SimColStats {
 impl<'a> SimColEngine<'a> {
     #[inline]
     fn bv_contains(&self, v: u32, c: u32) -> bool {
-        c < self.palette[v as usize] && self.bv.get(self.bv_offset[v as usize] as usize + c as usize)
+        c < self.palette[v as usize]
+            && self
+                .bv
+                .get(self.bv_offset[v as usize] as usize + c as usize)
     }
 
     /// Record color `c` as forbidden for `v`; colors beyond the palette are
@@ -68,7 +89,8 @@ impl<'a> SimColEngine<'a> {
     #[inline]
     fn bv_insert(&self, v: u32, c: u32) {
         if c < self.palette[v as usize] {
-            self.bv.set(self.bv_offset[v as usize] as usize + c as usize);
+            self.bv
+                .set(self.bv_offset[v as usize] as usize + c as usize);
         }
     }
 
@@ -92,7 +114,9 @@ impl<'a> SimColEngine<'a> {
     /// (the engine absorbs them itself on entry).
     pub fn color_partition_random(&self, members: &[u32], round_base: u64) -> SimColStats {
         // Entry absorption (Alg. 4 lines 16–18).
-        members.par_iter().for_each(|&v| self.absorb_fixed_neighbors(v));
+        members
+            .par_iter()
+            .for_each(|&v| self.absorb_fixed_neighbors(v));
 
         let mut active: Vec<u32> = members.to_vec();
         let mut stats = SimColStats::default();
@@ -142,7 +166,9 @@ impl<'a> SimColEngine<'a> {
             });
 
             // Part 3: losers absorb the freshly fixed neighbor colors.
-            losers.par_iter().for_each(|&v| self.absorb_fixed_neighbors(v));
+            losers
+                .par_iter()
+                .for_each(|&v| self.absorb_fixed_neighbors(v));
 
             stats.retries += losers.len() as u64;
             active = losers;
@@ -154,7 +180,9 @@ impl<'a> SimColEngine<'a> {
     /// `B_v`; conflicts are resolved asymmetrically — the higher-`priority`
     /// endpoint commits, the loser records the winner's color and retries.
     pub fn color_partition_first_fit(&self, members: &[u32], priority: &[u64]) -> SimColStats {
-        members.par_iter().for_each(|&v| self.absorb_fixed_neighbors(v));
+        members
+            .par_iter()
+            .for_each(|&v| self.absorb_fixed_neighbors(v));
 
         let mut active: Vec<u32> = members.to_vec();
         let mut stats = SimColStats::default();
@@ -193,8 +221,7 @@ impl<'a> SimColEngine<'a> {
                 let draw = self.tent[v as usize].load(AtOrd::Relaxed);
                 let pv = priority[v as usize];
                 let lost = self.g.neighbors(v).iter().any(|&u| {
-                    self.tent[u as usize].load(AtOrd::Relaxed) == draw
-                        && priority[u as usize] > pv
+                    self.tent[u as usize].load(AtOrd::Relaxed) == draw && priority[u as usize] > pv
                 });
                 if !lost {
                     self.colors[v as usize].store(draw, AtOrd::Relaxed);
@@ -203,7 +230,9 @@ impl<'a> SimColEngine<'a> {
             active.par_iter().for_each(|&v| {
                 self.tent[v as usize].store(UNCOLORED, AtOrd::Relaxed);
             });
-            losers.par_iter().for_each(|&v| self.absorb_fixed_neighbors(v));
+            losers
+                .par_iter()
+                .for_each(|&v| self.absorb_fixed_neighbors(v));
 
             stats.retries += losers.len() as u64;
             active = losers;
@@ -267,7 +296,10 @@ mod tests {
         for (i, spec) in [
             GraphSpec::ErdosRenyi { n: 500, m: 2500 },
             GraphSpec::BarabasiAlbert { n: 500, attach: 6 },
-            GraphSpec::RingOfCliques { cliques: 12, clique_size: 12 },
+            GraphSpec::RingOfCliques {
+                cliques: 12,
+                clique_size: 12,
+            },
             GraphSpec::Complete { n: 24 },
             GraphSpec::Empty { n: 16 },
         ]

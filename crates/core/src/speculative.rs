@@ -18,12 +18,54 @@
 //! contribution DEC-ADG-ITR (see [`crate::dec`]) fixes exactly that by
 //! running the same speculation inside ADG partitions.
 
-use crate::{Algorithm, ColoringRun, UNCOLORED};
+use crate::colorer::{Colorer, Instrumentation};
+use crate::{Algorithm, ColoringRun, Params, UNCOLORED};
 use pgc_graph::CsrGraph;
 use pgc_primitives::{random_permutation, FixedBitmap};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering as AtOrd};
-use std::time::Instant;
+
+/// [`Colorer`] for the speculative baselines: plain ITR, superstep-batched
+/// ITRB (batch size `params.itrb_batch`), and ITR-ASL (conflict winners
+/// from the ASL ordering, charged to ordering time).
+pub struct Speculative {
+    algo: Algorithm,
+}
+
+impl Speculative {
+    pub fn new(algo: Algorithm) -> Self {
+        use Algorithm::*;
+        assert!(
+            matches!(algo, Itr | ItrB | ItrAsl),
+            "not a speculative baseline: {algo:?}"
+        );
+        Self { algo }
+    }
+}
+
+impl Colorer for Speculative {
+    fn algorithm(&self) -> Algorithm {
+        self.algo
+    }
+
+    fn color(&self, g: &CsrGraph, params: &Params) -> ColoringRun {
+        let mut instr = Instrumentation::default();
+        let priority: Vec<u64> = match self.algo.ordering_kind(params) {
+            Some(kind) => instr.ordering(|| pgc_order::compute(g, &kind, params.seed).rho),
+            None => random_permutation(g.n(), params.seed ^ 0x17B)
+                .into_iter()
+                .map(|p| p as u64)
+                .collect(),
+        };
+        let batch = match self.algo {
+            Algorithm::ItrB => params.itrb_batch,
+            _ => 0,
+        };
+        let out = instr.coloring(|| itr(g, &priority, batch, params.seed));
+        instr.record_rounds(out.rounds, out.conflicts);
+        ColoringRun::new(self.algo, out.colors, instr)
+    }
+}
 
 /// Outcome of the speculative loop, before packaging into a
 /// [`ColoringRun`].
@@ -100,9 +142,10 @@ pub fn itr(g: &CsrGraph, priority: &[u64], batch: usize, _seed: u64) -> ItrOutco
         cur.par_iter().for_each(|&v| {
             let cv = tent[v as usize].load(AtOrd::Relaxed);
             let pv = priority[v as usize];
-            let lost = g.neighbors(v).iter().any(|&u| {
-                tent[u as usize].load(AtOrd::Relaxed) == cv && priority[u as usize] > pv
-            });
+            let lost = g
+                .neighbors(v)
+                .iter()
+                .any(|&u| tent[u as usize].load(AtOrd::Relaxed) == cv && priority[u as usize] > pv);
             if !lost {
                 colors[v as usize].store(cv, AtOrd::Relaxed);
             }
@@ -124,41 +167,6 @@ pub fn itr(g: &CsrGraph, priority: &[u64], batch: usize, _seed: u64) -> ItrOutco
     }
 }
 
-/// Package an ITR run with timing. `priority = None` uses a random
-/// permutation keyed by `seed` (plain ITR/ITRB); `Some(rho)` installs an
-/// external ordering (ITR-ASL).
-pub fn itr_run(
-    g: &CsrGraph,
-    algo: Algorithm,
-    priority: Option<&[u64]>,
-    batch: usize,
-    seed: u64,
-) -> ColoringRun {
-    let t0 = Instant::now();
-    let owned;
-    let prio: &[u64] = match priority {
-        Some(p) => p,
-        None => {
-            owned = random_permutation(g.n(), seed ^ 0x17B)
-                .into_iter()
-                .map(|p| p as u64)
-                .collect::<Vec<u64>>();
-            &owned
-        }
-    };
-    let out = itr(g, prio, batch, seed);
-    let coloring_time = t0.elapsed();
-    ColoringRun {
-        algorithm: algo,
-        num_colors: crate::verify::num_colors(&out.colors),
-        colors: out.colors,
-        ordering_time: std::time::Duration::ZERO,
-        coloring_time,
-        rounds: out.rounds,
-        conflicts: out.conflicts,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,7 +174,10 @@ mod tests {
     use pgc_graph::gen::{generate, GraphSpec};
 
     fn prio(n: usize, seed: u64) -> Vec<u64> {
-        random_permutation(n, seed).into_iter().map(|p| p as u64).collect()
+        random_permutation(n, seed)
+            .into_iter()
+            .map(|p| p as u64)
+            .collect()
     }
 
     #[test]
@@ -174,7 +185,10 @@ mod tests {
         for (i, spec) in [
             GraphSpec::ErdosRenyi { n: 600, m: 3000 },
             GraphSpec::BarabasiAlbert { n: 600, attach: 6 },
-            GraphSpec::RingOfCliques { cliques: 15, clique_size: 10 },
+            GraphSpec::RingOfCliques {
+                cliques: 15,
+                clique_size: 10,
+            },
             GraphSpec::Complete { n: 30 },
             GraphSpec::Empty { n: 20 },
         ]
@@ -191,7 +205,13 @@ mod tests {
 
     #[test]
     fn itr_deterministic() {
-        let g = generate(&GraphSpec::RingOfCliques { cliques: 20, clique_size: 8 }, 2);
+        let g = generate(
+            &GraphSpec::RingOfCliques {
+                cliques: 20,
+                clique_size: 8,
+            },
+            2,
+        );
         let p = prio(g.n(), 9);
         let a = itr(&g, &p, 0, 0);
         let b = itr(&g, &p, 0, 0);
@@ -203,7 +223,13 @@ mod tests {
     fn dense_clusters_cause_conflicts() {
         // Cliques colored speculatively must collide (the paper's
         // motivation for DEC-ADG-ITR).
-        let g = generate(&GraphSpec::RingOfCliques { cliques: 10, clique_size: 20 }, 1);
+        let g = generate(
+            &GraphSpec::RingOfCliques {
+                cliques: 10,
+                clique_size: 20,
+            },
+            1,
+        );
         let p = prio(g.n(), 4);
         let out = itr(&g, &p, 0, 0);
         assert!(out.conflicts > 0);

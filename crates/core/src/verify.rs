@@ -99,6 +99,12 @@ pub mod bounds {
     pub fn dec_adg_m(d: u32, epsilon: f64) -> u32 {
         ((4.0 + epsilon) * d as f64).ceil() as u32
     }
+
+    /// SIM-COL: ⌈(1+µ)Δ⌉ — deterministic, since every palette fits under
+    /// `(1+µ)Δ` and draws never leave the palette (Alg. 5, §IV-B).
+    pub fn sim_col(delta: u32, mu: f64) -> u32 {
+        (((1.0 + mu) * delta as f64).ceil() as u32).max(1)
+    }
 }
 
 #[cfg(test)]

@@ -73,12 +73,18 @@ impl CsrGraph {
 
     /// Maximum degree Δ.
     pub fn max_degree(&self) -> u32 {
-        (0..self.n() as u32).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.n() as u32)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Minimum degree δ.
     pub fn min_degree(&self) -> u32 {
-        (0..self.n() as u32).map(|v| self.degree(v)).min().unwrap_or(0)
+        (0..self.n() as u32)
+            .map(|v| self.degree(v))
+            .min()
+            .unwrap_or(0)
     }
 
     /// Average degree δ̂ = 2m / n.

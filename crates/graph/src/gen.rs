@@ -463,7 +463,13 @@ mod tests {
 
     #[test]
     fn ba_degeneracy_near_attach() {
-        let g = generate(&GraphSpec::BarabasiAlbert { n: 2_000, attach: 5 }, 11);
+        let g = generate(
+            &GraphSpec::BarabasiAlbert {
+                n: 2_000,
+                attach: 5,
+            },
+            11,
+        );
         let d = degeneracy(&g).degeneracy;
         // BA graphs have degeneracy exactly `attach` (up to seed-clique
         // effects and dedup losses).
@@ -490,14 +496,7 @@ mod tests {
     #[test]
     fn planted_coloring_is_k_partite() {
         let k = 7u32;
-        let g = generate(
-            &GraphSpec::PlantedColoring {
-                n: 300,
-                k,
-                m: 1500,
-            },
-            5,
-        );
+        let g = generate(&GraphSpec::PlantedColoring { n: 300, k, m: 1500 }, 5);
         for (u, v) in g.edges() {
             assert_ne!(u % k, v % k, "edge within a part");
         }

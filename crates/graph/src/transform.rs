@@ -128,10 +128,7 @@ mod tests {
     #[test]
     fn components_counts() {
         // Two triangles plus an isolated vertex: 3 components.
-        let g = from_edges(
-            7,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)],
-        );
+        let g = from_edges(7, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
         let (comp, k) = connected_components(&g);
         assert_eq!(k, 3);
         assert_eq!(comp[0], comp[1]);

@@ -6,11 +6,10 @@
 
 use crate::profiles::performance_profiles;
 use crate::table::{ms, Table};
-use pgc_core::{run, Algorithm, Params};
+use pgc_core::{best_of, run, Algorithm, Instrumentation, Params};
 use pgc_graph::gen::{generate, suite, GraphSpec, SuiteGraph};
 use pgc_graph::CsrGraph;
 use pgc_order::{compute, max_back_degree, AdgOptions, OrderingKind, UpdateStyle};
-use std::time::Duration;
 
 /// Shared experiment configuration.
 #[derive(Clone, Debug)]
@@ -57,22 +56,6 @@ fn load_suite(cfg: &ExpConfig) -> Vec<(SuiteGraph, CsrGraph)> {
         .collect()
 }
 
-/// Run `f` `reps`+1 times, discard the first (warm-up), keep the run with
-/// the smallest total time.
-fn best_run(reps: usize, mut f: impl FnMut() -> pgc_core::ColoringRun) -> pgc_core::ColoringRun {
-    let mut best = f();
-    let mut best_t = Duration::MAX; // warm-up run never wins
-    for _ in 0..reps.max(1) {
-        let r = f();
-        let t = r.total_time();
-        if t < best_t {
-            best_t = t;
-            best = r;
-        }
-    }
-    best
-}
-
 /// Execute `f` inside a rayon pool of `t` threads.
 pub fn with_threads<R: Send>(t: usize, f: impl FnOnce() -> R + Send) -> R {
     rayon::ThreadPoolBuilder::new()
@@ -91,29 +74,37 @@ pub fn with_threads<R: Send>(t: usize, f: impl FnOnce() -> R + Send) -> R {
 pub fn fig1(cfg: &ExpConfig) -> Table {
     let params = cfg.params();
     let mut t = Table::new(&[
-        "graph", "algorithm", "class", "order_ms", "color_ms", "total_ms", "colors",
-        "vs_JP-R", "rounds", "conflicts",
+        "graph",
+        "algorithm",
+        "class",
+        "order_ms",
+        "color_ms",
+        "total_ms",
+        "colors",
+        "vs_JP-R",
+        "rounds",
+        "conflicts",
     ]);
     for (sg, g) in load_suite(cfg) {
-        let jpr = best_run(cfg.reps, || run(&g, Algorithm::JpR, &params));
+        let jpr = best_of(cfg.reps, || run(&g, Algorithm::JpR, &params));
         for algo in Algorithm::fig1_set() {
             let r = if algo == Algorithm::JpR {
                 jpr.clone()
             } else {
-                best_run(cfg.reps, || run(&g, algo, &params))
+                best_of(cfg.reps, || run(&g, algo, &params))
             };
             pgc_core::verify::assert_proper(&g, &r.colors);
             t.row(vec![
                 sg.name.to_string(),
                 algo.name().to_string(),
                 if algo.is_speculative() { "SC" } else { "JP" }.to_string(),
-                ms(r.ordering_time),
-                ms(r.coloring_time),
+                ms(r.ordering_time()),
+                ms(r.coloring_time()),
                 ms(r.total_time()),
                 r.num_colors.to_string(),
                 format!("{:.3}", r.num_colors as f64 / jpr.num_colors as f64),
-                r.rounds.to_string(),
-                r.conflicts.to_string(),
+                r.rounds().to_string(),
+                r.conflicts().to_string(),
             ]);
         }
     }
@@ -146,7 +137,7 @@ pub fn fig2_strong(cfg: &ExpConfig) -> Table {
     {
         for algo in scaling_algorithms() {
             for &threads in &cfg.threads {
-                let r = with_threads(threads, || best_run(cfg.reps, || run(&g, algo, &params)));
+                let r = with_threads(threads, || best_of(cfg.reps, || run(&g, algo, &params)));
                 t.row(vec![
                     sg.name.to_string(),
                     algo.name().to_string(),
@@ -166,7 +157,13 @@ pub fn fig2_weak(cfg: &ExpConfig) -> Table {
     let params = cfg.params();
     let scale = 12 + cfg.scale as u32 * 2;
     let mut t = Table::new(&[
-        "edge_factor", "threads", "n", "m", "algorithm", "total_ms", "colors",
+        "edge_factor",
+        "threads",
+        "n",
+        "m",
+        "algorithm",
+        "total_ms",
+        "colors",
     ]);
     for (ef, threads) in [(1usize, 1usize), (2, 2), (4, 4), (8, 8), (16, 16), (32, 32)] {
         let g = generate(
@@ -177,7 +174,7 @@ pub fn fig2_weak(cfg: &ExpConfig) -> Table {
             cfg.seed,
         );
         for algo in scaling_algorithms() {
-            let r = with_threads(threads, || best_run(cfg.reps, || run(&g, algo, &params)));
+            let r = with_threads(threads, || best_of(cfg.reps, || run(&g, algo, &params)));
             t.row(vec![
                 ef.to_string(),
                 threads.to_string(),
@@ -200,7 +197,12 @@ pub fn fig2_weak(cfg: &ExpConfig) -> Table {
 /// DEC-ADG-ITR on the h-bai and v-usa proxies.
 pub fn fig3(cfg: &ExpConfig) -> Table {
     let mut t = Table::new(&[
-        "graph", "algorithm", "epsilon", "total_ms", "colors", "adg_iterations",
+        "graph",
+        "algorithm",
+        "epsilon",
+        "total_ms",
+        "colors",
+        "adg_iterations",
     ]);
     for (sg, g) in load_suite(cfg)
         .into_iter()
@@ -210,7 +212,7 @@ pub fn fig3(cfg: &ExpConfig) -> Table {
             let mut params = cfg.params();
             params.epsilon = eps;
             for algo in [Algorithm::JpAdg, Algorithm::DecAdgItr] {
-                let r = best_run(cfg.reps, || run(&g, algo, &params));
+                let r = best_of(cfg.reps, || run(&g, algo, &params));
                 let ord = pgc_order::adg(&g, &AdgOptions::with_epsilon(eps));
                 t.row(vec![
                     sg.name.to_string(),
@@ -235,7 +237,12 @@ pub fn fig3(cfg: &ExpConfig) -> Table {
 pub fn fig4(cfg: &ExpConfig) -> Table {
     let params = cfg.params();
     let mut t = Table::new(&[
-        "graph", "algorithm", "class", "accesses", "l3_miss_frac", "stall_frac",
+        "graph",
+        "algorithm",
+        "class",
+        "accesses",
+        "l3_miss_frac",
+        "stall_frac",
     ]);
     for (sg, g) in load_suite(cfg)
         .into_iter()
@@ -308,8 +315,14 @@ pub fn fig5(cfg: &ExpConfig) -> Table {
 /// back-degree / d), including ADG's guaranteed 2(1+ε).
 pub fn table2(cfg: &ExpConfig) -> Table {
     let mut t = Table::new(&[
-        "graph", "ordering", "time_ms", "iterations", "max_back_deg", "d",
-        "approx_ratio", "guarantee",
+        "graph",
+        "ordering",
+        "time_ms",
+        "iterations",
+        "max_back_deg",
+        "d",
+        "approx_ratio",
+        "guarantee",
     ]);
     let kinds: Vec<(OrderingKind, String)> = vec![
         (OrderingKind::FirstFit, "n/a".into()),
@@ -328,14 +341,13 @@ pub fn table2(cfg: &ExpConfig) -> Table {
     for (sg, g) in load_suite(cfg).into_iter().take(4) {
         let d = pgc_graph::degeneracy::degeneracy(&g).degeneracy;
         for (kind, guarantee) in &kinds {
-            let t0 = std::time::Instant::now();
-            let ord = compute(&g, kind, cfg.seed);
-            let dt = t0.elapsed();
+            let mut instr = Instrumentation::default();
+            let ord = instr.ordering(|| compute(&g, kind, cfg.seed));
             let back = max_back_degree(&g, &ord);
             t.row(vec![
                 sg.name.to_string(),
                 kind.name().to_string(),
-                ms(dt),
+                ms(instr.ordering_time),
                 ord.stats.iterations.to_string(),
                 back.to_string(),
                 d.to_string(),
@@ -363,6 +375,7 @@ pub fn quality_bound(algo: Algorithm, d: u32, delta: u32, params: &Params) -> u3
         Algorithm::JpSl | Algorithm::GreedySl => bounds::sl(d),
         Algorithm::JpAdg => bounds::jp_adg(d, params.epsilon),
         Algorithm::JpAdgM => bounds::jp_adg_m(d),
+        Algorithm::SimCol => bounds::sim_col(delta, params.simcol_mu),
         Algorithm::DecAdg => bounds::dec_adg(d, params.dec_epsilon).max(1),
         Algorithm::DecAdgM => bounds::dec_adg_m(d, params.dec_epsilon).max(1),
         Algorithm::DecAdgItr => bounds::jp_adg(d, params.epsilon),
@@ -376,8 +389,15 @@ pub fn quality_bound(algo: Algorithm, d: u32, delta: u32, params: &Params) -> u3
 pub fn table3(cfg: &ExpConfig) -> Table {
     let params = cfg.params();
     let mut t = Table::new(&[
-        "graph", "algorithm", "colors", "bound", "bound_ok", "dag_path", "rounds",
-        "conflicts", "total_ms",
+        "graph",
+        "algorithm",
+        "colors",
+        "bound",
+        "bound_ok",
+        "dag_path",
+        "rounds",
+        "conflicts",
+        "total_ms",
     ]);
     for (sg, g) in load_suite(cfg).into_iter().take(4) {
         let info = pgc_graph::degeneracy::degeneracy(&g);
@@ -386,6 +406,8 @@ pub fn table3(cfg: &ExpConfig) -> Table {
             let r = run(&g, algo, &params);
             pgc_core::verify::assert_proper(&g, &r.colors);
             let bound = quality_bound(algo, d, delta, &params);
+            // Measured DAG depth, for the JP algorithms (whose depth is the
+            // longest `Gρ` path): reuse the registry's ordering mapping.
             let dag_path = match algo {
                 Algorithm::JpFf
                 | Algorithm::JpR
@@ -393,25 +415,11 @@ pub fn table3(cfg: &ExpConfig) -> Table {
                 | Algorithm::JpLlf
                 | Algorithm::JpSl
                 | Algorithm::JpSll
-                | Algorithm::JpAsl => {
-                    let kind = match algo {
-                        Algorithm::JpFf => OrderingKind::FirstFit,
-                        Algorithm::JpR => OrderingKind::Random,
-                        Algorithm::JpLf => OrderingKind::LargestFirst,
-                        Algorithm::JpLlf => OrderingKind::LargestLogFirst,
-                        Algorithm::JpSl => OrderingKind::SmallestLast,
-                        Algorithm::JpSll => OrderingKind::SmallestLogLast,
-                        _ => OrderingKind::ApproxSmallestLast,
-                    };
+                | Algorithm::JpAsl
+                | Algorithm::JpAdg
+                | Algorithm::JpAdgM => {
+                    let kind = algo.ordering_kind(&params).expect("JP ordering");
                     let ord = compute(&g, &kind, params.seed);
-                    pgc_core::jp::dag_longest_path(&g, &ord.rho).to_string()
-                }
-                Algorithm::JpAdg => {
-                    let ord = compute(
-                        &g,
-                        &OrderingKind::Adg(AdgOptions::with_epsilon(params.epsilon)),
-                        params.seed,
-                    );
                     pgc_core::jp::dag_longest_path(&g, &ord.rho).to_string()
                 }
                 _ => "-".to_string(),
@@ -423,8 +431,8 @@ pub fn table3(cfg: &ExpConfig) -> Table {
                 bound.to_string(),
                 (r.num_colors <= bound).to_string(),
                 dag_path,
-                r.rounds.to_string(),
-                r.conflicts.to_string(),
+                r.rounds().to_string(),
+                r.conflicts().to_string(),
                 ms(r.total_time()),
             ]);
         }
@@ -483,37 +491,37 @@ pub fn ablations(cfg: &ExpConfig) -> Table {
             } else {
                 Algorithm::JpAdg
             };
-            let r = best_run(cfg.reps, || run(&g, algo, params));
+            let r = best_of(cfg.reps, || run(&g, algo, params));
             t.row(vec![
                 sg.name.to_string(),
                 name.clone(),
                 ms(r.total_time()),
                 r.num_colors.to_string(),
-                r.rounds.to_string(),
+                r.rounds().to_string(),
             ]);
         }
         // Median variant and DEC-ADG-ITR batching as separate rows.
         let base = cfg.params();
-        let r = best_run(cfg.reps, || run(&g, Algorithm::JpAdgM, &base));
+        let r = best_of(cfg.reps, || run(&g, Algorithm::JpAdgM, &base));
         t.row(vec![
             sg.name.to_string(),
             "JP-ADG-M (median)".into(),
             ms(r.total_time()),
             r.num_colors.to_string(),
-            r.rounds.to_string(),
+            r.rounds().to_string(),
         ]);
         for batch in [0usize, 1024, 16384] {
             let p = Params {
                 itrb_batch: batch,
                 ..base.clone()
             };
-            let r = best_run(cfg.reps, || run(&g, Algorithm::ItrB, &p));
+            let r = best_of(cfg.reps, || run(&g, Algorithm::ItrB, &p));
             t.row(vec![
                 sg.name.to_string(),
                 format!("ITRB batch={batch}"),
                 ms(r.total_time()),
                 r.num_colors.to_string(),
-                r.rounds.to_string(),
+                r.rounds().to_string(),
             ]);
         }
     }
@@ -525,8 +533,13 @@ pub fn ablations(cfg: &ExpConfig) -> Table {
 /// all driven by the same ADG levels the coloring algorithms use.
 pub fn mining(cfg: &ExpConfig) -> Table {
     let mut t = Table::new(&[
-        "graph", "d", "densest_density", "guarantee_floor", "coreness_mean_ratio",
-        "max_clique", "num_cliques",
+        "graph",
+        "d",
+        "densest_density",
+        "guarantee_floor",
+        "coreness_mean_ratio",
+        "max_clique",
+        "num_cliques",
     ]);
     let eps = 0.1;
     for (sg, g) in load_suite(cfg).into_iter().take(6) {
@@ -568,6 +581,7 @@ pub fn check_guarantees(cfg: &ExpConfig) -> Table {
             Algorithm::JpSl,
             Algorithm::JpAdg,
             Algorithm::JpAdgM,
+            Algorithm::SimCol,
             Algorithm::DecAdg,
             Algorithm::DecAdgM,
             Algorithm::DecAdgItr,

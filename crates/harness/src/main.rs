@@ -41,15 +41,24 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
-                cfg.scale = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                cfg.scale = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
                 i += 2;
             }
             "--seed" => {
-                cfg.seed = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                cfg.seed = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
                 i += 2;
             }
             "--reps" => {
-                cfg.reps = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                cfg.reps = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
                 i += 2;
             }
             "--csv" => {
@@ -75,12 +84,21 @@ fn main() {
         "fig2-strong" => emit("Fig. 2: strong scaling", &exp::fig2_strong(&cfg)),
         "fig2-weak" => emit("Fig. 2: weak scaling (Kronecker)", &exp::fig2_weak(&cfg)),
         "fig3" => emit("Fig. 3: impact of epsilon", &exp::fig3(&cfg)),
-        "fig4" => emit("Fig. 4: memory pressure (cache simulator)", &exp::fig4(&cfg)),
+        "fig4" => emit(
+            "Fig. 4: memory pressure (cache simulator)",
+            &exp::fig4(&cfg),
+        ),
         "fig5" => emit("Fig. 5: performance profiles (quality)", &exp::fig5(&cfg)),
         "table2" => emit("Table II: ordering heuristics", &exp::table2(&cfg)),
         "table3" => emit("Table III: algorithm comparison", &exp::table3(&cfg)),
-        "ablations" => emit("Section VI-J: design-choice ablations", &exp::ablations(&cfg)),
-        "mining" => emit("ADG beyond coloring (densest/coreness/cliques)", &exp::mining(&cfg)),
+        "ablations" => emit(
+            "Section VI-J: design-choice ablations",
+            &exp::ablations(&cfg),
+        ),
+        "mining" => emit(
+            "ADG beyond coloring (densest/coreness/cliques)",
+            &exp::mining(&cfg),
+        ),
         "check" => {
             let t = exp::check_guarantees(&cfg);
             emit("Quality-bound check", &t);
@@ -100,9 +118,15 @@ fn main() {
             emit("Fig. 2: strong scaling", &exp::fig2_strong(&cfg));
             emit("Fig. 2: weak scaling (Kronecker)", &exp::fig2_weak(&cfg));
             emit("Fig. 3: impact of epsilon", &exp::fig3(&cfg));
-            emit("Fig. 4: memory pressure (cache simulator)", &exp::fig4(&cfg));
+            emit(
+                "Fig. 4: memory pressure (cache simulator)",
+                &exp::fig4(&cfg),
+            );
             emit("Fig. 5: performance profiles (quality)", &exp::fig5(&cfg));
-            emit("Section VI-J: design-choice ablations", &exp::ablations(&cfg));
+            emit(
+                "Section VI-J: design-choice ablations",
+                &exp::ablations(&cfg),
+            );
             emit(
                 "ADG beyond coloring (densest/coreness/cliques)",
                 &exp::mining(&cfg),

@@ -37,11 +37,7 @@ pub fn maximal_cliques_adg(g: &CsrGraph, epsilon: f64, emit: &mut impl FnMut(&[u
 
 /// Core driver: vertices processed in increasing `pos`; each top-level
 /// call seeds `P` with later neighbors and `X` with earlier ones.
-pub fn maximal_cliques_with_positions(
-    g: &CsrGraph,
-    pos: &[u32],
-    emit: &mut impl FnMut(&[u32]),
-) {
+pub fn maximal_cliques_with_positions(g: &CsrGraph, pos: &[u32], emit: &mut impl FnMut(&[u32])) {
     assert_eq!(pos.len(), g.n());
     let mut order: Vec<u32> = (0..g.n() as u32).collect();
     order.sort_unstable_by_key(|&v| pos[v as usize]);
@@ -163,9 +159,8 @@ mod tests {
                 continue;
             }
             // Maximal: no vertex can be added.
-            let extendable = (0..n as u32).any(|v| {
-                mask >> v & 1 == 0 && is_clique(mask | (1 << v))
-            });
+            let extendable =
+                (0..n as u32).any(|v| mask >> v & 1 == 0 && is_clique(mask | (1 << v)));
             if !extendable {
                 cliques.insert((0..n as u32).filter(|&v| mask >> v & 1 == 1).collect());
             }

@@ -86,9 +86,15 @@ mod tests {
     fn estimates_dominate_exact_coreness() {
         for (i, spec) in [
             GraphSpec::BarabasiAlbert { n: 600, attach: 5 },
-            GraphSpec::Rmat { scale: 9, edge_factor: 8 },
+            GraphSpec::Rmat {
+                scale: 9,
+                edge_factor: 8,
+            },
             GraphSpec::Grid2d { rows: 20, cols: 22 },
-            GraphSpec::RingOfCliques { cliques: 8, clique_size: 10 },
+            GraphSpec::RingOfCliques {
+                cliques: 8,
+                clique_size: 10,
+            },
             GraphSpec::Star { n: 200 },
         ]
         .iter()

@@ -117,7 +117,10 @@ mod tests {
         // d, hence density ≥ d/2); our result must be within 2(1+ε).
         for (i, spec) in [
             GraphSpec::BarabasiAlbert { n: 800, attach: 6 },
-            GraphSpec::Rmat { scale: 9, edge_factor: 8 },
+            GraphSpec::Rmat {
+                scale: 9,
+                edge_factor: 8,
+            },
             GraphSpec::ErdosRenyi { n: 700, m: 3500 },
         ]
         .iter()

@@ -19,6 +19,6 @@ pub mod cliques;
 pub mod coreness;
 pub mod densest;
 
-pub use cliques::{count_maximal_cliques, maximal_cliques, max_clique_size};
+pub use cliques::{count_maximal_cliques, max_clique_size, maximal_cliques};
 pub use coreness::approx_coreness;
 pub use densest::{approx_densest_subgraph, DensestResult};

@@ -152,11 +152,7 @@ pub fn adg(g: &CsrGraph, opts: &AdgOptions) -> VertexOrdering {
 
     // Residual degrees D (atomics so the push update can decrement
     // concurrently; pull only loads/stores them from the owning vertex).
-    let deg: Vec<AtomicU32> = g
-        .degree_array()
-        .into_iter()
-        .map(AtomicU32::new)
-        .collect();
+    let deg: Vec<AtomicU32> = g.degree_array().into_iter().map(AtomicU32::new).collect();
     // rank[v] = iteration of removal; ACTIVE while v ∈ U.
     let rank: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(ACTIVE)).collect();
     // §V-C fused JP predecessor counts (rank(v) of Alg. 6).
@@ -448,9 +444,15 @@ mod tests {
         for (i, spec) in [
             GraphSpec::ErdosRenyi { n: 800, m: 4000 },
             GraphSpec::BarabasiAlbert { n: 800, attach: 6 },
-            GraphSpec::Rmat { scale: 10, edge_factor: 8 },
+            GraphSpec::Rmat {
+                scale: 10,
+                edge_factor: 8,
+            },
             GraphSpec::Grid2d { rows: 25, cols: 30 },
-            GraphSpec::RingOfCliques { cliques: 12, clique_size: 9 },
+            GraphSpec::RingOfCliques {
+                cliques: 12,
+                clique_size: 9,
+            },
             GraphSpec::Star { n: 400 },
             GraphSpec::Complete { n: 40 },
         ]
@@ -477,7 +479,10 @@ mod tests {
         let opts = AdgOptions::median();
         for (i, spec) in [
             GraphSpec::ErdosRenyi { n: 700, m: 3500 },
-            GraphSpec::Rmat { scale: 9, edge_factor: 10 },
+            GraphSpec::Rmat {
+                scale: 9,
+                edge_factor: 10,
+            },
             GraphSpec::Grid2d { rows: 20, cols: 20 },
         ]
         .iter()
@@ -515,7 +520,13 @@ mod tests {
     fn sum_active_is_geometric() {
         // Lemma 2: Σ|U_i| ≤ (1+ε)/ε · n.
         let eps = 0.5;
-        let g = generate(&GraphSpec::Rmat { scale: 11, edge_factor: 6 }, 2);
+        let g = generate(
+            &GraphSpec::Rmat {
+                scale: 11,
+                edge_factor: 6,
+            },
+            2,
+        );
         let ord = adg(&g, &AdgOptions::with_epsilon(eps));
         let bound = ((1.0 + eps) / eps * g.n() as f64).ceil() as u64;
         assert!(
@@ -543,10 +554,7 @@ mod tests {
             },
         );
         assert_eq!(push.rho, pull.rho, "push/pull must give identical orders");
-        assert_eq!(
-            push.levels.unwrap().rank,
-            pull.levels.unwrap().rank
-        );
+        assert_eq!(push.levels.unwrap().rank, pull.levels.unwrap().rank);
     }
 
     #[test]
@@ -565,7 +573,13 @@ mod tests {
 
     #[test]
     fn sort_algorithms_agree() {
-        let g = generate(&GraphSpec::Rmat { scale: 9, edge_factor: 8 }, 5);
+        let g = generate(
+            &GraphSpec::Rmat {
+                scale: 9,
+                edge_factor: 8,
+            },
+            5,
+        );
         let base = adg(&g, &AdgOptions::default());
         for algo in [SortAlgo::Counting, SortAlgo::Quick] {
             let other = adg(
@@ -637,7 +651,13 @@ mod tests {
     fn fused_pred_counts_match_definition() {
         // §V-C: rank(v) must equal |{u in N(v): rho(u) > rho(v)}| for both
         // update styles and both batch-ordering modes.
-        let g = generate(&GraphSpec::Rmat { scale: 9, edge_factor: 8 }, 6);
+        let g = generate(
+            &GraphSpec::Rmat {
+                scale: 9,
+                edge_factor: 8,
+            },
+            6,
+        );
         for opts in [
             AdgOptions::default(),
             AdgOptions {

@@ -171,11 +171,7 @@ pub fn max_back_degree(g: &CsrGraph, ord: &VertexOrdering) -> u32 {
     let mut worst = 0u32;
     for v in g.vertices() {
         let rv = rank_of(v);
-        let b = g
-            .neighbors(v)
-            .iter()
-            .filter(|&&u| rank_of(u) >= rv)
-            .count() as u32;
+        let b = g.neighbors(v).iter().filter(|&&u| rank_of(u) >= rv).count() as u32;
         worst = worst.max(b);
     }
     worst
@@ -222,7 +218,13 @@ mod tests {
 
     #[test]
     fn levels_partition_the_vertices() {
-        let g = generate(&GraphSpec::Rmat { scale: 9, edge_factor: 8 }, 2);
+        let g = generate(
+            &GraphSpec::Rmat {
+                scale: 9,
+                edge_factor: 8,
+            },
+            2,
+        );
         for kind in [
             OrderingKind::SmallestLast,
             OrderingKind::SmallestLogLast,

@@ -92,9 +92,7 @@ pub fn smallest_last(g: &CsrGraph, seed: u64) -> VertexOrdering {
     let info = degeneracy::degeneracy(g);
     let n = g.n();
     let perm = random_permutation(n, seed);
-    let rho: Vec<u64> = (0..n)
-        .map(|v| pack(info.removal_pos[v], perm[v]))
-        .collect();
+    let rho: Vec<u64> = (0..n).map(|v| pack(info.removal_pos[v], perm[v])).collect();
     // Every removal position is its own level: the exact ordering is the
     // degenerate case of a partial ordering with singleton batches.
     let offsets: Vec<usize> = (0..=n).collect();

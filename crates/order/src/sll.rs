@@ -45,11 +45,7 @@ where
             pred_counts: None,
         };
     }
-    let deg: Vec<AtomicU32> = g
-        .degree_array()
-        .into_iter()
-        .map(AtomicU32::new)
-        .collect();
+    let deg: Vec<AtomicU32> = g.degree_array().into_iter().map(AtomicU32::new).collect();
     let rank: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(ACTIVE)).collect();
     let perm = random_permutation(n, seed);
 
@@ -145,7 +141,13 @@ mod tests {
 
     #[test]
     fn sll_covers_all_vertices() {
-        let g = generate(&GraphSpec::Rmat { scale: 9, edge_factor: 8 }, 1);
+        let g = generate(
+            &GraphSpec::Rmat {
+                scale: 9,
+                edge_factor: 8,
+            },
+            1,
+        );
         let o = smallest_log_last(&g, 3);
         assert!(o.is_total());
         let l = o.levels.unwrap();
@@ -157,8 +159,13 @@ mod tests {
         let g = generate(&GraphSpec::BarabasiAlbert { n: 4000, attach: 8 }, 2);
         let o = smallest_log_last(&g, 1);
         // O(log Δ · log n): generous constant-free sanity bound.
-        let bound = 4 * (32 - (g.max_degree()).leading_zeros()) * (32 - (g.n() as u32).leading_zeros());
-        assert!(o.stats.iterations <= bound, "{} > {bound}", o.stats.iterations);
+        let bound =
+            4 * (32 - (g.max_degree()).leading_zeros()) * (32 - (g.n() as u32).leading_zeros());
+        assert!(
+            o.stats.iterations <= bound,
+            "{} > {bound}",
+            o.stats.iterations
+        );
     }
 
     #[test]

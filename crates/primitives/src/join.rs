@@ -76,10 +76,7 @@ mod tests {
         // caller must observe zero — the JP correctness invariant.
         let k = 1000u32;
         let c = JoinCounters::from_values(&[k]);
-        let releasers: usize = (0..k)
-            .into_par_iter()
-            .map(|_| c.join(0) as usize)
-            .sum();
+        let releasers: usize = (0..k).into_par_iter().map(|_| c.join(0) as usize).sum();
         assert_eq!(releasers, 1);
         assert_eq!(c.load(0), 0);
     }

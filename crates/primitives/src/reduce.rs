@@ -115,7 +115,10 @@ mod tests {
     #[test]
     fn count_matches_filter() {
         let v: Vec<u64> = (0..50_000).collect();
-        assert_eq!(count(&v, |&x| x % 3 == 0), v.iter().filter(|&&x| x % 3 == 0).count());
+        assert_eq!(
+            count(&v, |&x| x % 3 == 0),
+            v.iter().filter(|&&x| x % 3 == 0).count()
+        );
     }
 
     #[test]

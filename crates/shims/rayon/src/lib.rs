@@ -1,0 +1,360 @@
+//! # rayon (offline facade)
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate provides the subset of rayon's API the workspace uses, with
+//! **sequential** execution semantics. Parallel-iterator adaptors delegate
+//! straight to `std` iterators; `scope`/`spawn` run tasks from an explicit
+//! work queue (so deeply recursive spawn chains cannot overflow the stack);
+//! thread pools execute their closures inline and only record the requested
+//! thread count for [`current_num_threads`].
+//!
+//! Everything is deterministic, which the test-suite exploits — and because
+//! real rayon makes no cross-task ordering promises, any code correct under
+//! real rayon is also correct here. Swapping the real crate back in is a
+//! one-line change in the workspace manifest (`rayon = "1.10"` instead of
+//! the `crates/shims/rayon` path).
+//!
+//! Exposed surface (kept intentionally minimal — extend as the workspace
+//! grows into it):
+//!
+//! * [`prelude`] — `par_iter`, `par_iter_mut`, `into_par_iter`,
+//!   `par_chunks`, `par_chunks_mut`, `par_sort_unstable`,
+//!   `par_sort_unstable_by_key`, `par_extend`,
+//! * [`scope`] / [`Scope`] — queue-driven task scopes,
+//! * [`join`] — two-way fork–join,
+//! * [`ThreadPoolBuilder`] / [`ThreadPool`] — inline "pools" that scope
+//!   [`current_num_threads`].
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelExtend,
+        ParallelIteratorExt, ParallelSliceExt, ParallelSliceMutExt,
+    };
+}
+
+pub mod iter {
+    //! Sequential stand-ins for `rayon::iter`.
+    //!
+    //! `into_par_iter()` simply yields the `std` iterator of the underlying
+    //! collection, so every `Iterator` adaptor (`map`, `filter`, `zip`,
+    //! `sum`, `collect`, …) is available with identical semantics.
+
+    /// `IntoIterator`-backed replacement for rayon's `IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        type Iter: Iterator<Item = Self::Item>;
+        type Item;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `&collection → par_iter()`; matches rayon's by-ref parallel iterator.
+    pub trait IntoParallelRefIterator<'data> {
+        type Iter: Iterator<Item = Self::Item>;
+        type Item: 'data;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+    where
+        &'data I: IntoIterator,
+    {
+        type Iter = <&'data I as IntoIterator>::IntoIter;
+        type Item = <&'data I as IntoIterator>::Item;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `&mut collection → par_iter_mut()`.
+    pub trait IntoParallelRefMutIterator<'data> {
+        type Iter: Iterator<Item = Self::Item>;
+        type Item: 'data;
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
+    where
+        &'data mut I: IntoIterator,
+    {
+        type Iter = <&'data mut I as IntoIterator>::IntoIter;
+        type Item = <&'data mut I as IntoIterator>::Item;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Slice-only parallel operations (`rayon::slice::ParallelSlice`).
+    pub trait ParallelSliceExt<T> {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSliceExt<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// Mutable-slice parallel operations (`rayon::slice::ParallelSliceMut`).
+    pub trait ParallelSliceMutExt<T> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord;
+        fn par_sort_unstable_by_key<K: Ord>(&mut self, key: impl FnMut(&T) -> K);
+        fn par_sort_unstable_by(&mut self, compare: impl FnMut(&T, &T) -> std::cmp::Ordering);
+    }
+
+    impl<T> ParallelSliceMutExt<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord,
+        {
+            self.sort_unstable();
+        }
+        fn par_sort_unstable_by_key<K: Ord>(&mut self, key: impl FnMut(&T) -> K) {
+            self.sort_unstable_by_key(key);
+        }
+        fn par_sort_unstable_by(&mut self, compare: impl FnMut(&T, &T) -> std::cmp::Ordering) {
+            self.sort_unstable_by(compare);
+        }
+    }
+
+    /// Rayon-specific combinators that have no direct `std::iter::Iterator`
+    /// counterpart, expressed sequentially. `*_init` shares one state value
+    /// across the whole (single-threaded) run; `*_any` returns the first
+    /// match, which is a valid instance of rayon's "any match" contract.
+    pub trait ParallelIteratorExt: Iterator + Sized {
+        fn for_each_init<T, INIT, OP>(self, init: INIT, op: OP)
+        where
+            INIT: FnMut() -> T,
+            OP: FnMut(&mut T, Self::Item),
+        {
+            let mut init = init;
+            let mut op = op;
+            let mut state = init();
+            self.for_each(move |item| op(&mut state, item));
+        }
+
+        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+        where
+            U: IntoIterator,
+            F: FnMut(Self::Item) -> U,
+        {
+            self.flat_map(f)
+        }
+
+        fn find_map_any<T, F>(mut self, f: F) -> Option<T>
+        where
+            F: FnMut(Self::Item) -> Option<T>,
+        {
+            let mut f = f;
+            self.find_map(&mut f)
+        }
+
+        fn find_any<F>(mut self, predicate: F) -> Option<Self::Item>
+        where
+            F: FnMut(&Self::Item) -> bool,
+        {
+            let mut predicate = predicate;
+            self.find(&mut predicate)
+        }
+    }
+
+    impl<I: Iterator> ParallelIteratorExt for I {}
+
+    /// `par_extend` — rayon's parallel `Extend`.
+    pub trait ParallelExtend<T> {
+        fn par_extend<I: IntoIterator<Item = T>>(&mut self, iter: I);
+    }
+
+    impl<T, C: Extend<T>> ParallelExtend<T> for C {
+        fn par_extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+            self.extend(iter);
+        }
+    }
+}
+
+thread_local! {
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of threads of the innermost active "pool" (1 outside any pool —
+/// the shim always executes on the calling thread, but code that *sizes*
+/// work by pool width sees the width it asked for).
+pub fn current_num_threads() -> usize {
+    let t = POOL_THREADS.with(|p| p.get());
+    if t == 0 {
+        1
+    } else {
+        t
+    }
+}
+
+/// Error type mirroring `rayon::ThreadPoolBuildError`.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error (shim)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Mirrors `rayon::ThreadPoolBuilder`; `build` never fails in the shim.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: if self.num_threads == 0 {
+                std::thread::available_parallelism().map_or(1, |n| n.get())
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// An inline "pool": `install` runs the closure on the calling thread with
+/// [`current_num_threads`] scoped to the pool's width.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|p| p.replace(self.num_threads));
+        let r = op();
+        POOL_THREADS.with(|p| p.set(prev));
+        r
+    }
+}
+
+/// Two-way fork–join: runs `a` then `b` on the calling thread.
+pub fn join<A, RA, B, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+type Job<'scope> = Box<dyn FnOnce(&Scope<'scope>) + 'scope>;
+
+/// Task scope. Spawned tasks go onto a FIFO queue drained after the scope
+/// body returns, so arbitrarily deep spawn chains use O(queue) heap instead
+/// of O(depth) stack.
+pub struct Scope<'scope> {
+    queue: std::cell::RefCell<VecDeque<Job<'scope>>>,
+}
+
+impl<'scope> Scope<'scope> {
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope>) + 'scope,
+    {
+        self.queue.borrow_mut().push_back(Box::new(body));
+    }
+}
+
+/// Mirrors `rayon::scope`: all tasks spawned (transitively) complete before
+/// `scope` returns.
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    let s = Scope {
+        queue: std::cell::RefCell::new(VecDeque::new()),
+    };
+    let r = f(&s);
+    loop {
+        let job = s.queue.borrow_mut().pop_front();
+        match job {
+            Some(job) => job(&s),
+            None => break,
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn par_iter_adaptors_behave_like_std() {
+        let v = vec![3u32, 1, 4, 1, 5];
+        let doubled: Vec<u32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 8, 2, 10]);
+        assert_eq!(v.par_iter().copied().max(), Some(5));
+        let s: u32 = (0u32..10).into_par_iter().sum();
+        assert_eq!(s, 45);
+    }
+
+    #[test]
+    fn par_iter_mut_and_sorts() {
+        let mut v = vec![5u32, 2, 9];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(v, vec![6, 3, 10]);
+        v.par_sort_unstable();
+        assert_eq!(v, vec![3, 6, 10]);
+        v.par_sort_unstable_by_key(|&x| std::cmp::Reverse(x));
+        assert_eq!(v, vec![10, 6, 3]);
+    }
+
+    #[test]
+    fn scope_drains_recursive_spawns_without_recursion() {
+        let counter = std::cell::Cell::new(0u32);
+        scope(|s| {
+            fn chain<'a>(s: &Scope<'a>, c: &'a std::cell::Cell<u32>, left: u32) {
+                if left > 0 {
+                    c.set(c.get() + 1);
+                    s.spawn(move |s| chain(s, c, left - 1));
+                }
+            }
+            chain(s, &counter, 100_000);
+        });
+        assert_eq!(counter.get(), 100_000);
+    }
+
+    #[test]
+    fn pool_scopes_thread_count() {
+        assert_eq!(current_num_threads(), 1);
+        let pool = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        let inner = pool.install(current_num_threads);
+        assert_eq!(inner, 7);
+        assert_eq!(current_num_threads(), 1);
+    }
+}

@@ -12,13 +12,21 @@
 use parallel_graph_coloring as pgc;
 use pgc::graph::degeneracy::degeneracy;
 use pgc::graph::gen::{generate, GraphSpec};
-use pgc::mining::{approx_coreness, approx_densest_subgraph, count_maximal_cliques, max_clique_size};
+use pgc::mining::{
+    approx_coreness, approx_densest_subgraph, count_maximal_cliques, max_clique_size,
+};
 
 fn main() {
     // A social-network-like graph with a planted dense community: BA body
     // plus one clique over a subset of vertices.
     let mut edges: Vec<(u32, u32)> = Vec::new();
-    let body = generate(&GraphSpec::BarabasiAlbert { n: 20_000, attach: 6 }, 5);
+    let body = generate(
+        &GraphSpec::BarabasiAlbert {
+            n: 20_000,
+            attach: 6,
+        },
+        5,
+    );
     edges.extend(body.edges());
     for u in 100..140u32 {
         for v in (u + 1)..140 {
@@ -44,9 +52,7 @@ fn main() {
         dense.density,
         dense.level
     );
-    let planted_found = (100..140u32)
-        .filter(|v| dense.vertices.contains(v))
-        .count();
+    let planted_found = (100..140u32).filter(|v| dense.vertices.contains(v)).count();
     println!("planted 40-clique members recovered: {planted_found}/40");
 
     // 2. Coreness estimates vs exact.

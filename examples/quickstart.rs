@@ -39,7 +39,10 @@ fn main() {
     let bound = verify::bounds::jp_adg(d, params.epsilon);
     println!(
         "JP-ADG:  {} colors (guarantee {}), order {:.1?} + color {:.1?}",
-        run_adg.num_colors, bound, run_adg.ordering_time, run_adg.coloring_time
+        run_adg.num_colors,
+        bound,
+        run_adg.ordering_time(),
+        run_adg.coloring_time()
     );
 
     // 4. Compare with the classic parallel baseline JP-R.
@@ -55,7 +58,9 @@ fn main() {
     let run_dec = run(&g, Algorithm::DecAdgItr, &params);
     println!(
         "DEC-ADG-ITR: {} colors (guarantee {}), {} conflicts repaired",
-        run_dec.num_colors, bound, run_dec.conflicts
+        run_dec.num_colors,
+        bound,
+        run_dec.conflicts()
     );
 
     assert!(run_adg.num_colors <= run_r.num_colors);

@@ -77,11 +77,7 @@ fn main() {
     ] {
         let r = run(&g, algo, &params);
         verify::assert_proper(&g, &r.colors);
-        let spills = r
-            .colors
-            .iter()
-            .filter(|&&c| c >= machine_registers)
-            .count();
+        let spills = r.colors.iter().filter(|&&c| c >= machine_registers).count();
         let ratio = r.num_colors as f64 / optimal as f64;
         println!(
             "{:<12} {:>3} colors ({ratio:.2}x optimal)  spills with K={machine_registers}: {spills}",

@@ -29,9 +29,7 @@ fn random_pattern(rows: usize, cols: usize, nnz_per_row: usize, seed: u64) -> Sp
     let mut rng = SplitMix64::new(seed);
     let mut r = Vec::with_capacity(rows);
     for i in 0..rows {
-        let mut cs: Vec<u32> = (0..nnz_per_row)
-            .map(|_| rng.below(cols as u32))
-            .collect();
+        let mut cs: Vec<u32> = (0..nnz_per_row).map(|_| rng.below(cols as u32)).collect();
         cs.push((i % cols) as u32); // banded diagonal keeps it realistic
         cs.sort_unstable();
         cs.dedup();

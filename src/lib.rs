@@ -12,9 +12,14 @@
 //!   ordering, the paper's contribution #1 (§III),
 //! * [`color`] — the coloring algorithms: JP-X / JP-ADG (§IV-A), SIM-COL &
 //!   DEC-ADG (§IV-B), DEC-ADG-ITR (§IV-C), speculative baselines, greedy
-//!   baselines, verification and metrics,
+//!   baselines, verification and metrics. Every algorithm is a
+//!   [`color::Colorer`] resolved through the [`color::colorer`] registry;
+//!   [`color::run`] is the facade over it, and runs report the shared
+//!   [`color::Instrumentation`] measurements (times, rounds, conflicts),
 //! * [`cachesim`] — the software cache simulator substituting for the
-//!   paper's PAPI hardware-counter measurements (Fig. 4).
+//!   paper's PAPI hardware-counter measurements (Fig. 4),
+//! * [`mining`] — "ADG beyond coloring" (§VIII): approximate densest
+//!   subgraph, coreness estimation, maximal cliques.
 //!
 //! ## Quickstart
 //!
@@ -29,13 +34,16 @@
 //! color::verify::assert_proper(&g, &run.colors);
 //! // JP-ADG guarantees at most 2(1+eps)d + 1 colors.
 //! let d = pgc::graph::degeneracy::degeneracy(&g).degeneracy;
-//! let bound = (2.0 * (1.0 + 0.01) * d as f64).ceil() as u32 + 1;
-//! assert!(run.num_colors <= bound);
+//! assert!(run.num_colors <= color::verify::bounds::jp_adg(d, 0.01));
+//! // The same execution is reachable as a `Colorer` trait object, which
+//! // is how the harness and benches drive every algorithm uniformly.
+//! let again = color::colorer(Algorithm::JpAdg).color(&g, &Params::default());
+//! assert_eq!(again.colors, run.colors);
 //! ```
 
 pub use pgc_cachesim as cachesim;
-pub use pgc_mining as mining;
 pub use pgc_core as color;
 pub use pgc_graph as graph;
+pub use pgc_mining as mining;
 pub use pgc_order as order;
 pub use pgc_primitives as primitives;

@@ -11,7 +11,13 @@ use pgc::graph::gen::{generate, GraphSpec};
 fn color_refine_balance_pipeline() {
     // The production pipeline a scheduler would run: fast parallel coloring,
     // then quality refinement, then load balancing.
-    let g = generate(&GraphSpec::BarabasiAlbert { n: 8_000, attach: 9 }, 21);
+    let g = generate(
+        &GraphSpec::BarabasiAlbert {
+            n: 8_000,
+            attach: 9,
+        },
+        21,
+    );
     let params = Params::default();
 
     let stage1 = run(&g, Algorithm::JpAdg, &params);
@@ -32,7 +38,13 @@ fn color_refine_balance_pipeline() {
 
 #[test]
 fn refinement_composes_with_every_parallel_algorithm() {
-    let g = generate(&GraphSpec::Rmat { scale: 10, edge_factor: 8 }, 4);
+    let g = generate(
+        &GraphSpec::Rmat {
+            scale: 10,
+            edge_factor: 8,
+        },
+        4,
+    );
     let params = Params::default();
     for algo in [Algorithm::JpR, Algorithm::Itr, Algorithm::DecAdg] {
         let base = run(&g, algo, &params);
@@ -94,7 +106,13 @@ fn distance2_matches_square_graph_coloring() {
 fn mining_and_coloring_agree_on_structure() {
     // The clique number lower-bounds every proper coloring; ADG-based
     // coloring should sit between ω and the degeneracy bound.
-    let g = generate(&GraphSpec::RingOfCliques { cliques: 12, clique_size: 9 }, 0);
+    let g = generate(
+        &GraphSpec::RingOfCliques {
+            cliques: 12,
+            clique_size: 9,
+        },
+        0,
+    );
     let omega = pgc::mining::max_clique_size(&g) as u32;
     assert_eq!(omega, 9);
     let r = run(&g, Algorithm::JpAdg, &Params::default());

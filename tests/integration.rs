@@ -10,7 +10,10 @@ use pgc::graph::gen::{generate, suite, GraphSpec};
 fn family_specs() -> Vec<GraphSpec> {
     vec![
         GraphSpec::ErdosRenyi { n: 1_000, m: 5_000 },
-        GraphSpec::BarabasiAlbert { n: 1_000, attach: 7 },
+        GraphSpec::BarabasiAlbert {
+            n: 1_000,
+            attach: 7,
+        },
         GraphSpec::Rmat {
             scale: 10,
             edge_factor: 8,
@@ -111,7 +114,13 @@ fn planted_coloring_quality_sanity() {
 fn determinism_across_thread_counts() {
     // JP-family and DEC-family colorings are functions of (graph, seed) —
     // independent of the rayon pool size.
-    let g = generate(&GraphSpec::Rmat { scale: 10, edge_factor: 8 }, 3);
+    let g = generate(
+        &GraphSpec::Rmat {
+            scale: 10,
+            edge_factor: 8,
+        },
+        3,
+    );
     let params = Params::default();
     for algo in [Algorithm::JpAdg, Algorithm::DecAdg, Algorithm::Itr] {
         let base = run(&g, algo, &params);
@@ -135,10 +144,15 @@ fn determinism_across_thread_counts() {
 fn quality_ordering_matches_paper_on_scale_free() {
     // The paper's Fig. 1 pattern: ADG/SL-based orderings beat LF/LLF beat
     // R/FF on scale-free graphs. Allow equality (small instances).
-    let g = generate(&GraphSpec::BarabasiAlbert { n: 20_000, attach: 10 }, 8);
+    let g = generate(
+        &GraphSpec::BarabasiAlbert {
+            n: 20_000,
+            attach: 10,
+        },
+        8,
+    );
     let params = Params::default();
-    let colors =
-        |a: Algorithm| run(&g, a, &params).num_colors;
+    let colors = |a: Algorithm| run(&g, a, &params).num_colors;
     let (adg, sl, llf, r) = (
         colors(Algorithm::JpAdg),
         colors(Algorithm::JpSl),
@@ -184,7 +198,13 @@ fn io_roundtrip_preserves_coloring_behaviour() {
 fn epsilon_tradeoff_direction() {
     // Larger epsilon => fewer ADG iterations (more parallelism) and
     // no-better quality, per Fig. 3.
-    let g = generate(&GraphSpec::BarabasiAlbert { n: 10_000, attach: 8 }, 4);
+    let g = generate(
+        &GraphSpec::BarabasiAlbert {
+            n: 10_000,
+            attach: 8,
+        },
+        4,
+    );
     let tight = pgc::order::adg(&g, &pgc::order::AdgOptions::with_epsilon(0.01));
     let loose = pgc::order::adg(&g, &pgc::order::AdgOptions::with_epsilon(1.0));
     assert!(loose.stats.iterations <= tight.stats.iterations);
@@ -207,7 +227,13 @@ fn epsilon_tradeoff_direction() {
 
 #[test]
 fn cachesim_integration() {
-    let g = generate(&GraphSpec::Rmat { scale: 9, edge_factor: 8 }, 6);
+    let g = generate(
+        &GraphSpec::Rmat {
+            scale: 9,
+            edge_factor: 8,
+        },
+        6,
+    );
     let params = Params::default();
     let rep = pgc::cachesim::simulate_algorithm(&g, Algorithm::JpAdg, &params);
     assert!(rep.stats.accesses > g.m() as u64, "trace covers the edges");
