@@ -1,5 +1,11 @@
 //! Fig. 2 bench: strong scaling (thread sweep on a fixed graph) and weak
 //! scaling (Kronecker graphs with growing edges/vertex).
+//!
+//! The strong-scaling sweep installs a `pgc-par`-backed pool per thread
+//! count: `pool.install` scopes the parallel width, so every
+//! `par_iter`/`join`/`scope` inside `run` actually fans out across that
+//! many threads (widths beyond the machine's cores are still measured —
+//! they just can't speed up further).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pgc_bench::bench_graph_scale_free;
@@ -14,13 +20,19 @@ fn strong(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(2));
     group.warm_up_time(std::time::Duration::from_millis(300));
-    for threads in [1usize, 2, 4] {
+    for threads in [1usize, 2, 4, 8] {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
             .build()
             .unwrap();
         group.bench_function(BenchmarkId::from_parameter(threads), |b| {
-            b.iter(|| pool.install(|| black_box(run(&g, Algorithm::JpAdg, &params).num_colors)))
+            b.iter(|| {
+                pool.install(|| {
+                    let r = run(&g, Algorithm::JpAdg, &params);
+                    assert_eq!(r.instr.threads, threads, "pool width must be installed");
+                    black_box(r.num_colors)
+                })
+            })
         });
     }
     group.finish();

@@ -28,6 +28,10 @@ pub struct Instrumentation {
     pub rounds: u32,
     /// Vertices re-colored due to conflicts (speculative algorithms only).
     pub conflicts: u64,
+    /// Parallel width the run executed under (`rayon::current_num_threads`
+    /// when the [`ColoringRun`](crate::ColoringRun) was packaged; 0 until
+    /// then).
+    pub threads: usize,
 }
 
 impl Instrumentation {

@@ -256,8 +256,10 @@ pub struct ColoringRun {
 }
 
 impl ColoringRun {
-    /// Package a finished coloring; `num_colors` is derived from `colors`.
-    pub fn new(algorithm: Algorithm, colors: Vec<u32>, instr: Instrumentation) -> Self {
+    /// Package a finished coloring; `num_colors` is derived from `colors`
+    /// and the executing pool width is stamped into the instrumentation.
+    pub fn new(algorithm: Algorithm, colors: Vec<u32>, mut instr: Instrumentation) -> Self {
+        instr.threads = rayon::current_num_threads();
         Self {
             algorithm,
             num_colors: verify::num_colors(&colors),

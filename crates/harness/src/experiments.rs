@@ -43,6 +43,30 @@ impl ExpConfig {
             ..Params::default()
         }
     }
+
+    /// Apply the `PGC_THREADS` environment override to the thread sweep.
+    /// Accepts a single count (`PGC_THREADS=4`, which also sets the pool's
+    /// default width — see `pgc-par`) or a comma-separated sweep list
+    /// (`PGC_THREADS=1,2,4,8`, harness-only).
+    pub fn with_env_overrides(mut self) -> Self {
+        if let Some(list) = std::env::var("PGC_THREADS")
+            .ok()
+            .and_then(|s| parse_thread_list(&s))
+        {
+            self.threads = list;
+        }
+        self
+    }
+}
+
+/// Parse a `--threads`/`PGC_THREADS` value: a positive integer or a
+/// comma-separated list of them. Returns `None` on any malformed piece.
+pub fn parse_thread_list(s: &str) -> Option<Vec<usize>> {
+    let list: Option<Vec<usize>> = s
+        .split(',')
+        .map(|piece| piece.trim().parse::<usize>().ok().filter(|&t| t > 0))
+        .collect();
+    list.filter(|l| !l.is_empty())
 }
 
 /// Generate every suite graph once.
@@ -56,7 +80,10 @@ fn load_suite(cfg: &ExpConfig) -> Vec<(SuiteGraph, CsrGraph)> {
         .collect()
 }
 
-/// Execute `f` inside a rayon pool of `t` threads.
+/// Execute `f` at parallel width `t`: installs a pool of that width on the
+/// `pgc-par` runtime, so every `par_iter`/`join`/`scope` inside `f` really
+/// fans out across (at most) `t` threads — `t == 1` is true sequential
+/// execution.
 pub fn with_threads<R: Send>(t: usize, f: impl FnOnce() -> R + Send) -> R {
     rayon::ThreadPoolBuilder::new()
         .num_threads(t)
@@ -128,21 +155,38 @@ fn scaling_algorithms() -> Vec<Algorithm> {
 }
 
 /// Fig. 2 (middle/right): strong scaling on the h-bai and s-pok proxies.
+/// Each row reports its speedup over the single-thread baseline of the
+/// same (graph, algorithm) pair — the paper's scaling axis.
 pub fn fig2_strong(cfg: &ExpConfig) -> Table {
     let params = cfg.params();
-    let mut t = Table::new(&["graph", "algorithm", "threads", "total_ms", "colors"]);
+    let mut t = Table::new(&[
+        "graph",
+        "algorithm",
+        "threads",
+        "total_ms",
+        "speedup_vs_1t",
+        "colors",
+    ]);
     for (sg, g) in load_suite(cfg)
         .into_iter()
         .filter(|(sg, _)| sg.name == "h-bai" || sg.name == "s-pok")
     {
         for algo in scaling_algorithms() {
+            let base = with_threads(1, || best_of(cfg.reps, || run(&g, algo, &params)));
             for &threads in &cfg.threads {
-                let r = with_threads(threads, || best_of(cfg.reps, || run(&g, algo, &params)));
+                let r = if threads == 1 {
+                    base.clone()
+                } else {
+                    with_threads(threads, || best_of(cfg.reps, || run(&g, algo, &params)))
+                };
+                let speedup =
+                    base.total_time().as_secs_f64() / r.total_time().as_secs_f64().max(1e-9);
                 t.row(vec![
                     sg.name.to_string(),
                     algo.name().to_string(),
                     threads.to_string(),
                     ms(r.total_time()),
+                    format!("{speedup:.2}"),
                     r.num_colors.to_string(),
                 ]);
             }
@@ -612,6 +656,27 @@ mod tests {
             seed: 1,
             reps: 1,
             threads: vec![1, 2],
+        }
+    }
+
+    #[test]
+    fn thread_list_parsing() {
+        assert_eq!(parse_thread_list("4"), Some(vec![4]));
+        assert_eq!(parse_thread_list("1, 2,8"), Some(vec![1, 2, 8]));
+        assert_eq!(parse_thread_list(""), None);
+        assert_eq!(parse_thread_list("0"), None);
+        assert_eq!(parse_thread_list("2,x"), None);
+    }
+
+    #[test]
+    fn fig2_strong_reports_speedups() {
+        let t = fig2_strong(&smoke_cfg());
+        assert!(!t.rows.is_empty());
+        for row in &t.rows {
+            let speedup: f64 = row[4].parse().unwrap();
+            assert!(speedup > 0.0, "{row:?}");
+            let threads: usize = row[2].parse().unwrap();
+            assert!(threads == 1 || threads == 2);
         }
     }
 

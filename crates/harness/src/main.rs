@@ -1,7 +1,7 @@
 //! `pgc` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! pgc <command> [--scale 0|1|2] [--seed N] [--reps R] [--csv]
+//! pgc <command> [--scale 0|1|2] [--seed N] [--reps R] [--threads T[,T..]] [--csv]
 //!
 //! commands:
 //!   fig1         run-times + coloring quality across the graph suite
@@ -17,6 +17,12 @@
 //!   check        verify every proven color bound on the whole suite
 //!   all          everything above, in order
 //! ```
+//!
+//! The thread sweep used by the scaling experiments defaults to `1,2,4,8`
+//! and can be overridden by the `PGC_THREADS` environment variable or the
+//! `--threads` flag (which wins); both accept a single count or a
+//! comma-separated list. A single-integer `PGC_THREADS` additionally sets
+//! the default pool width for every other command (see `pgc-par`).
 
 use pgc_harness::experiments as exp;
 use pgc_harness::table::Table;
@@ -24,7 +30,7 @@ use pgc_harness::table::Table;
 fn usage() -> ! {
     eprintln!(
         "usage: pgc <fig1|fig2-strong|fig2-weak|fig3|fig4|fig5|table2|table3|ablations|mining|check|all> \
-         [--scale 0|1|2] [--seed N] [--reps R] [--csv]"
+         [--scale 0|1|2] [--seed N] [--reps R] [--threads T[,T..]] [--csv]"
     );
     std::process::exit(2);
 }
@@ -35,7 +41,7 @@ fn main() {
         usage();
     }
     let command = args[0].clone();
-    let mut cfg = exp::ExpConfig::default();
+    let mut cfg = exp::ExpConfig::default().with_env_overrides();
     let mut csv = false;
     let mut i = 1;
     while i < args.len() {
@@ -58,6 +64,13 @@ fn main() {
                 cfg.reps = args
                     .get(i + 1)
                     .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--threads" => {
+                cfg.threads = args
+                    .get(i + 1)
+                    .and_then(|v| exp::parse_thread_list(v))
                     .unwrap_or_else(|| usage());
                 i += 2;
             }

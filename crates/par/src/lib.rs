@@ -1,0 +1,61 @@
+//! # pgc-par
+//!
+//! A `std::thread`-based fork–join runtime: the execution engine behind the
+//! workspace's `rayon` facade (`crates/shims/rayon`), and the reason the
+//! paper's `threads: 1..8` sweeps measure real hardware parallelism instead
+//! of a sequential shim.
+//!
+//! ## Design
+//!
+//! * **Global lazily-initialized worker pool** ([`pool`]): a process-wide
+//!   set of daemon worker threads created on first parallel call, fed from
+//!   one shared FIFO injector queue. Workers are spawned on demand up to
+//!   the largest width any caller installs (capped at
+//!   [`pool::MAX_WORKERS`]), so `install(8, ..)` works even on machines
+//!   with fewer cores.
+//! * **Two-way [`join`]**: the classic fork–join primitive. The calling
+//!   thread runs the first closure itself and publishes the second to the
+//!   injector; if no worker picked it up by the time the first half is
+//!   done, the caller pulls it back and runs it inline (so the overhead of
+//!   an un-stolen fork is one queue push/pop). While blocked on a stolen
+//!   half, the caller *helps* by executing other queued tasks instead of
+//!   idling — which also makes nested fork–join deadlock-free.
+//! * **Scoped spawning** ([`scope`]/[`Scope`]): structured task parallelism
+//!   with non-`'static` borrows, used by the asynchronous Jones–Plassmann
+//!   engine. All spawned tasks complete before `scope` returns; panics are
+//!   captured and re-thrown at the scope boundary.
+//! * **Blocked loops and reductions** ([`loops`]): `for_each_chunk` /
+//!   `map_reduce_chunks` recursively halve an index range down to a grain
+//!   and `join` the halves — the logarithmic-depth reduction tree the
+//!   paper's work–depth analysis assumes. The combine order is a binary
+//!   tree fixed by `(len, grain)`, so reductions are **deterministic**
+//!   regardless of which threads execute the leaves (and, for associative
+//!   combines, identical across widths too).
+//!
+//! ## Widths
+//!
+//! Parallel *width* (how many strands a loop is split across) is a scoped,
+//! per-thread property, not a pool property: [`install`]`(t, f)` runs `f`
+//! with width `t`, and tasks forked under that width inherit it. Width 1
+//! executes everything inline on the caller — a true sequential mode. The
+//! default width is `PGC_THREADS` (a single integer) if set, otherwise
+//! [`std::thread::available_parallelism`]. This is how the harness's
+//! `with_threads` and the facade's `ThreadPoolBuilder::num_threads`
+//! actually take effect.
+//!
+//! ## Memory ordering
+//!
+//! Task hand-off (queue mutex) and completion (latch release/acquire, scope
+//! pending-counter `AcqRel`) establish happens-before edges between a task
+//! and whoever spawned/joined it. Algorithm code may therefore use
+//! `Relaxed` atomics for data written in one parallel phase and read in the
+//! next: the phase boundary is a synchronization point, exactly the CRCW
+//! model the paper assumes.
+
+pub mod loops;
+pub mod pool;
+pub mod scope;
+
+pub use loops::{auto_grain, for_each_chunk, map_reduce_chunks, DEFAULT_MIN_GRAIN};
+pub use pool::{current_width, default_width, install, join, pool_size};
+pub use scope::{scope, Scope};

@@ -1,0 +1,167 @@
+//! Blocked parallel loops and reductions over index ranges.
+//!
+//! These are the paper's `Reduce`/parallel-for primitives realized with
+//! [`join`](crate::join): recursively halve `0..len` down to a grain, run
+//! leaves on whatever threads steal them, and combine results up a *fixed*
+//! binary tree — so the combine order (and thus any non-commutative or
+//! floating-point reduction) is deterministic for a given `len`/`grain`,
+//! independent of scheduling.
+
+use crate::pool::{current_width, join};
+use std::ops::Range;
+
+/// Below this many items a leaf never splits further (unless the caller
+/// passes a smaller explicit grain): task overhead would dominate.
+pub const DEFAULT_MIN_GRAIN: usize = 1024;
+
+/// Leaves-per-worker oversubscription factor: more leaves than workers so
+/// the shared queue can balance uneven leaf costs.
+const PIECES_PER_WORKER: usize = 8;
+
+/// A grain (leaf size) for `len` items at the current width: aims for
+/// [`PIECES_PER_WORKER`] leaves per strand but never below `min_grain`.
+/// At width 1 the grain is the whole range (fully sequential).
+pub fn auto_grain(len: usize, min_grain: usize) -> usize {
+    let width = current_width();
+    if width <= 1 {
+        return len.max(1);
+    }
+    len.div_ceil(width * PIECES_PER_WORKER)
+        .max(min_grain)
+        .max(1)
+}
+
+/// Parallel for over `0..len`, invoking `body` on disjoint sub-ranges of at
+/// most [`auto_grain`]`(len, DEFAULT_MIN_GRAIN)` items.
+pub fn for_each_chunk(len: usize, body: impl Fn(Range<usize>) + Sync) {
+    let grain = auto_grain(len, DEFAULT_MIN_GRAIN);
+    rec_for(0, len, grain, &body);
+}
+
+fn rec_for(lo: usize, hi: usize, grain: usize, body: &(impl Fn(Range<usize>) + Sync)) {
+    if hi - lo <= grain {
+        if lo < hi {
+            body(lo..hi);
+        }
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    join(
+        || rec_for(lo, mid, grain, body),
+        || rec_for(mid, hi, grain, body),
+    );
+}
+
+/// Blocked reduction over `0..len`: `fold` maps each leaf sub-range (at
+/// most `grain` items, `grain = 0` ⇒ [`auto_grain`]) to an `R`, and
+/// `combine` merges adjacent results up the tree. Returns `None` iff
+/// `len == 0`. Deterministic: the tree shape depends only on `len`/`grain`.
+pub fn map_reduce_chunks<R: Send>(
+    len: usize,
+    grain: usize,
+    fold: impl Fn(Range<usize>) -> R + Sync,
+    combine: impl Fn(R, R) -> R + Sync,
+) -> Option<R> {
+    if len == 0 {
+        return None;
+    }
+    let grain = if grain == 0 {
+        auto_grain(len, DEFAULT_MIN_GRAIN)
+    } else {
+        grain
+    };
+    Some(rec_reduce(0, len, grain, &fold, &combine))
+}
+
+fn rec_reduce<R: Send>(
+    lo: usize,
+    hi: usize,
+    grain: usize,
+    fold: &(impl Fn(Range<usize>) -> R + Sync),
+    combine: &(impl Fn(R, R) -> R + Sync),
+) -> R {
+    if hi - lo <= grain {
+        return fold(lo..hi);
+    }
+    let mid = lo + (hi - lo) / 2;
+    let (a, b) = join(
+        || rec_reduce(lo, mid, grain, fold, combine),
+        || rec_reduce(mid, hi, grain, fold, combine),
+    );
+    combine(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::install;
+    use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+
+    #[test]
+    fn for_each_chunk_covers_every_index_exactly_once() {
+        for width in [1usize, 2, 8] {
+            let n = 50_000;
+            let marks: Vec<AtomicU8> = (0..n).map(|_| AtomicU8::new(0)).collect();
+            install(width, || {
+                for_each_chunk(n, |r| {
+                    for i in r {
+                        marks[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            });
+            assert!(
+                marks.iter().all(|m| m.load(Ordering::Relaxed) == 1),
+                "width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn reduce_matches_sequential_sum() {
+        let v: Vec<u64> = (0..100_000).map(|i| (i * 7 + 3) % 1000).collect();
+        let expect: u64 = v.iter().sum();
+        for width in [1usize, 3, 8] {
+            let got = install(width, || {
+                map_reduce_chunks(
+                    v.len(),
+                    0,
+                    |r| v[r.clone()].iter().sum::<u64>(),
+                    |a, b| a + b,
+                )
+            })
+            .unwrap();
+            assert_eq!(got, expect, "width {width}");
+        }
+    }
+
+    #[test]
+    fn reduce_is_deterministic_in_tree_shape() {
+        // Non-commutative-ish combine (string concat) must be identical at
+        // every width because the tree only depends on len/grain.
+        let n = 10_000usize;
+        let fold = |r: Range<usize>| format!("[{}..{})", r.start, r.end);
+        let combine = |a: String, b: String| format!("({a}{b})");
+        let seq = install(1, || map_reduce_chunks(n, 512, fold, combine)).unwrap();
+        let par = install(8, || map_reduce_chunks(n, 512, fold, combine)).unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_ranges() {
+        let calls = AtomicUsize::new(0);
+        for_each_chunk(0, |_| {
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+        assert_eq!(map_reduce_chunks(0, 0, |_| 1u32, |a, b| a + b), None);
+    }
+
+    #[test]
+    fn auto_grain_respects_floor_and_width() {
+        install(1, || assert_eq!(auto_grain(100, 16), 100));
+        install(4, || {
+            assert_eq!(auto_grain(1 << 20, 1024), (1 << 20) / 32);
+            assert_eq!(auto_grain(100, 1024), 1024);
+        });
+    }
+}

@@ -1,0 +1,478 @@
+//! The global worker pool, job plumbing, and the two-way [`join`].
+//!
+//! One process-wide [`Registry`] owns a FIFO injector queue of type-erased
+//! [`JobRef`]s and a set of daemon worker threads that loop popping and
+//! executing them. Blocked threads (a `join` waiting for its stolen half, a
+//! scope waiting for its tasks) *help*: they execute queued jobs while they
+//! wait, and only park — with a short timeout, so a job enqueued in the
+//! race window can never strand them — when the queue is empty.
+
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Hard cap on spawned worker threads, far above any realistic width.
+pub const MAX_WORKERS: usize = 64;
+
+/// How long a helper parks before re-checking the queue. Bounds the
+/// wake-up latency of the push/park race without spinning.
+const PARK_TIMEOUT: Duration = Duration::from_micros(200);
+
+// ---------------------------------------------------------------------
+// Width management
+// ---------------------------------------------------------------------
+
+thread_local! {
+    /// The installed parallel width of the current thread; 0 = unset
+    /// (fall back to [`default_width`]).
+    static WIDTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The parallel width in effect on the calling thread: how many strands
+/// parallel loops split across. 1 means "execute inline, sequentially".
+pub fn current_width() -> usize {
+    let w = WIDTH.with(Cell::get);
+    if w == 0 {
+        default_width()
+    } else {
+        w
+    }
+}
+
+/// The width used outside any [`install`] scope: the `PGC_THREADS`
+/// environment variable (a single positive integer) if set, otherwise
+/// [`std::thread::available_parallelism`].
+pub fn default_width() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(s) = std::env::var("PGC_THREADS") {
+            if let Ok(n) = s.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    })
+}
+
+/// Number of worker threads currently spawned (diagnostics).
+pub fn pool_size() -> usize {
+    registry().inner.lock().unwrap().spawned
+}
+
+/// Restores the caller's width even if `f` unwinds.
+struct WidthGuard {
+    prev: usize,
+}
+
+impl WidthGuard {
+    fn set(width: usize) -> Self {
+        Self {
+            prev: WIDTH.with(|c| c.replace(width)),
+        }
+    }
+}
+
+impl Drop for WidthGuard {
+    fn drop(&mut self) {
+        WIDTH.with(|c| c.set(self.prev));
+    }
+}
+
+/// Run `f` with parallel width `width` (clamped to ≥ 1) installed on the
+/// calling thread, making sure enough pool workers exist to serve it.
+/// Nested installs are scoped: the previous width is restored on exit.
+pub fn install<R>(width: usize, f: impl FnOnce() -> R) -> R {
+    let width = width.max(1);
+    if width > 1 {
+        registry().ensure_workers(width);
+    }
+    let _guard = WidthGuard::set(width);
+    f()
+}
+
+/// [`install`] without worker provisioning — used when re-entering a width
+/// that is already backed by workers (job execution on a worker thread).
+pub(crate) fn with_width_raw<R>(width: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = WidthGuard::set(width.max(1));
+    f()
+}
+
+// ---------------------------------------------------------------------
+// Jobs
+// ---------------------------------------------------------------------
+
+/// A type-erased pointer to an executable job. The pointee must outlive
+/// execution; stack jobs guarantee this by blocking their frame until the
+/// latch fires, heap jobs by being owned by the queue entry itself.
+#[derive(Clone, Copy)]
+pub(crate) struct JobRef {
+    data: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+// SAFETY: a JobRef is only ever executed once, and the protocols above
+// guarantee the pointee is alive and uniquely executable when it runs.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    pub(crate) unsafe fn new(data: *const (), execute_fn: unsafe fn(*const ())) -> Self {
+        Self { data, execute_fn }
+    }
+
+    /// # Safety
+    /// Must be called at most once, while the pointee is alive.
+    pub(crate) unsafe fn execute(self) {
+        (self.execute_fn)(self.data)
+    }
+}
+
+/// A job whose closure and result live in the forking caller's stack frame
+/// (the `join` fast path: no allocation per fork).
+pub(crate) struct StackJob<F, R> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+    latch: Latch,
+    width: usize,
+}
+
+// SAFETY: `func`/`result` are accessed by exactly one executor (enforced by
+// the single-execution protocol of JobRef) and read back by the owner only
+// after the latch has fired (release/acquire).
+unsafe impl<F: Send, R: Send> Sync for StackJob<F, R> {}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    fn new(func: F, width: usize) -> Self {
+        Self {
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(None),
+            latch: Latch::new(),
+            width,
+        }
+    }
+
+    /// # Safety
+    /// The returned ref must not outlive `self`, and the caller must keep
+    /// `self` alive until the latch fires.
+    unsafe fn as_job_ref(&self) -> JobRef {
+        unsafe { JobRef::new(self as *const Self as *const (), Self::execute) }
+    }
+
+    unsafe fn execute(data: *const ()) {
+        let job = unsafe { &*(data as *const Self) };
+        let func = unsafe { (*job.func.get()).take().expect("job executed twice") };
+        let result = with_width_raw(job.width, || catch_unwind(AssertUnwindSafe(func)));
+        unsafe { *job.result.get() = Some(result) };
+        job.latch.set();
+    }
+
+    fn run_inline(&self) {
+        // SAFETY: we own the job and it was removed from the queue, so this
+        // is the unique execution.
+        unsafe { Self::execute(self as *const Self as *const ()) }
+    }
+
+    fn into_result(self) -> R {
+        match self
+            .result
+            .into_inner()
+            .expect("job result missing after latch")
+        {
+            Ok(r) => r,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Latch
+// ---------------------------------------------------------------------
+
+/// One-shot completion flag with blocking waiters. `set` uses `Release`,
+/// `probe` uses `Acquire`, so everything the setter did happens-before
+/// anything the waiter does next.
+pub(crate) struct Latch {
+    done: AtomicBool,
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+impl Latch {
+    pub(crate) fn new() -> Self {
+        Self {
+            done: AtomicBool::new(false),
+            lock: Mutex::new(()),
+            cond: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn set(&self) {
+        self.done.store(true, Ordering::Release);
+        // Taking the lock orders the store before any waiter's re-check,
+        // closing the missed-wakeup window.
+        let _guard = self.lock.lock().unwrap();
+        self.cond.notify_all();
+    }
+
+    pub(crate) fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Block until the latch fires, executing queued jobs while waiting.
+    pub(crate) fn wait_while_helping(&self, registry: &Registry) {
+        loop {
+            if self.probe() {
+                return;
+            }
+            if let Some(job) = registry.try_pop() {
+                // SAFETY: popped jobs are alive and executed exactly once.
+                unsafe { job.execute() };
+                continue;
+            }
+            let guard = self.lock.lock().unwrap();
+            if self.probe() {
+                return;
+            }
+            // Timed: a job pushed between try_pop and here must not strand
+            // us (its push only signals the workers' condvar).
+            drop(self.cond.wait_timeout(guard, PARK_TIMEOUT).unwrap());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Registry (injector queue + workers)
+// ---------------------------------------------------------------------
+
+pub(crate) struct Registry {
+    inner: Mutex<RegistryInner>,
+    work_available: Condvar,
+    /// Monotonic copy of `inner.spawned`, so the hot-path worker check in
+    /// [`Registry::ensure_workers`] is one relaxed load instead of a lock.
+    spawned_hint: std::sync::atomic::AtomicUsize,
+}
+
+struct RegistryInner {
+    queue: VecDeque<JobRef>,
+    spawned: usize,
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+pub(crate) fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(|| Registry {
+        inner: Mutex::new(RegistryInner {
+            queue: VecDeque::new(),
+            spawned: 0,
+        }),
+        work_available: Condvar::new(),
+        spawned_hint: std::sync::atomic::AtomicUsize::new(0),
+    })
+}
+
+impl Registry {
+    /// Spawn daemon workers until at least `width` exist (capped). Called
+    /// on every fork/spawn entry point (not just `install`), so work
+    /// published at the *default* width is served too; the common
+    /// already-provisioned case is a single relaxed load.
+    pub(crate) fn ensure_workers(&'static self, width: usize) {
+        let want = width.min(MAX_WORKERS);
+        if self.spawned_hint.load(Ordering::Relaxed) >= want {
+            return;
+        }
+        let mut to_spawn = 0usize;
+        {
+            let mut inner = self.inner.lock().unwrap();
+            if inner.spawned < want {
+                to_spawn = want - inner.spawned;
+                inner.spawned = want;
+                self.spawned_hint.store(inner.spawned, Ordering::Relaxed);
+            }
+        }
+        for _ in 0..to_spawn {
+            std::thread::Builder::new()
+                .name("pgc-par-worker".into())
+                .spawn(move || worker_loop(self))
+                .expect("failed to spawn pgc-par worker");
+        }
+    }
+
+    pub(crate) fn push(&self, job: JobRef) {
+        self.inner.lock().unwrap().queue.push_back(job);
+        self.work_available.notify_one();
+    }
+
+    pub(crate) fn try_pop(&self) -> Option<JobRef> {
+        self.inner.lock().unwrap().queue.pop_front()
+    }
+
+    /// Remove `job` from the queue if it has not been taken yet. Returns
+    /// true on success, meaning the caller now owns its execution.
+    fn try_remove(&self, job: JobRef) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(pos) = inner
+            .queue
+            .iter()
+            .rposition(|j| std::ptr::eq(j.data, job.data))
+        {
+            inner.queue.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+fn worker_loop(registry: &'static Registry) {
+    loop {
+        let job = {
+            let mut inner = registry.inner.lock().unwrap();
+            loop {
+                if let Some(job) = inner.queue.pop_front() {
+                    break job;
+                }
+                inner = registry.work_available.wait(inner).unwrap();
+            }
+        };
+        // SAFETY: popped jobs are alive and executed exactly once.
+        unsafe { job.execute() };
+    }
+}
+
+// ---------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------
+
+/// Two-way fork–join: conceptually runs `a` and `b` in parallel and
+/// returns both results. `a` runs on the calling thread; `b` is published
+/// to the pool and reclaimed (inline) if nothing stole it. With width 1
+/// both halves run inline with no queue traffic.
+///
+/// Panics in either closure propagate to the caller — after both halves
+/// have finished, so borrowed data is never observed mid-use.
+pub fn join<A, RA, B, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let width = current_width();
+    if width <= 1 {
+        return (a(), b());
+    }
+    let registry = registry();
+    // Works at the default width without an enclosing `install` too: make
+    // sure someone can actually steal what we are about to publish.
+    registry.ensure_workers(width);
+    let job_b = StackJob::new(b, width);
+    // SAFETY: job_b outlives the ref — this frame blocks (below) until the
+    // job has either been reclaimed or its latch has fired.
+    let job_ref = unsafe { job_b.as_job_ref() };
+    registry.push(job_ref);
+
+    let result_a = match catch_unwind(AssertUnwindSafe(a)) {
+        Ok(r) => r,
+        Err(payload) => {
+            // Must not unwind past job_b's frame while it can still run.
+            if registry.try_remove(job_ref) {
+                job_b.run_inline();
+            } else {
+                job_b.latch.wait_while_helping(registry);
+            }
+            resume_unwind(payload);
+        }
+    };
+
+    if registry.try_remove(job_ref) {
+        job_b.run_inline();
+    } else {
+        job_b.latch.wait_while_helping(registry);
+    }
+    (result_a, job_b.into_result())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = install(4, || join(|| 2 + 2, || "ok"));
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn join_runs_inline_at_width_one() {
+        install(1, || {
+            assert_eq!(current_width(), 1);
+            let (a, b) = join(|| 1, || 2);
+            assert_eq!((a, b), (1, 2));
+        });
+    }
+
+    #[test]
+    fn nested_joins_complete() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        assert_eq!(install(4, || fib(16)), 987);
+    }
+
+    #[test]
+    fn install_restores_width() {
+        let outer = current_width();
+        install(3, || {
+            assert_eq!(current_width(), 3);
+            install(2, || assert_eq!(current_width(), 2));
+            assert_eq!(current_width(), 3);
+        });
+        assert_eq!(current_width(), outer);
+    }
+
+    #[test]
+    fn join_propagates_panics() {
+        let hits = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            install(4, || {
+                join(
+                    || panic!("left side"),
+                    || hits.fetch_add(1, Ordering::Relaxed),
+                )
+            })
+        }));
+        assert!(result.is_err());
+        // The right half still ran to completion before the unwind.
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn workers_are_capped() {
+        install(MAX_WORKERS + 10, || {});
+        assert!(pool_size() <= MAX_WORKERS);
+    }
+
+    #[test]
+    fn join_provisions_workers_without_install() {
+        // A join at a >1 width that was never `install`ed (the process
+        // default-width path) must still create stealable workers.
+        with_width_raw(5, || {
+            let _ = join(|| 1, || 2);
+        });
+        assert!(pool_size() >= 5);
+    }
+}

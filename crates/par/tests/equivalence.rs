@@ -1,0 +1,76 @@
+//! Property tests: `pgc-par`'s parallel-for and blocked reductions must
+//! match their sequential equivalents on arbitrary inputs, at every width.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+fn arb_widths() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(1usize), Just(2), Just(3), Just(8)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn reduce_matches_sequential_sum(
+        v in proptest::collection::vec(0u64..1_000_000, 0..5000),
+        width in arb_widths(),
+        grain in prop_oneof![Just(1usize), Just(7), Just(64), Just(0)],
+    ) {
+        let expect: u64 = v.iter().sum();
+        let got = pgc_par::install(width, || {
+            pgc_par::map_reduce_chunks(v.len(), grain, |r| v[r].iter().sum::<u64>(), |a, b| a + b)
+        })
+        .unwrap_or(0);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn reduce_preserves_non_commutative_order(
+        v in proptest::collection::vec(0u32..100, 1..2000),
+        width in arb_widths(),
+    ) {
+        // Concatenation is associative but not commutative: the blocked
+        // reduction must still reassemble the input left-to-right.
+        let got = pgc_par::install(width, || {
+            pgc_par::map_reduce_chunks(
+                v.len(),
+                16,
+                |r| v[r].to_vec(),
+                |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                },
+            )
+        })
+        .unwrap();
+        prop_assert_eq!(got, v);
+    }
+
+    #[test]
+    fn parallel_for_visits_every_index_once(
+        n in 0usize..5000,
+        width in arb_widths(),
+    ) {
+        let marks: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        pgc_par::install(width, || {
+            pgc_par::for_each_chunk(n, |r| {
+                for i in r {
+                    marks[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        prop_assert!(marks.iter().all(|m| m.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn join_computes_both_halves(
+        a in 0u64..1_000_000,
+        b in 0u64..1_000_000,
+        width in arb_widths(),
+    ) {
+        let (x, y) = pgc_par::install(width, || pgc_par::join(|| a * 2, || b + 7));
+        prop_assert_eq!(x, a * 2);
+        prop_assert_eq!(y, b + 7);
+    }
+}

@@ -1,0 +1,68 @@
+//! Wall-clock smoke test: a parallel-for over ≥ 10M elements must show a
+//! real speedup at width 4 vs width 1 (the ISSUE 2 acceptance bar of at
+//! least 1.3×) — asserted only when the machine actually has ≥ 4 cores,
+//! since extra strands cannot beat sequential execution on fewer.
+
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+const N: usize = 10_000_000;
+
+/// Per-element work: cheap but not optimizable away.
+#[inline]
+fn work(i: usize) -> u64 {
+    let x = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (x ^ (x >> 31)).count_ones() as u64
+}
+
+fn run_once(width: usize, sink: &AtomicU64) -> Duration {
+    let start = Instant::now();
+    pgc_par::install(width, || {
+        pgc_par::for_each_chunk(N, |r| {
+            let mut acc = 0u64;
+            for i in r {
+                acc += black_box(work(i));
+            }
+            sink.fetch_add(acc, Ordering::Relaxed);
+        });
+    });
+    start.elapsed()
+}
+
+fn best_of(reps: usize, width: usize, sink: &AtomicU64) -> Duration {
+    (0..reps).map(|_| run_once(width, sink)).min().unwrap()
+}
+
+#[test]
+fn parallel_for_speedup_over_10m_elements() {
+    let sink = AtomicU64::new(0);
+    // Warm up the pool and both code paths.
+    run_once(4, &sink);
+    run_once(1, &sink);
+
+    let t1 = best_of(3, 1, &sink);
+    let t4 = best_of(3, 4, &sink);
+    // 2 warm-up runs + 3 reps at each width = 8 full passes.
+    let expect: u64 = 8 * (0..N).map(work).sum::<u64>();
+    assert_eq!(
+        sink.load(Ordering::Relaxed),
+        expect,
+        "every element visited"
+    );
+
+    let speedup = t1.as_secs_f64() / t4.as_secs_f64().max(1e-9);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "parallel-for over {N} elements: width 1 = {t1:?}, width 4 = {t4:?}, \
+         speedup = {speedup:.2}x on {cores} cores"
+    );
+    if cores >= 4 {
+        assert!(
+            speedup > 1.3,
+            "expected >1.3x speedup at 4 threads on {cores} cores, got {speedup:.2}x"
+        );
+    } else {
+        eprintln!("(<4 cores available: speedup assertion skipped, correctness still checked)");
+    }
+}

@@ -1,0 +1,929 @@
+//! Parallel iterators backed by `pgc-par`'s fork–join runtime.
+//!
+//! The engine is a splittable-producer model (a miniature of rayon's):
+//! every parallel iterator knows its *base length*, can [`split_at`] an
+//! index of the base, and can lower itself into a plain sequential
+//! iterator for one leaf. Consumers recursively halve the iterator down to
+//! a grain chosen by [`pgc_par::auto_grain`] and `pgc_par::join` the
+//! halves, so leaves execute on whatever pool threads steal them while the
+//! combine order stays a fixed binary tree — reductions and collects are
+//! **deterministic** for a given input length and width.
+//!
+//! Adaptors that preserve the item count (`map`, `copied`, `enumerate`,
+//! `zip`) keep [`ParallelIterator::EXACT`] true, which lets `collect`
+//! write every leaf straight into its final slot of the output `Vec`.
+//! Length-changing adaptors (`filter`, `flat_map_iter`) still *split* by
+//! the base length but collect per-leaf buffers that are concatenated in
+//! base order.
+//!
+//! [`split_at`]: ParallelIterator::split_at
+
+use std::cmp::Ordering as CmpOrdering;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Leaves smaller than this never split: task overhead would dominate the
+/// per-item work of even the densest call sites.
+const MIN_GRAIN: usize = 1024;
+
+// ---------------------------------------------------------------------
+// The engine: drive a splittable iterator through a fold/combine tree
+// ---------------------------------------------------------------------
+
+fn drive<P, R, F, C>(iter: P, fold: &F, combine: &C) -> R
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(usize, P::Seq) -> R + Sync,
+    C: Fn(R, R) -> R + Sync,
+{
+    let len = iter.base_len();
+    let grain = pgc_par::auto_grain(len, MIN_GRAIN);
+    rec(iter, 0, grain, fold, combine)
+}
+
+fn rec<P, R, F, C>(iter: P, offset: usize, grain: usize, fold: &F, combine: &C) -> R
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(usize, P::Seq) -> R + Sync,
+    C: Fn(R, R) -> R + Sync,
+{
+    let len = iter.base_len();
+    if len <= grain {
+        return fold(offset, iter.into_seq());
+    }
+    let mid = len / 2;
+    let (left, right) = iter.split_at(mid);
+    let (a, b) = pgc_par::join(
+        || rec(left, offset, grain, fold, combine),
+        || rec(right, offset + mid, grain, fold, combine),
+    );
+    combine(a, b)
+}
+
+/// Raw output cursor for the exact-length `collect` fast path.
+struct SendPtr<T>(*mut T);
+// SAFETY: each leaf writes a disjoint `offset..offset+len` slice.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor so closures capture the wrapper, not the raw pointer.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+// ---------------------------------------------------------------------
+// The ParallelIterator trait: adaptors + consumers
+// ---------------------------------------------------------------------
+
+/// A splittable, thread-distributable iterator. All adaptors and consumers
+/// the workspace uses live here as provided methods; see the module docs
+/// for the execution model.
+pub trait ParallelIterator: Sized + Send {
+    /// The element type.
+    type Item: Send;
+    /// The sequential iterator a leaf lowers into.
+    type Seq: Iterator<Item = Self::Item>;
+    /// True iff `base_len` is the exact output length (no `filter` /
+    /// `flat_map_iter` in the chain), enabling in-place collects.
+    const EXACT: bool;
+
+    /// Length of the *base* (pre-`filter`/`flat_map`) index space.
+    fn base_len(&self) -> usize;
+    /// Split the base at `index` (0 ≤ index ≤ `base_len`).
+    fn split_at(self, index: usize) -> (Self, Self);
+    /// Lower into a sequential iterator over all remaining items.
+    fn into_seq(self) -> Self::Seq;
+
+    // ---- adaptors ---------------------------------------------------
+
+    /// Parallel `map`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Clone + Send,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Parallel `filter`. The result is no longer exact-length.
+    fn filter<F>(self, pred: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Clone + Send,
+    {
+        Filter { base: self, pred }
+    }
+
+    /// Copy out of `&T` items (rayon's `copied`).
+    fn copied<'a, T>(self) -> Copied<Self>
+    where
+        Self: ParallelIterator<Item = &'a T>,
+        T: Copy + Send + Sync + 'a,
+    {
+        Copied { base: self }
+    }
+
+    /// Pair each item with its index in the base (requires an exact-length
+    /// chain to be meaningful, as in rayon's indexed `enumerate`).
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
+    }
+
+    /// Iterate two exact-length iterators in lockstep.
+    fn zip<Z>(self, other: Z) -> Zip<Self, Z>
+    where
+        Z: ParallelIterator,
+    {
+        Zip { a: self, b: other }
+    }
+
+    /// Map each item to a *sequential* iterator and flatten (rayon's
+    /// `flat_map_iter`): parallelism comes from the outer items only.
+    fn flat_map_iter<U, F>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        F: Fn(Self::Item) -> U + Clone + Send,
+        U: IntoIterator,
+        U::Item: Send,
+    {
+        FlatMapIter { base: self, f }
+    }
+
+    // ---- consumers --------------------------------------------------
+
+    /// Run `op` on every item, in parallel.
+    fn for_each<OP>(self, op: OP)
+    where
+        OP: Fn(Self::Item) + Sync + Send,
+    {
+        drive(self, &|_, seq| seq.for_each(&op), &|(), ()| ());
+    }
+
+    /// `for_each` with per-leaf scratch state created by `init` (rayon's
+    /// `for_each_init`: one state per executed splinter, reused across its
+    /// items).
+    fn for_each_init<T, INIT, OP>(self, init: INIT, op: OP)
+    where
+        INIT: Fn() -> T + Sync + Send,
+        OP: Fn(&mut T, Self::Item) + Sync + Send,
+    {
+        drive(
+            self,
+            &|_, seq| {
+                let mut state = init();
+                seq.for_each(|item| op(&mut state, item));
+            },
+            &|(), ()| (),
+        );
+    }
+
+    /// Parallel sum with a logarithmic-depth, deterministic combine tree.
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        drive(self, &|_, seq| seq.sum::<S>(), &|a, b| {
+            std::iter::once(a).chain(std::iter::once(b)).sum()
+        })
+    }
+
+    /// Parallel count of items (post-`filter`).
+    fn count(self) -> usize {
+        drive(self, &|_, seq| seq.count(), &|a, b| a + b)
+    }
+
+    /// Parallel minimum.
+    fn min(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        drive(self, &|_, seq| seq.min(), &|a, b| match (a, b) {
+            (Some(a), Some(b)) => Some(std::cmp::min(a, b)),
+            (x, None) | (None, x) => x,
+        })
+    }
+
+    /// Parallel maximum.
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        drive(self, &|_, seq| seq.max(), &|a, b| match (a, b) {
+            (Some(a), Some(b)) => Some(std::cmp::max(a, b)),
+            (x, None) | (None, x) => x,
+        })
+    }
+
+    /// True iff `pred` holds for every item. Leaves short-circuit through a
+    /// shared flag once any leaf fails.
+    fn all<F>(self, pred: F) -> bool
+    where
+        F: Fn(Self::Item) -> bool + Sync + Send,
+    {
+        let failed = AtomicBool::new(false);
+        drive(
+            self,
+            &|_, mut seq| {
+                if failed.load(Ordering::Relaxed) {
+                    return true; // skipped leaf; the failing leaf reports false
+                }
+                let ok = seq.all(&pred);
+                if !ok {
+                    failed.store(true, Ordering::Relaxed);
+                }
+                ok
+            },
+            &|a, b| a && b,
+        )
+    }
+
+    /// First `Some` produced by *any* leaf (rayon's "any match" contract:
+    /// which match wins is unspecified under parallel execution).
+    fn find_map_any<T, F>(self, f: F) -> Option<T>
+    where
+        F: Fn(Self::Item) -> Option<T> + Sync + Send,
+        T: Send,
+    {
+        let found = AtomicBool::new(false);
+        drive(
+            self,
+            &|_, mut seq| {
+                if found.load(Ordering::Relaxed) {
+                    return None;
+                }
+                let hit = seq.find_map(&f);
+                if hit.is_some() {
+                    found.store(true, Ordering::Relaxed);
+                }
+                hit
+            },
+            &|a, b| a.or(b),
+        )
+    }
+
+    /// Any item matching `pred` (unspecified which, per rayon).
+    fn find_any<F>(self, pred: F) -> Option<Self::Item>
+    where
+        F: Fn(&Self::Item) -> bool + Sync + Send,
+    {
+        self.find_map_any(move |item| if pred(&item) { Some(item) } else { None })
+    }
+
+    /// Collect into `C`, preserving the base order of items.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Parallel counterpart of `FromIterator`, used by
+/// [`ParallelIterator::collect`].
+pub trait FromParallelIterator<T: Send> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(par_iter: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(par_iter: P) -> Self {
+        // The in-place path writes through a raw pointer and only
+        // `set_len`s on success, so a panic mid-collect would leak any
+        // already-written elements — restrict it to non-Drop types (every
+        // hot-path collect here is POD); Drop types take the per-leaf
+        // buffer path, which is unwind-safe because each leaf Vec owns
+        // its elements.
+        if P::EXACT && !std::mem::needs_drop::<T>() {
+            // In-place: every leaf writes its disjoint output window.
+            let n = par_iter.base_len();
+            let mut out: Vec<T> = Vec::with_capacity(n);
+            let ptr = SendPtr(out.as_mut_ptr());
+            drive(
+                par_iter,
+                &|offset, seq| {
+                    for (i, item) in seq.enumerate() {
+                        // SAFETY: EXACT chains yield exactly base_len items,
+                        // so offset+i < n and each slot is written once.
+                        unsafe { ptr.get().add(offset + i).write(item) };
+                    }
+                },
+                &|(), ()| (),
+            );
+            // SAFETY: all n slots were initialized above.
+            unsafe { out.set_len(n) };
+            out
+        } else {
+            // Per-leaf buffers, concatenated in base order (the combine
+            // only moves Vec handles; one final O(n) splice).
+            let parts = drive(
+                par_iter,
+                &|_, seq| vec![seq.collect::<Vec<T>>()],
+                &|mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                },
+            );
+            let total = parts.iter().map(Vec::len).sum();
+            let mut out = Vec::with_capacity(total);
+            for mut part in parts {
+                out.append(&mut part);
+            }
+            out
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Entry-point traits (the rayon names call sites already use)
+// ---------------------------------------------------------------------
+
+/// Types convertible into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Every parallel iterator trivially converts to itself, so adaptor chains
+/// are accepted wherever `IntoParallelIterator` is (e.g. `par_extend`).
+impl<P: ParallelIterator> IntoParallelIterator for P {
+    type Iter = P;
+    type Item = P::Item;
+    fn into_par_iter(self) -> P {
+        self
+    }
+}
+
+/// `&collection → par_iter()`.
+pub trait IntoParallelRefIterator<'data> {
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send + 'data;
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+/// `&mut collection → par_iter_mut()`.
+pub trait IntoParallelRefMutIterator<'data> {
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send + 'data;
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Iter = SliceIter<'data, T>;
+    type Item = &'data T;
+    fn par_iter(&'data self) -> Self::Iter {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Iter = SliceIter<'data, T>;
+    type Item = &'data T;
+    fn par_iter(&'data self) -> Self::Iter {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Iter = SliceIterMut<'data, T>;
+    type Item = &'data mut T;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        SliceIterMut { slice: self }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Iter = SliceIterMut<'data, T>;
+    type Item = &'data mut T;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        SliceIterMut { slice: self }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Base producers: ranges, slices, chunks
+// ---------------------------------------------------------------------
+
+/// Parallel iterator over an integer range.
+pub struct RangeIter<T> {
+    range: Range<T>,
+}
+
+macro_rules! range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Iter = RangeIter<$t>;
+            type Item = $t;
+            fn into_par_iter(self) -> Self::Iter {
+                RangeIter { range: self }
+            }
+        }
+
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+            type Seq = Range<$t>;
+            const EXACT: bool = true;
+
+            fn base_len(&self) -> usize {
+                if self.range.end > self.range.start {
+                    (self.range.end - self.range.start) as usize
+                } else {
+                    0
+                }
+            }
+
+            fn split_at(self, index: usize) -> (Self, Self) {
+                let mid = self.range.start + index as $t;
+                (
+                    RangeIter { range: self.range.start..mid },
+                    RangeIter { range: mid..self.range.end },
+                )
+            }
+
+            fn into_seq(self) -> Self::Seq {
+                self.range
+            }
+        }
+    )*};
+}
+
+range_par_iter!(u32, u64, usize);
+
+/// Parallel iterator over `&[T]` (rayon's `slice::Iter`).
+pub struct SliceIter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync + 'data> ParallelIterator for SliceIter<'data, T> {
+    type Item = &'data T;
+    type Seq = std::slice::Iter<'data, T>;
+    const EXACT: bool = true;
+
+    fn base_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(index);
+        (SliceIter { slice: l }, SliceIter { slice: r })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.iter()
+    }
+}
+
+/// Parallel iterator over `&mut [T]` (rayon's `slice::IterMut`).
+pub struct SliceIterMut<'data, T> {
+    slice: &'data mut [T],
+}
+
+impl<'data, T: Send + 'data> ParallelIterator for SliceIterMut<'data, T> {
+    type Item = &'data mut T;
+    type Seq = std::slice::IterMut<'data, T>;
+    const EXACT: bool = true;
+
+    fn base_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at_mut(index);
+        (SliceIterMut { slice: l }, SliceIterMut { slice: r })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.iter_mut()
+    }
+}
+
+/// Parallel iterator over immutable chunks (rayon's `slice::Chunks`); one
+/// base index = one chunk, so splits always land on chunk boundaries.
+pub struct ChunksIter<'data, T> {
+    slice: &'data [T],
+    chunk_size: usize,
+}
+
+impl<'data, T: Sync + 'data> ParallelIterator for ChunksIter<'data, T> {
+    type Item = &'data [T];
+    type Seq = std::slice::Chunks<'data, T>;
+    const EXACT: bool = true;
+
+    fn base_len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let elem = (index * self.chunk_size).min(self.slice.len());
+        let (l, r) = self.slice.split_at(elem);
+        (
+            ChunksIter {
+                slice: l,
+                chunk_size: self.chunk_size,
+            },
+            ChunksIter {
+                slice: r,
+                chunk_size: self.chunk_size,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks(self.chunk_size)
+    }
+}
+
+/// Parallel iterator over mutable chunks (rayon's `slice::ChunksMut`).
+pub struct ChunksIterMut<'data, T> {
+    slice: &'data mut [T],
+    chunk_size: usize,
+}
+
+impl<'data, T: Send + 'data> ParallelIterator for ChunksIterMut<'data, T> {
+    type Item = &'data mut [T];
+    type Seq = std::slice::ChunksMut<'data, T>;
+    const EXACT: bool = true;
+
+    fn base_len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let elem = (index * self.chunk_size).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(elem);
+        (
+            ChunksIterMut {
+                slice: l,
+                chunk_size: self.chunk_size,
+            },
+            ChunksIterMut {
+                slice: r,
+                chunk_size: self.chunk_size,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks_mut(self.chunk_size)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adaptors
+// ---------------------------------------------------------------------
+
+/// See [`ParallelIterator::map`].
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, R> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(B::Item) -> R + Clone + Send,
+    R: Send,
+{
+    type Item = R;
+    type Seq = std::iter::Map<B::Seq, F>;
+    const EXACT: bool = B::EXACT;
+
+    fn base_len(&self) -> usize {
+        self.base.base_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Map {
+                base: l,
+                f: self.f.clone(),
+            },
+            Map { base: r, f: self.f },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq().map(self.f)
+    }
+}
+
+/// See [`ParallelIterator::filter`].
+pub struct Filter<B, F> {
+    base: B,
+    pred: F,
+}
+
+impl<B, F> ParallelIterator for Filter<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(&B::Item) -> bool + Clone + Send,
+{
+    type Item = B::Item;
+    type Seq = std::iter::Filter<B::Seq, F>;
+    const EXACT: bool = false;
+
+    fn base_len(&self) -> usize {
+        self.base.base_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Filter {
+                base: l,
+                pred: self.pred.clone(),
+            },
+            Filter {
+                base: r,
+                pred: self.pred,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq().filter(self.pred)
+    }
+}
+
+/// See [`ParallelIterator::copied`].
+pub struct Copied<B> {
+    base: B,
+}
+
+impl<'a, T, B> ParallelIterator for Copied<B>
+where
+    B: ParallelIterator<Item = &'a T>,
+    T: Copy + Send + Sync + 'a,
+{
+    type Item = T;
+    type Seq = std::iter::Copied<B::Seq>;
+    const EXACT: bool = B::EXACT;
+
+    fn base_len(&self) -> usize {
+        self.base.base_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (Copied { base: l }, Copied { base: r })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq().copied()
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<B> {
+    base: B,
+    offset: usize,
+}
+
+impl<B> ParallelIterator for Enumerate<B>
+where
+    B: ParallelIterator,
+{
+    type Item = (usize, B::Item);
+    type Seq = std::iter::Zip<Range<usize>, B::Seq>;
+    const EXACT: bool = B::EXACT;
+
+    fn base_len(&self) -> usize {
+        self.base.base_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Enumerate {
+                base: l,
+                offset: self.offset,
+            },
+            Enumerate {
+                base: r,
+                offset: self.offset + index,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        let len = self.base.base_len();
+        (self.offset..self.offset + len).zip(self.base.into_seq())
+    }
+}
+
+/// See [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    type Seq = std::iter::Zip<A::Seq, B::Seq>;
+    const EXACT: bool = A::EXACT && B::EXACT;
+
+    fn base_len(&self) -> usize {
+        self.a.base_len().min(self.b.base_len())
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(index);
+        let (bl, br) = self.b.split_at(index);
+        (Zip { a: al, b: bl }, Zip { a: ar, b: br })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+/// See [`ParallelIterator::flat_map_iter`].
+pub struct FlatMapIter<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, U> ParallelIterator for FlatMapIter<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(B::Item) -> U + Clone + Send,
+    U: IntoIterator,
+    U::Item: Send,
+{
+    type Item = U::Item;
+    type Seq = std::iter::FlatMap<B::Seq, U, F>;
+    const EXACT: bool = false;
+
+    fn base_len(&self) -> usize {
+        self.base.base_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            FlatMapIter {
+                base: l,
+                f: self.f.clone(),
+            },
+            FlatMapIter { base: r, f: self.f },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq().flat_map(self.f)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Slice extension traits (chunks + sorts) and ParallelExtend
+// ---------------------------------------------------------------------
+
+/// Slice-only parallel operations (rayon's `ParallelSlice`).
+pub trait ParallelSliceExt<T: Sync> {
+    /// Parallel iterator over `chunk_size`-sized pieces.
+    fn par_chunks(&self, chunk_size: usize) -> ChunksIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSliceExt<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ChunksIter<'_, T> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ChunksIter {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Mutable-slice parallel operations (rayon's `ParallelSliceMut`): chunked
+/// mutation and parallel unstable sorts.
+pub trait ParallelSliceMutExt<T: Send> {
+    /// Parallel iterator over mutable `chunk_size`-sized pieces.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksIterMut<'_, T>;
+    /// Parallel unstable sort by `Ord`.
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    /// Parallel unstable sort by a key function.
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync;
+    /// Parallel unstable sort by a comparator.
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: Fn(&T, &T) -> CmpOrdering + Sync;
+}
+
+impl<T: Send> ParallelSliceMutExt<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksIterMut<'_, T> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ChunksIterMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        par_quicksort(self, &|a, b| a.cmp(b));
+    }
+
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        par_quicksort(self, &|a, b| key(a).cmp(&key(b)));
+    }
+
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: Fn(&T, &T) -> CmpOrdering + Sync,
+    {
+        par_quicksort(self, &compare);
+    }
+}
+
+/// Parallel unstable quicksort: median-of-three partition, fork–join on the
+/// halves, sequential `sort_unstable_by` below the grain or once the depth
+/// budget is spent (pathological-pivot insurance).
+fn par_quicksort<T: Send>(v: &mut [T], compare: &(impl Fn(&T, &T) -> CmpOrdering + Sync)) {
+    let len = v.len();
+    let grain = pgc_par::auto_grain(len, 4096);
+    let depth = 2 * (usize::BITS - len.leading_zeros()) + 8;
+    sort_rec(v, grain, depth, compare);
+}
+
+fn sort_rec<T: Send>(
+    v: &mut [T],
+    grain: usize,
+    depth: u32,
+    compare: &(impl Fn(&T, &T) -> CmpOrdering + Sync),
+) {
+    if v.len() <= grain || depth == 0 {
+        v.sort_unstable_by(|a, b| compare(a, b));
+        return;
+    }
+    let pivot = partition(v, compare);
+    let (lo, hi) = v.split_at_mut(pivot);
+    let hi = &mut hi[1..]; // pivot already in place
+    pgc_par::join(
+        || sort_rec(lo, grain, depth - 1, compare),
+        || sort_rec(hi, grain, depth - 1, compare),
+    );
+}
+
+/// Lomuto partition with a median-of-three pivot; returns the pivot's
+/// final index.
+fn partition<T>(v: &mut [T], compare: &impl Fn(&T, &T) -> CmpOrdering) -> usize {
+    let len = v.len();
+    let mid = len / 2;
+    if compare(&v[mid], &v[0]) == CmpOrdering::Less {
+        v.swap(mid, 0);
+    }
+    if compare(&v[len - 1], &v[0]) == CmpOrdering::Less {
+        v.swap(len - 1, 0);
+    }
+    if compare(&v[len - 1], &v[mid]) == CmpOrdering::Less {
+        v.swap(len - 1, mid);
+    }
+    v.swap(mid, len - 1); // pivot to the end
+    let mut store = 0;
+    for i in 0..len - 1 {
+        if compare(&v[i], &v[len - 1]) == CmpOrdering::Less {
+            v.swap(i, store);
+            store += 1;
+        }
+    }
+    v.swap(store, len - 1);
+    store
+}
+
+/// Rayon's parallel `Extend`: evaluate a parallel iterator and append the
+/// results in base order.
+pub trait ParallelExtend<T: Send> {
+    fn par_extend<I>(&mut self, par_iter: I)
+    where
+        I: IntoParallelIterator<Item = T>;
+}
+
+impl<T: Send> ParallelExtend<T> for Vec<T> {
+    fn par_extend<I>(&mut self, par_iter: I)
+    where
+        I: IntoParallelIterator<Item = T>,
+    {
+        let mut items: Vec<T> = par_iter.into_par_iter().collect();
+        self.append(&mut items);
+    }
+}

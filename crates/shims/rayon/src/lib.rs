@@ -1,206 +1,80 @@
-//! # rayon (offline facade)
+//! # rayon (offline facade, threaded)
 //!
 //! The build environment for this workspace has no access to crates.io, so
-//! this crate provides the subset of rayon's API the workspace uses, with
-//! **sequential** execution semantics. Parallel-iterator adaptors delegate
-//! straight to `std` iterators; `scope`/`spawn` run tasks from an explicit
-//! work queue (so deeply recursive spawn chains cannot overflow the stack);
-//! thread pools execute their closures inline and only record the requested
-//! thread count for [`current_num_threads`].
+//! this crate provides the subset of rayon's API the workspace uses —
+//! executed **in parallel** on [`pgc_par`]'s fork–join worker pool. Since
+//! the `pgc-par` subsystem landed, parallel iterators split across real
+//! threads, `scope`/`spawn` run tasks on pool workers, `join` is a true
+//! two-way fork, and `ThreadPoolBuilder::num_threads(t)` genuinely bounds
+//! the parallel width (so the harness's thread sweeps measure hardware
+//! scaling, not a sequential stub).
 //!
-//! Everything is deterministic, which the test-suite exploits — and because
-//! real rayon makes no cross-task ordering promises, any code correct under
-//! real rayon is also correct here. Swapping the real crate back in is a
-//! one-line change in the workspace manifest (`rayon = "1.10"` instead of
-//! the `crates/shims/rayon` path).
+//! Execution model (see [`iter`] and the `pgc-par` crate docs):
+//!
+//! * Parallel iterators are *splittable producers*: consumers halve them
+//!   down to a grain and `pgc_par::join` the halves. Reductions and
+//!   collects combine up a binary tree whose shape is fixed by the input
+//!   length and the installed width, so results are **deterministic** —
+//!   independent of scheduling — for a given (input, width) pair. The
+//!   grain (and hence the tree) *does* change with the width, so only
+//!   exact/associative combines (integer sums, min/max, order-preserving
+//!   collects — everything this workspace reduces) are additionally
+//!   bit-identical *across* widths; a floating-point `sum` would not be.
+//!   "Any match" searches (`find_any`, `find_map_any`) are the documented
+//!   exception even at fixed width, exactly as in rayon.
+//! * Width is scoped, not global: [`ThreadPool::install`] (and
+//!   `pgc_par::install`) set the width for a region; width 1 executes
+//!   inline and sequentially. The default width is `PGC_THREADS` or the
+//!   machine's available parallelism.
 //!
 //! Exposed surface (kept intentionally minimal — extend as the workspace
 //! grows into it):
 //!
 //! * [`prelude`] — `par_iter`, `par_iter_mut`, `into_par_iter`,
 //!   `par_chunks`, `par_chunks_mut`, `par_sort_unstable`,
-//!   `par_sort_unstable_by_key`, `par_extend`,
-//! * [`scope`] / [`Scope`] — queue-driven task scopes,
+//!   `par_sort_unstable_by(_key)`, `par_extend`, and the adaptors/consumers
+//!   on [`iter::ParallelIterator`] (`map`, `filter`, `copied`, `enumerate`,
+//!   `zip`, `flat_map_iter`, `for_each(_init)`, `sum`, `min`, `max`,
+//!   `all`, `find_any`, `find_map_any`, `collect`, …),
+//! * [`scope`] / [`Scope`] — structured task scopes on the worker pool,
 //! * [`join`] — two-way fork–join,
-//! * [`ThreadPoolBuilder`] / [`ThreadPool`] — inline "pools" that scope
-//!   [`current_num_threads`].
+//! * [`ThreadPoolBuilder`] / [`ThreadPool`] — width installers backed by
+//!   the shared global pool.
+//!
+//! Swapping the real crate back in is a one-line change in the workspace
+//! manifest (`rayon = "1.10"` instead of the `crates/shims/rayon` path);
+//! everything used here keeps rayon's names and semantics.
 
-use std::cell::Cell;
-use std::collections::VecDeque;
+pub mod iter;
+
+pub use pgc_par::{scope, Scope};
 
 pub mod prelude {
     pub use crate::iter::{
-        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelExtend,
-        ParallelIteratorExt, ParallelSliceExt, ParallelSliceMutExt,
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelExtend, ParallelIterator, ParallelSliceExt,
+        ParallelSliceMutExt,
     };
 }
 
-pub mod iter {
-    //! Sequential stand-ins for `rayon::iter`.
-    //!
-    //! `into_par_iter()` simply yields the `std` iterator of the underlying
-    //! collection, so every `Iterator` adaptor (`map`, `filter`, `zip`,
-    //! `sum`, `collect`, …) is available with identical semantics.
-
-    /// `IntoIterator`-backed replacement for rayon's `IntoParallelIterator`.
-    pub trait IntoParallelIterator {
-        type Iter: Iterator<Item = Self::Item>;
-        type Item;
-        fn into_par_iter(self) -> Self::Iter;
-    }
-
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Iter = I::IntoIter;
-        type Item = I::Item;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    /// `&collection → par_iter()`; matches rayon's by-ref parallel iterator.
-    pub trait IntoParallelRefIterator<'data> {
-        type Iter: Iterator<Item = Self::Item>;
-        type Item: 'data;
-        fn par_iter(&'data self) -> Self::Iter;
-    }
-
-    impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
-    where
-        &'data I: IntoIterator,
-    {
-        type Iter = <&'data I as IntoIterator>::IntoIter;
-        type Item = <&'data I as IntoIterator>::Item;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    /// `&mut collection → par_iter_mut()`.
-    pub trait IntoParallelRefMutIterator<'data> {
-        type Iter: Iterator<Item = Self::Item>;
-        type Item: 'data;
-        fn par_iter_mut(&'data mut self) -> Self::Iter;
-    }
-
-    impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
-    where
-        &'data mut I: IntoIterator,
-    {
-        type Iter = <&'data mut I as IntoIterator>::IntoIter;
-        type Item = <&'data mut I as IntoIterator>::Item;
-        fn par_iter_mut(&'data mut self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    /// Slice-only parallel operations (`rayon::slice::ParallelSlice`).
-    pub trait ParallelSliceExt<T> {
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
-    }
-
-    impl<T> ParallelSliceExt<T> for [T] {
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-            self.chunks(chunk_size)
-        }
-    }
-
-    /// Mutable-slice parallel operations (`rayon::slice::ParallelSliceMut`).
-    pub trait ParallelSliceMutExt<T> {
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
-        fn par_sort_unstable(&mut self)
-        where
-            T: Ord;
-        fn par_sort_unstable_by_key<K: Ord>(&mut self, key: impl FnMut(&T) -> K);
-        fn par_sort_unstable_by(&mut self, compare: impl FnMut(&T, &T) -> std::cmp::Ordering);
-    }
-
-    impl<T> ParallelSliceMutExt<T> for [T] {
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
-        }
-        fn par_sort_unstable(&mut self)
-        where
-            T: Ord,
-        {
-            self.sort_unstable();
-        }
-        fn par_sort_unstable_by_key<K: Ord>(&mut self, key: impl FnMut(&T) -> K) {
-            self.sort_unstable_by_key(key);
-        }
-        fn par_sort_unstable_by(&mut self, compare: impl FnMut(&T, &T) -> std::cmp::Ordering) {
-            self.sort_unstable_by(compare);
-        }
-    }
-
-    /// Rayon-specific combinators that have no direct `std::iter::Iterator`
-    /// counterpart, expressed sequentially. `*_init` shares one state value
-    /// across the whole (single-threaded) run; `*_any` returns the first
-    /// match, which is a valid instance of rayon's "any match" contract.
-    pub trait ParallelIteratorExt: Iterator + Sized {
-        fn for_each_init<T, INIT, OP>(self, init: INIT, op: OP)
-        where
-            INIT: FnMut() -> T,
-            OP: FnMut(&mut T, Self::Item),
-        {
-            let mut init = init;
-            let mut op = op;
-            let mut state = init();
-            self.for_each(move |item| op(&mut state, item));
-        }
-
-        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
-        where
-            U: IntoIterator,
-            F: FnMut(Self::Item) -> U,
-        {
-            self.flat_map(f)
-        }
-
-        fn find_map_any<T, F>(mut self, f: F) -> Option<T>
-        where
-            F: FnMut(Self::Item) -> Option<T>,
-        {
-            let mut f = f;
-            self.find_map(&mut f)
-        }
-
-        fn find_any<F>(mut self, predicate: F) -> Option<Self::Item>
-        where
-            F: FnMut(&Self::Item) -> bool,
-        {
-            let mut predicate = predicate;
-            self.find(&mut predicate)
-        }
-    }
-
-    impl<I: Iterator> ParallelIteratorExt for I {}
-
-    /// `par_extend` — rayon's parallel `Extend`.
-    pub trait ParallelExtend<T> {
-        fn par_extend<I: IntoIterator<Item = T>>(&mut self, iter: I);
-    }
-
-    impl<T, C: Extend<T>> ParallelExtend<T> for C {
-        fn par_extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
-            self.extend(iter);
-        }
-    }
-}
-
-thread_local! {
-    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
-}
-
-/// Number of threads of the innermost active "pool" (1 outside any pool —
-/// the shim always executes on the calling thread, but code that *sizes*
-/// work by pool width sees the width it asked for).
+/// Width of the innermost installed pool (the number of strands parallel
+/// work is split across); outside any pool, the `PGC_THREADS`/machine
+/// default.
 pub fn current_num_threads() -> usize {
-    let t = POOL_THREADS.with(|p| p.get());
-    if t == 0 {
-        1
-    } else {
-        t
-    }
+    pgc_par::current_width()
+}
+
+/// Two-way fork–join on the worker pool: potentially runs `a` and `b` in
+/// parallel and returns both results. See `pgc_par::join` for the
+/// stealing/helping protocol and panic semantics.
+pub fn join<A, RA, B, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    pgc_par::join(a, b)
 }
 
 /// Error type mirroring `rayon::ThreadPoolBuildError`.
@@ -226,6 +100,8 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
+    /// Width of the pool; 0 (the default) means the `PGC_THREADS`/machine
+    /// default width.
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = n;
         self
@@ -234,7 +110,7 @@ impl ThreadPoolBuilder {
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         Ok(ThreadPool {
             num_threads: if self.num_threads == 0 {
-                std::thread::available_parallelism().map_or(1, |n| n.get())
+                pgc_par::default_width()
             } else {
                 self.num_threads
             },
@@ -242,8 +118,12 @@ impl ThreadPoolBuilder {
     }
 }
 
-/// An inline "pool": `install` runs the closure on the calling thread with
-/// [`current_num_threads`] scoped to the pool's width.
+/// A width handle over the shared global worker pool: [`install`] runs the
+/// closure with parallel width `num_threads`, provisioning workers on
+/// demand. (Unlike real rayon the OS threads are shared process-wide; the
+/// observable semantics — how wide parallel work fans out — match.)
+///
+/// [`install`]: ThreadPool::install
 pub struct ThreadPool {
     num_threads: usize,
 }
@@ -254,64 +134,15 @@ impl ThreadPool {
     }
 
     pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
-        let prev = POOL_THREADS.with(|p| p.replace(self.num_threads));
-        let r = op();
-        POOL_THREADS.with(|p| p.set(prev));
-        r
+        pgc_par::install(self.num_threads, op)
     }
-}
-
-/// Two-way fork–join: runs `a` then `b` on the calling thread.
-pub fn join<A, RA, B, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    (a(), b())
-}
-
-type Job<'scope> = Box<dyn FnOnce(&Scope<'scope>) + 'scope>;
-
-/// Task scope. Spawned tasks go onto a FIFO queue drained after the scope
-/// body returns, so arbitrarily deep spawn chains use O(queue) heap instead
-/// of O(depth) stack.
-pub struct Scope<'scope> {
-    queue: std::cell::RefCell<VecDeque<Job<'scope>>>,
-}
-
-impl<'scope> Scope<'scope> {
-    pub fn spawn<F>(&self, body: F)
-    where
-        F: FnOnce(&Scope<'scope>) + 'scope,
-    {
-        self.queue.borrow_mut().push_back(Box::new(body));
-    }
-}
-
-/// Mirrors `rayon::scope`: all tasks spawned (transitively) complete before
-/// `scope` returns.
-pub fn scope<'scope, F, R>(f: F) -> R
-where
-    F: FnOnce(&Scope<'scope>) -> R,
-{
-    let s = Scope {
-        queue: std::cell::RefCell::new(VecDeque::new()),
-    };
-    let r = f(&s);
-    loop {
-        let job = s.queue.borrow_mut().pop_front();
-        match job {
-            Some(job) => job(&s),
-            None => break,
-        }
-    }
-    r
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
     use super::*;
+    use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
     #[test]
     fn par_iter_adaptors_behave_like_std() {
@@ -321,6 +152,10 @@ mod tests {
         assert_eq!(v.par_iter().copied().max(), Some(5));
         let s: u32 = (0u32..10).into_par_iter().sum();
         assert_eq!(s, 45);
+        assert_eq!(
+            (0u32..100).into_par_iter().filter(|x| x % 7 == 0).count(),
+            15
+        );
     }
 
     #[test]
@@ -335,26 +170,137 @@ mod tests {
     }
 
     #[test]
-    fn scope_drains_recursive_spawns_without_recursion() {
-        let counter = std::cell::Cell::new(0u32);
-        scope(|s| {
-            fn chain<'a>(s: &Scope<'a>, c: &'a std::cell::Cell<u32>, left: u32) {
-                if left > 0 {
-                    c.set(c.get() + 1);
-                    s.spawn(move |s| chain(s, c, left - 1));
-                }
-            }
-            chain(s, &counter, 100_000);
+    fn big_parallel_ops_match_sequential() {
+        // Large enough to split into many leaves at width 4.
+        let n = 200_000u32;
+        pgc_par::install(4, || {
+            let v: Vec<u64> = (0..n).into_par_iter().map(|x| x as u64 * 3).collect();
+            assert_eq!(v.len(), n as usize);
+            assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 * 3));
+            let total: u64 = v.par_iter().map(|&x| x).sum();
+            assert_eq!(total, 3 * (n as u64) * (n as u64 - 1) / 2);
+            assert_eq!(v.par_iter().copied().max(), Some(3 * (n as u64 - 1)));
+            let odds: Vec<u64> = v.par_iter().copied().filter(|x| x % 2 == 1).collect();
+            let odds_seq: Vec<u64> = v.iter().copied().filter(|x| x % 2 == 1).collect();
+            assert_eq!(odds, odds_seq, "filter-collect preserves order");
         });
-        assert_eq!(counter.get(), 100_000);
+    }
+
+    #[test]
+    fn parallel_sort_sorts_large_inputs() {
+        pgc_par::install(4, || {
+            let mut v: Vec<u64> = (0..100_000u64)
+                .map(|i| (i * 2654435761) % 1_000_003)
+                .collect();
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            v.par_sort_unstable();
+            assert_eq!(v, expect);
+        });
+    }
+
+    #[test]
+    fn zip_and_chunks_partition_disjointly() {
+        pgc_par::install(4, || {
+            let n = 50_000usize;
+            let input: Vec<u64> = (0..n as u64).collect();
+            let mut out = vec![0u64; n];
+            out.par_chunks_mut(1000)
+                .zip(input.par_chunks(1000))
+                .for_each(|(o, i)| {
+                    for (oj, &ij) in o.iter_mut().zip(i) {
+                        *oj = ij * 2;
+                    }
+                });
+            assert!(out.iter().enumerate().all(|(i, &x)| x == i as u64 * 2));
+        });
+    }
+
+    #[test]
+    fn for_each_init_creates_state_per_leaf() {
+        let inits = AtomicUsize::new(0);
+        let items = AtomicUsize::new(0);
+        pgc_par::install(4, || {
+            (0..100_000usize).into_par_iter().for_each_init(
+                || inits.fetch_add(1, Ordering::Relaxed),
+                |_, _| {
+                    items.fetch_add(1, Ordering::Relaxed);
+                },
+            );
+        });
+        assert_eq!(items.load(Ordering::Relaxed), 100_000);
+        assert!(inits.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn find_and_all_respect_contract() {
+        pgc_par::install(4, || {
+            let hit = (0..1_000_000u32).into_par_iter().find_map_any(|x| {
+                if x == 654_321 {
+                    Some(x * 2)
+                } else {
+                    None
+                }
+            });
+            assert_eq!(hit, Some(1_308_642));
+            assert!((0..100_000u32).into_par_iter().all(|x| x < 100_000));
+            assert!(!(0..100_000u32).into_par_iter().all(|x| x != 99_999));
+        });
+    }
+
+    #[test]
+    fn enumerate_indices_are_global() {
+        pgc_par::install(4, || {
+            let v: Vec<u32> = (0..30_000u32).collect();
+            v.par_iter().enumerate().for_each(|(i, &x)| {
+                assert_eq!(i as u32, x);
+            });
+        });
+    }
+
+    #[test]
+    fn scope_runs_spawned_tasks_on_the_pool() {
+        let counter = AtomicU32::new(0);
+        pgc_par::install(4, || {
+            scope(|s| {
+                fn chain<'a>(s: &Scope<'a>, c: &'a AtomicU32, left: u32) {
+                    if left > 0 {
+                        c.fetch_add(1, Ordering::Relaxed);
+                        s.spawn(move |s| chain(s, c, left - 1));
+                    }
+                }
+                chain(s, &counter, 10_000);
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 10_000);
     }
 
     #[test]
     fn pool_scopes_thread_count() {
-        assert_eq!(current_num_threads(), 1);
         let pool = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
         let inner = pool.install(current_num_threads);
         assert_eq!(inner, 7);
-        assert_eq!(current_num_threads(), 1);
+        let one = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        assert_eq!(one.install(current_num_threads), 1);
+    }
+
+    #[test]
+    fn join_forks_and_merges() {
+        pgc_par::install(4, || {
+            let (a, b) = join(
+                || (0..10_000u64).sum::<u64>(),
+                || (0..100u64).product::<u64>(),
+            );
+            assert_eq!(a, 49_995_000);
+            assert_eq!(b, 0);
+        });
+    }
+
+    #[test]
+    fn par_extend_appends_in_order() {
+        let mut v = vec![0u32];
+        v.par_extend((1u32..10_000).into_par_iter().map(|x| x));
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u32));
     }
 }

@@ -1,0 +1,79 @@
+//! Multi-threaded correctness: every `Algorithm` variant must produce a
+//! `verify`-valid coloring at widths 1, 2, and 8 — and, because every
+//! algorithm in this workspace is schedule-deterministic (JP by the
+//! function-of-predecessors argument, the speculative family by phase
+//! barriers + total-order conflict rules, reductions by the fixed combine
+//! tree), the *same* coloring at every width.
+
+use parallel_graph_coloring as pgc;
+use pgc::color::{run, verify, Algorithm, Params};
+use pgc::graph::gen::{generate, GraphSpec};
+use pgc_harness::experiments::with_threads;
+
+const WIDTHS: [usize; 3] = [1, 2, 8];
+
+fn graphs() -> Vec<(&'static str, pgc::graph::CsrGraph)> {
+    vec![
+        // Big enough that parallel loops split into several leaves.
+        (
+            "rmat-11",
+            generate(
+                &GraphSpec::Rmat {
+                    scale: 11,
+                    edge_factor: 8,
+                },
+                3,
+            ),
+        ),
+        (
+            "cliques",
+            generate(
+                &GraphSpec::RingOfCliques {
+                    cliques: 40,
+                    clique_size: 12,
+                },
+                5,
+            ),
+        ),
+    ]
+}
+
+#[test]
+fn every_algorithm_is_proper_at_every_width() {
+    let params = Params::default();
+    for (name, g) in graphs() {
+        for &t in &WIDTHS {
+            with_threads(t, || {
+                for algo in Algorithm::all() {
+                    let r = run(&g, algo, &params);
+                    verify::assert_proper(&g, &r.colors);
+                    assert_eq!(
+                        r.instr.threads,
+                        t,
+                        "{name}/{}: run must record its pool width",
+                        algo.name()
+                    );
+                }
+            });
+        }
+    }
+}
+
+#[test]
+fn colorings_are_identical_across_widths() {
+    let params = Params::default();
+    for (name, g) in graphs() {
+        for algo in Algorithm::all() {
+            let baseline = with_threads(1, || run(&g, algo, &params)).colors;
+            for &t in &WIDTHS[1..] {
+                let colors = with_threads(t, || run(&g, algo, &params)).colors;
+                assert_eq!(
+                    colors,
+                    baseline,
+                    "{name}/{}: width {t} diverged from sequential",
+                    algo.name()
+                );
+            }
+        }
+    }
+}
