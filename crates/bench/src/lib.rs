@@ -5,10 +5,10 @@
 //! `pgc` (the harness binary) runs the same experiments at full scale.
 
 use pgc_graph::gen::{generate, GraphSpec};
-use pgc_graph::CsrGraph;
+use pgc_graph::CompactCsr;
 
 /// The scale-free workhorse graph (h-bai-like proxy) used across benches.
-pub fn bench_graph_scale_free() -> CsrGraph {
+pub fn bench_graph_scale_free() -> CompactCsr {
     generate(
         &GraphSpec::Rmat {
             scale: 13,
@@ -19,7 +19,7 @@ pub fn bench_graph_scale_free() -> CsrGraph {
 }
 
 /// A social-network-like proxy (s-pok).
-pub fn bench_graph_social() -> CsrGraph {
+pub fn bench_graph_social() -> CompactCsr {
     generate(
         &GraphSpec::BarabasiAlbert {
             n: 20_000,
@@ -30,7 +30,7 @@ pub fn bench_graph_social() -> CsrGraph {
 }
 
 /// A mesh proxy (v-usa).
-pub fn bench_graph_mesh() -> CsrGraph {
+pub fn bench_graph_mesh() -> CompactCsr {
     generate(
         &GraphSpec::Grid2d {
             rows: 150,
@@ -41,7 +41,7 @@ pub fn bench_graph_mesh() -> CsrGraph {
 }
 
 /// The conflict-heavy proxy (s-gmc).
-pub fn bench_graph_clustered() -> CsrGraph {
+pub fn bench_graph_clustered() -> CompactCsr {
     generate(
         &GraphSpec::RingOfCliques {
             cliques: 300,

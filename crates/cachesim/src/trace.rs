@@ -2,15 +2,21 @@
 //!
 //! The arrays of the real implementations are mapped onto disjoint virtual
 //! address regions; replaying the algorithm's traversal schedule against
-//! [`Cache`](crate::cache::Cache) yields its locality profile. Traces model
+//! [`Cache`] yields its locality profile. Traces model
 //! the *sequential projection* of each algorithm — the per-core access
 //! stream — which is what determines the L3 behaviour Fig. 4 reports.
+//!
+//! The tracer is generic over [`GraphView`]: element widths come from the
+//! representation's [`memory_footprint`](GraphView::memory_footprint), so
+//! e.g. [`CompactCsr`](pgc_graph::CompactCsr)'s 4-byte offsets occupy half
+//! the cache lines of the legacy 8-byte layout — the simulator makes the
+//! compact representation's bandwidth saving directly measurable.
 //!
 //! Regions (spaced far apart so they never alias by accident):
 //!
 //! | array | element | region |
 //! |-------|---------|--------|
-//! | CSR offsets | 8 B | `0x1_0000_0000` |
+//! | CSR offsets | footprint width | `0x1_0000_0000` |
 //! | CSR neighbors | 4 B | `0x2_0000_0000` |
 //! | colors | 4 B | `0x3_0000_0000` |
 //! | priorities ρ | 8 B | `0x4_0000_0000` |
@@ -18,7 +24,7 @@
 
 use crate::cache::{Cache, CacheConfig, CacheStats};
 use pgc_core::{Algorithm, Params};
-use pgc_graph::CsrGraph;
+use pgc_graph::GraphView;
 
 const OFFSETS_BASE: u64 = 0x1_0000_0000;
 const NEIGHBORS_BASE: u64 = 0x2_0000_0000;
@@ -26,18 +32,49 @@ const COLORS_BASE: u64 = 0x3_0000_0000;
 const RHO_BASE: u64 = 0x4_0000_0000;
 const DEGREE_BASE: u64 = 0x5_0000_0000;
 
+/// Representation-derived address layout: where each vertex's adjacency
+/// begins in the conceptual neighbor array, and how wide one offset entry
+/// is.
+struct Layout {
+    /// `starts[v]` = index of `N(v)`'s first slot in the neighbor array.
+    starts: Vec<u64>,
+    /// Bytes per offset entry (from the graph's memory footprint).
+    offset_width: u64,
+}
+
+impl Layout {
+    fn of<G: GraphView>(g: &G) -> Self {
+        let mut starts = Vec::with_capacity(g.n() + 1);
+        let mut acc = 0u64;
+        starts.push(0);
+        for v in g.vertices() {
+            acc += g.degree(v) as u64;
+            starts.push(acc);
+        }
+        // A borrowed view owns no offset array; model its traversal with
+        // compact 4-byte entries (the host array is the base graph's).
+        let w = g.memory_footprint().offset_width.max(4) as u64;
+        Self {
+            starts,
+            offset_width: w,
+        }
+    }
+}
+
 /// Address helpers for the virtual layout.
 struct Mem<'c> {
     cache: &'c mut Cache,
+    layout: &'c Layout,
 }
 
 impl Mem<'_> {
     fn offsets(&mut self, v: u32) {
-        self.cache.access(OFFSETS_BASE + v as u64 * 8);
+        self.cache
+            .access(OFFSETS_BASE + v as u64 * self.layout.offset_width);
     }
-    fn neighbor_slot(&mut self, g: &CsrGraph, v: u32, i: usize) {
-        let pos = g.raw_offsets()[v as usize] + i;
-        self.cache.access(NEIGHBORS_BASE + pos as u64 * 4);
+    fn neighbor_slot(&mut self, v: u32, i: usize) {
+        let pos = self.layout.starts[v as usize] + i as u64;
+        self.cache.access(NEIGHBORS_BASE + pos * 4);
     }
     fn color(&mut self, v: u32) {
         self.cache.access(COLORS_BASE + v as u64 * 4);
@@ -52,10 +89,10 @@ impl Mem<'_> {
     /// The canonical "color one vertex" access pattern: read the offset,
     /// then for each neighbor the adjacency slot + its color (+ its ρ for
     /// JP's predecessor test), finally write the own color.
-    fn color_vertex(&mut self, g: &CsrGraph, v: u32, read_rho: bool) {
+    fn color_vertex<G: GraphView>(&mut self, g: &G, v: u32, read_rho: bool) {
         self.offsets(v);
-        for (i, &u) in g.neighbors(v).iter().enumerate() {
-            self.neighbor_slot(g, v, i);
+        for (i, u) in g.neighbors(v).enumerate() {
+            self.neighbor_slot(v, i);
             if read_rho {
                 self.rho(u);
             }
@@ -101,10 +138,10 @@ fn report(algorithm: Algorithm, stats: CacheStats) -> CacheReport {
 
 /// Replay the JP coloring schedule: vertices in decreasing-priority order,
 /// each reading its full neighborhood (ρ + colors).
-fn trace_jp(g: &CsrGraph, rho: &[u64], cache: &mut Cache) {
+fn trace_jp<G: GraphView>(g: &G, rho: &[u64], layout: &Layout, cache: &mut Cache) {
     let mut order: Vec<u32> = (0..g.n() as u32).collect();
     order.sort_unstable_by_key(|&v| std::cmp::Reverse(rho[v as usize]));
-    let mut mem = Mem { cache };
+    let mut mem = Mem { cache, layout };
     for &v in &order {
         mem.color_vertex(g, v, true);
     }
@@ -114,13 +151,13 @@ fn trace_jp(g: &CsrGraph, rho: &[u64], cache: &mut Cache) {
 /// every vertex, later passes only the conflicting fraction (modeled by
 /// re-touching the `retried` heaviest vertices — conflicts concentrate in
 /// dense regions).
-fn trace_itr(g: &CsrGraph, rounds: u32, conflicts: u64, cache: &mut Cache) {
-    let mut mem = Mem { cache };
+fn trace_itr<G: GraphView>(g: &G, rounds: u32, conflicts: u64, layout: &Layout, cache: &mut Cache) {
+    let mut mem = Mem { cache, layout };
     for v in g.vertices() {
         mem.color_vertex(g, v, false);
         // Conflict-detection pass re-reads neighbor colors.
-        for (i, &u) in g.neighbors(v).iter().enumerate() {
-            mem.neighbor_slot(g, v, i);
+        for (i, u) in g.neighbors(v).enumerate() {
+            mem.neighbor_slot(v, i);
             mem.color(u);
         }
     }
@@ -140,8 +177,8 @@ fn trace_itr(g: &CsrGraph, rounds: u32, conflicts: u64, cache: &mut Cache) {
 
 /// Replay the ADG peeling loop: per iteration a streaming pass over the
 /// active region's degrees plus the removed batch's neighborhoods.
-fn trace_adg(g: &CsrGraph, levels: &pgc_order::Levels, cache: &mut Cache) {
-    let mut mem = Mem { cache };
+fn trace_adg<G: GraphView>(g: &G, levels: &pgc_order::Levels, layout: &Layout, cache: &mut Cache) {
+    let mut mem = Mem { cache, layout };
     let n = g.n();
     for l in 0..levels.num_levels() {
         // Average-degree reduction scans the still-active suffix.
@@ -151,8 +188,8 @@ fn trace_adg(g: &CsrGraph, levels: &pgc_order::Levels, cache: &mut Cache) {
         // UPDATE touches the removed batch's neighborhoods.
         for &v in levels.level(l) {
             mem.offsets(v);
-            for (i, &u) in g.neighbors(v).iter().enumerate() {
-                mem.neighbor_slot(g, v, i);
+            for (i, u) in g.neighbors(v).enumerate() {
+                mem.neighbor_slot(v, i);
                 mem.degree(u);
             }
         }
@@ -160,8 +197,8 @@ fn trace_adg(g: &CsrGraph, levels: &pgc_order::Levels, cache: &mut Cache) {
 }
 
 /// Replay the sequential greedy schedule in natural order.
-fn trace_greedy(g: &CsrGraph, cache: &mut Cache) {
-    let mut mem = Mem { cache };
+fn trace_greedy<G: GraphView>(g: &G, layout: &Layout, cache: &mut Cache) {
+    let mut mem = Mem { cache, layout };
     for v in g.vertices() {
         mem.color_vertex(g, v, false);
     }
@@ -170,35 +207,38 @@ fn trace_greedy(g: &CsrGraph, cache: &mut Cache) {
 /// Trace `algo` on `g` against an L3-like cache and report the Fig. 4
 /// fractions. Orderings/round counts are obtained by actually running the
 /// algorithm (cheaply, once) so the replayed schedule is the real one.
-pub fn simulate_algorithm(g: &CsrGraph, algo: Algorithm, params: &Params) -> CacheReport {
+pub fn simulate_algorithm<G: GraphView>(g: &G, algo: Algorithm, params: &Params) -> CacheReport {
     simulate_with_config(g, algo, params, CacheConfig::l3_like())
 }
 
 /// [`simulate_algorithm`] with an explicit cache geometry.
-pub fn simulate_with_config(
-    g: &CsrGraph,
+pub fn simulate_with_config<G: GraphView>(
+    g: &G,
     algo: Algorithm,
     params: &Params,
     config: CacheConfig,
 ) -> CacheReport {
     use Algorithm::*;
     let mut cache = Cache::new(config);
+    let layout = Layout::of(g);
     match algo {
-        GreedyFf | GreedyLf | GreedySl | GreedyId | GreedySd => trace_greedy(g, &mut cache),
+        GreedyFf | GreedyLf | GreedySl | GreedyId | GreedySd => {
+            trace_greedy(g, &layout, &mut cache)
+        }
         JpFf | JpR | JpLf | JpLlf | JpSl | JpSll | JpAsl => {
             let kind = algo.ordering_kind(params).expect("JP ordering");
             let ord = pgc_order::compute(g, &kind, params.seed);
-            trace_jp(g, &ord.rho, &mut cache);
+            trace_jp(g, &ord.rho, &layout, &mut cache);
         }
         JpAdg | JpAdgM => {
             let kind = algo.ordering_kind(params).expect("ADG ordering");
             let ord = pgc_order::compute(g, &kind, params.seed);
-            trace_adg(g, ord.levels.as_ref().unwrap(), &mut cache);
-            trace_jp(g, &ord.rho, &mut cache);
+            trace_adg(g, ord.levels.as_ref().unwrap(), &layout, &mut cache);
+            trace_jp(g, &ord.rho, &layout, &mut cache);
         }
         Itr | ItrB | ItrAsl | SimCol => {
             let run = pgc_core::run(g, algo, params);
-            trace_itr(g, run.rounds().max(1), run.conflicts(), &mut cache);
+            trace_itr(g, run.rounds().max(1), run.conflicts(), &layout, &mut cache);
         }
         DecAdg | DecAdgM | DecAdgItr => {
             let run = pgc_core::run(g, algo, params);
@@ -209,10 +249,13 @@ pub fn simulate_with_config(
             };
             let ord = pgc_order::adg(g, &opts);
             let levels = ord.levels.unwrap();
-            trace_adg(g, &levels, &mut cache);
+            trace_adg(g, &levels, &layout, &mut cache);
             // Partition-local speculative rounds: one streaming pass per
             // partition plus the recorded conflict retries.
-            let mut mem = Mem { cache: &mut cache };
+            let mut mem = Mem {
+                cache: &mut cache,
+                layout: &layout,
+            };
             for l in (0..levels.num_levels()).rev() {
                 for &v in levels.level(l) {
                     mem.color_vertex(g, v, false);
@@ -222,6 +265,7 @@ pub fn simulate_with_config(
                 g,
                 1 + (run.conflicts() > 0) as u32,
                 run.conflicts(),
+                &layout,
                 &mut cache,
             );
         }
@@ -266,6 +310,42 @@ mod tests {
         let a = simulate_algorithm(&g, Algorithm::JpAdg, &params);
         let b = simulate_algorithm(&g, Algorithm::JpAdg, &params);
         assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn compact_offsets_never_miss_more() {
+        // Same abstract graph, two offset widths: the 4-byte layout packs
+        // twice the offsets per line, so its offset-stream misses (and
+        // hence total misses on the same trace) cannot exceed the legacy
+        // 8-byte layout's.
+        let compact = generate(
+            &GraphSpec::ErdosRenyi {
+                n: 30_000,
+                m: 60_000,
+            },
+            4,
+        );
+        let legacy = compact.to_legacy();
+        assert_eq!(compact.memory_footprint().offset_width, 4);
+        assert_eq!(
+            legacy.memory_footprint().offset_width,
+            std::mem::size_of::<usize>()
+        );
+        let small = CacheConfig {
+            line_size: 64,
+            sets: 64,
+            ways: 16,
+        };
+        let params = Params::default();
+        let rc = simulate_with_config(&compact, Algorithm::GreedyFf, &params, small);
+        let rl = simulate_with_config(&legacy, Algorithm::GreedyFf, &params, small);
+        assert_eq!(rc.stats.accesses, rl.stats.accesses, "same trace length");
+        assert!(
+            rc.stats.misses <= rl.stats.misses,
+            "compact {} > legacy {}",
+            rc.stats.misses,
+            rl.stats.misses
+        );
     }
 
     #[test]

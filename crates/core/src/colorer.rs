@@ -12,7 +12,7 @@
 //! [`best_of`] for the paper's best-of-reps-after-warm-up protocol.
 
 use crate::{Algorithm, ColoringRun, Params};
-use pgc_graph::CsrGraph;
+use pgc_graph::GraphView;
 use std::time::{Duration, Instant};
 
 /// Measurements of one coloring execution (times, rounds, conflicts).
@@ -29,7 +29,7 @@ pub struct Instrumentation {
     /// Vertices re-colored due to conflicts (speculative algorithms only).
     pub conflicts: u64,
     /// Parallel width the run executed under (`rayon::current_num_threads`
-    /// when the [`ColoringRun`](crate::ColoringRun) was packaged; 0 until
+    /// when the [`ColoringRun`] was packaged; 0 until
     /// then).
     pub threads: usize,
 }
@@ -63,24 +63,29 @@ impl Instrumentation {
     }
 }
 
-/// A graph-coloring algorithm behind the uniform interface.
+/// A graph-coloring algorithm behind the uniform interface, generic over
+/// the graph representation: every implementation colors any
+/// [`GraphView`] — the default [`CompactCsr`](pgc_graph::CompactCsr), the
+/// legacy [`CsrGraph`](pgc_graph::CsrGraph), or a zero-copy
+/// [`InducedView`](pgc_graph::InducedView) — with bit-identical output for
+/// the same abstract graph.
 ///
 /// Implementations live next to their engines (`greedy`, `jp`, `simcol`,
 /// `speculative`, `dec`); [`colorer`] wires the [`Algorithm`] tags to them.
-pub trait Colorer {
+pub trait Colorer<G: GraphView> {
     /// The registry tag this instance implements.
     fn algorithm(&self) -> Algorithm;
 
     /// Color `g`, returning the coloring plus its [`Instrumentation`].
-    fn color(&self, g: &CsrGraph, params: &Params) -> ColoringRun;
+    fn color(&self, g: &G, params: &Params) -> ColoringRun;
 }
 
-/// The `Algorithm → Box<dyn Colorer>` registry.
+/// The `Algorithm → Box<dyn Colorer<G>>` registry.
 ///
 /// Every variant resolves to exactly one implementation; the match is
 /// exhaustive, so adding a variant without registering it is a compile
 /// error.
-pub fn colorer(algo: Algorithm) -> Box<dyn Colorer> {
+pub fn colorer<G: GraphView>(algo: Algorithm) -> Box<dyn Colorer<G>> {
     use Algorithm::*;
     match algo {
         GreedyFf | GreedyLf | GreedySl | GreedyId | GreedySd => {
@@ -119,7 +124,12 @@ mod tests {
     #[test]
     fn registry_covers_every_algorithm() {
         for algo in Algorithm::all() {
-            assert_eq!(colorer(algo).algorithm(), algo, "{}", algo.name());
+            assert_eq!(
+                colorer::<pgc_graph::CompactCsr>(algo).algorithm(),
+                algo,
+                "{}",
+                algo.name()
+            );
         }
     }
 

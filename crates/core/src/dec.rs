@@ -15,13 +15,13 @@
 //!
 //! DEC-ADG-ITR keeps the decomposition but swaps SIM-COL's random draw for
 //! ITR's deterministic first-fit draw — the §IV-C recipe showing ADG can
-//! upgrade an existing speculative heuristic ([40]) to a
+//! upgrade an existing speculative heuristic (\[40\]) to a
 //! `2(1+ε)d + 1` quality guarantee while staying fast in practice.
 
 use crate::colorer::{Colorer, Instrumentation};
 use crate::simcol::{palette_layout, SimColEngine};
 use crate::{Algorithm, ColoringRun, Params, UNCOLORED};
-use pgc_graph::CsrGraph;
+use pgc_graph::GraphView;
 use pgc_order::adg::{adg, AdgOptions};
 use pgc_order::ThresholdRule;
 use pgc_primitives::bitmap::AtomicBitmap;
@@ -46,12 +46,12 @@ impl Dec {
     }
 }
 
-impl Colorer for Dec {
+impl<G: GraphView> Colorer<G> for Dec {
     fn algorithm(&self) -> Algorithm {
         self.algo
     }
 
-    fn color(&self, g: &CsrGraph, params: &Params) -> ColoringRun {
+    fn color(&self, g: &G, params: &Params) -> ColoringRun {
         match self.algo {
             Algorithm::DecAdg => dec_adg(g, self.algo, ThresholdRule::Average, params),
             Algorithm::DecAdgM => dec_adg(g, self.algo, ThresholdRule::Median, params),
@@ -65,15 +65,12 @@ impl Colorer for Dec {
 /// higher partition — the only neighbors that can ever constrain `v`'s
 /// color. Bounded by `k·d` because the ranks form a partial k-approximate
 /// degeneracy ordering.
-pub fn constraint_degrees(g: &CsrGraph, rank: &[u32]) -> Vec<u32> {
+pub fn constraint_degrees<G: GraphView>(g: &G, rank: &[u32]) -> Vec<u32> {
     g.vertices()
         .into_par_iter()
         .map(|v| {
             let rv = rank[v as usize];
-            g.neighbors(v)
-                .iter()
-                .filter(|&&u| rank[u as usize] >= rv)
-                .count() as u32
+            g.neighbors(v).filter(|&u| rank[u as usize] >= rv).count() as u32
         })
         .collect()
 }
@@ -93,7 +90,12 @@ fn adg_options_for(params: &Params, rule: ThresholdRule, epsilon: f64) -> AdgOpt
 
 /// DEC-ADG / DEC-ADG-M. `rule` selects the average-degree (ε/12-accurate)
 /// or median ADG variant; `params.dec_epsilon` is the ε of Alg. 4.
-pub fn dec_adg(g: &CsrGraph, algo: Algorithm, rule: ThresholdRule, params: &Params) -> ColoringRun {
+pub fn dec_adg<G: GraphView>(
+    g: &G,
+    algo: Algorithm,
+    rule: ThresholdRule,
+    params: &Params,
+) -> ColoringRun {
     let eps = params.dec_epsilon;
     assert!(
         eps > 0.0 && eps <= 8.0,
@@ -148,7 +150,7 @@ pub fn dec_adg(g: &CsrGraph, algo: Algorithm, rule: ThresholdRule, params: &Para
 /// within each partition. Quality ≤ ⌈2(1+ε)d⌉ + 1 with ε = `params.epsilon`
 /// (the JP-ADG knob, default 0.01 — this algorithm competes in the same
 /// quality regime as JP-ADG, unlike DEC-ADG's larger ε).
-pub fn dec_adg_itr(g: &CsrGraph, params: &Params) -> ColoringRun {
+pub fn dec_adg_itr<G: GraphView>(g: &G, params: &Params) -> ColoringRun {
     let mut instr = Instrumentation::default();
     let ord = instr.ordering(|| {
         adg(

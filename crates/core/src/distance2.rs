@@ -1,7 +1,7 @@
 //! Distance-2 coloring: no two vertices within distance 2 share a color.
 //!
 //! The generalization used for Jacobian/Hessian compression and channel
-//! assignment (paper refs [140], [150], [151]). A distance-2 coloring of
+//! assignment (paper refs \[140\], \[150\], \[151\]). A distance-2 coloring of
 //! `G` is a distance-1 coloring of the square graph `G²`; greedy gives at
 //! most `Δ² + 1` colors. We provide the sequential greedy and an
 //! ITR-style speculative parallel variant (tentative + distance-2
@@ -9,13 +9,13 @@
 //! schemes operate.
 
 use crate::UNCOLORED;
-use pgc_graph::CsrGraph;
+use pgc_graph::GraphView;
 use pgc_primitives::{random_permutation, FixedBitmap};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering as AtOrd};
 
 /// True iff no two distinct vertices within distance ≤ 2 share a color.
-pub fn is_proper_d2(g: &CsrGraph, colors: &[u32]) -> bool {
+pub fn is_proper_d2<G: GraphView>(g: &G, colors: &[u32]) -> bool {
     if colors.len() != g.n() {
         return false;
     }
@@ -24,11 +24,11 @@ pub fn is_proper_d2(g: &CsrGraph, colors: &[u32]) -> bool {
         if cv == UNCOLORED {
             return false;
         }
-        for &u in g.neighbors(v) {
+        for u in g.neighbors(v) {
             if colors[u as usize] == cv {
                 return false;
             }
-            for &w in g.neighbors(u) {
+            for w in g.neighbors(u) {
                 if w != v && colors[w as usize] == cv {
                     return false;
                 }
@@ -39,15 +39,15 @@ pub fn is_proper_d2(g: &CsrGraph, colors: &[u32]) -> bool {
 }
 
 /// The set of colors forbidden for `v`: everything within distance 2.
-fn forbid_d2(g: &CsrGraph, v: u32, colors: &[u32], scratch: &mut FixedBitmap, cap: usize) {
+fn forbid_d2<G: GraphView>(g: &G, v: u32, colors: &[u32], scratch: &mut FixedBitmap, cap: usize) {
     scratch.clear_all();
     scratch.ensure_len(cap);
-    for &u in g.neighbors(v) {
+    for u in g.neighbors(v) {
         let c = colors[u as usize];
         if c != UNCOLORED {
             scratch.set_saturating(c as usize);
         }
-        for &w in g.neighbors(u) {
+        for w in g.neighbors(u) {
             if w != v {
                 let c = colors[w as usize];
                 if c != UNCOLORED {
@@ -60,7 +60,7 @@ fn forbid_d2(g: &CsrGraph, v: u32, colors: &[u32], scratch: &mut FixedBitmap, ca
 
 /// Sequential greedy distance-2 coloring in the given vertex sequence.
 /// Uses at most `Δ² + 1` colors.
-pub fn greedy_d2(g: &CsrGraph, seq: impl IntoIterator<Item = u32>) -> Vec<u32> {
+pub fn greedy_d2<G: GraphView>(g: &G, seq: impl IntoIterator<Item = u32>) -> Vec<u32> {
     let mut colors = vec![UNCOLORED; g.n()];
     let mut scratch = FixedBitmap::new(0);
     let delta = g.max_degree() as usize;
@@ -85,7 +85,7 @@ pub struct D2Outcome {
 /// ITR-style speculative parallel distance-2 coloring: tentative first-fit
 /// against fixed distance-2 colors, then conflict detection where the
 /// higher random priority wins.
-pub fn speculative_d2(g: &CsrGraph, seed: u64) -> D2Outcome {
+pub fn speculative_d2<G: GraphView>(g: &G, seed: u64) -> D2Outcome {
     let n = g.n();
     let priority: Vec<u64> = random_permutation(n, seed ^ 0xD2)
         .into_iter()
@@ -108,12 +108,12 @@ pub fn speculative_d2(g: &CsrGraph, seed: u64) -> D2Outcome {
                 let _ = snapshot;
                 scratch.clear_all();
                 scratch.ensure_len(cap);
-                for &u in g.neighbors(v) {
+                for u in g.neighbors(v) {
                     let c = colors_at[u as usize].load(AtOrd::Relaxed);
                     if c != UNCOLORED {
                         scratch.set_saturating(c as usize);
                     }
-                    for &w in g.neighbors(u) {
+                    for w in g.neighbors(u) {
                         if w != v {
                             let c = colors_at[w as usize].load(AtOrd::Relaxed);
                             if c != UNCOLORED {
@@ -130,11 +130,11 @@ pub fn speculative_d2(g: &CsrGraph, seed: u64) -> D2Outcome {
         let loses = |v: u32| -> bool {
             let cv = tent[v as usize].load(AtOrd::Relaxed);
             let pv = priority[v as usize];
-            for &u in g.neighbors(v) {
+            for u in g.neighbors(v) {
                 if tent[u as usize].load(AtOrd::Relaxed) == cv && priority[u as usize] > pv {
                     return true;
                 }
-                for &w in g.neighbors(u) {
+                for w in g.neighbors(u) {
                     if w != v
                         && tent[w as usize].load(AtOrd::Relaxed) == cv
                         && priority[w as usize] > pv
@@ -168,6 +168,7 @@ pub fn speculative_d2(g: &CsrGraph, seed: u64) -> D2Outcome {
 mod tests {
     use super::*;
     use pgc_graph::gen::{generate, GraphSpec};
+    use pgc_graph::CsrGraph;
 
     #[test]
     fn greedy_d2_proper_and_bounded() {

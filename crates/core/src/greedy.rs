@@ -1,6 +1,6 @@
 //! Sequential Greedy coloring (Table III, class 2).
 //!
-//! Greedy [25] scans vertices in some order and gives each the smallest
+//! Greedy \[25\] scans vertices in some order and gives each the smallest
 //! color not used by an already-colored neighbor. The *order* is the whole
 //! game: static orders (FF, LF, SL) are driven by a priority vector, while
 //! ID and SD re-prioritize dynamically as vertices get colored — they are
@@ -8,7 +8,7 @@
 
 use crate::colorer::{Colorer, Instrumentation};
 use crate::{Algorithm, ColoringRun, Params, UNCOLORED};
-use pgc_graph::CsrGraph;
+use pgc_graph::GraphView;
 use pgc_primitives::FixedBitmap;
 
 /// [`Colorer`] for the five sequential Greedy baselines
@@ -30,12 +30,12 @@ impl Greedy {
     }
 }
 
-impl Colorer for Greedy {
+impl<G: GraphView> Colorer<G> for Greedy {
     fn algorithm(&self) -> Algorithm {
         self.algo
     }
 
-    fn color(&self, g: &CsrGraph, params: &Params) -> ColoringRun {
+    fn color(&self, g: &G, params: &Params) -> ColoringRun {
         let mut instr = Instrumentation::default();
         let colors = match self.algo {
             Algorithm::GreedyFf => instr.coloring(|| greedy_first_fit(g)),
@@ -56,7 +56,7 @@ impl Colorer for Greedy {
 }
 
 /// Greedy over an explicit vertex sequence.
-pub fn greedy_in_sequence(g: &CsrGraph, seq: impl IntoIterator<Item = u32>) -> Vec<u32> {
+pub fn greedy_in_sequence<G: GraphView>(g: &G, seq: impl IntoIterator<Item = u32>) -> Vec<u32> {
     let mut colors = vec![UNCOLORED; g.n()];
     let mut forbidden = FixedBitmap::new(0);
     for v in seq {
@@ -68,11 +68,11 @@ pub fn greedy_in_sequence(g: &CsrGraph, seq: impl IntoIterator<Item = u32>) -> V
 /// Smallest color not used by any already-colored neighbor of `v`.
 /// The answer is ≤ deg(v), so a deg(v)+1-bit scratch bitmap suffices; any
 /// neighbor color beyond it can never be the smallest free color.
-fn smallest_free(g: &CsrGraph, v: u32, colors: &[u32], forbidden: &mut FixedBitmap) -> u32 {
+fn smallest_free<G: GraphView>(g: &G, v: u32, colors: &[u32], forbidden: &mut FixedBitmap) -> u32 {
     let cap = g.degree(v) as usize + 1;
     forbidden.clear_all();
     forbidden.ensure_len(cap);
-    for &u in g.neighbors(v) {
+    for u in g.neighbors(v) {
         let c = colors[u as usize];
         if c != UNCOLORED && (c as usize) < cap {
             forbidden.set(c as usize);
@@ -82,22 +82,22 @@ fn smallest_free(g: &CsrGraph, v: u32, colors: &[u32], forbidden: &mut FixedBitm
 }
 
 /// Greedy first-fit: the natural vertex order.
-pub fn greedy_first_fit(g: &CsrGraph) -> Vec<u32> {
+pub fn greedy_first_fit<G: GraphView>(g: &G) -> Vec<u32> {
     greedy_in_sequence(g, g.vertices())
 }
 
 /// Greedy in decreasing priority (matches JP's semantics: highest ρ first).
-pub fn greedy_by_priority(g: &CsrGraph, rho: &[u64]) -> Vec<u32> {
+pub fn greedy_by_priority<G: GraphView>(g: &G, rho: &[u64]) -> Vec<u32> {
     let mut order: Vec<u32> = (0..g.n() as u32).collect();
     order.sort_unstable_by_key(|&v| std::cmp::Reverse(rho[v as usize]));
     greedy_in_sequence(g, order)
 }
 
-/// Incidence-degree ordering [1]: repeatedly color the vertex with the most
+/// Incidence-degree ordering \[1\]: repeatedly color the vertex with the most
 /// *colored* neighbors (ties by the natural order via bucket FIFO).
 ///
 /// Incidence counts only grow, so a lazy bucket queue gives `O(n + m)`.
-pub fn greedy_incidence_degree(g: &CsrGraph) -> Vec<u32> {
+pub fn greedy_incidence_degree<G: GraphView>(g: &G) -> Vec<u32> {
     let n = g.n();
     let mut colors = vec![UNCOLORED; n];
     if n == 0 {
@@ -122,7 +122,7 @@ pub fn greedy_incidence_degree(g: &CsrGraph) -> Vec<u32> {
         }
         colors[v as usize] = smallest_free(g, v, &colors, &mut forbidden);
         colored += 1;
-        for &u in g.neighbors(v) {
+        for u in g.neighbors(v) {
             if colors[u as usize] == UNCOLORED {
                 incidence[u as usize] += 1;
                 let b = incidence[u as usize] as usize;
@@ -134,12 +134,12 @@ pub fn greedy_incidence_degree(g: &CsrGraph) -> Vec<u32> {
     colors
 }
 
-/// Saturation-degree ordering (DSATUR) [27]: repeatedly color the vertex
+/// Saturation-degree ordering (DSATUR) \[27\]: repeatedly color the vertex
 /// whose neighbors use the most *distinct* colors.
 ///
 /// Saturation only grows; per-vertex distinct-color sets are kept as sorted
 /// vectors (Θ(m) total memory in the worst case, cheap in practice).
-pub fn greedy_saturation_degree(g: &CsrGraph) -> Vec<u32> {
+pub fn greedy_saturation_degree<G: GraphView>(g: &G) -> Vec<u32> {
     let n = g.n();
     let mut colors = vec![UNCOLORED; n];
     if n == 0 {
@@ -168,7 +168,7 @@ pub fn greedy_saturation_degree(g: &CsrGraph) -> Vec<u32> {
         let c = smallest_free(g, v, &colors, &mut forbidden);
         colors[v as usize] = c;
         colored += 1;
-        for &u in g.neighbors(v) {
+        for u in g.neighbors(v) {
             if colors[u as usize] == UNCOLORED {
                 let s = &mut seen[u as usize];
                 if let Err(pos) = s.binary_search(&c) {
@@ -190,7 +190,7 @@ mod tests {
     use pgc_graph::builder::from_edges;
     use pgc_graph::gen::{generate, GraphSpec};
 
-    fn all_greedy(g: &CsrGraph) -> Vec<(&'static str, Vec<u32>)> {
+    fn all_greedy<G: GraphView>(g: &G) -> Vec<(&'static str, Vec<u32>)> {
         vec![
             ("ff", greedy_first_fit(g)),
             ("id", greedy_incidence_degree(g)),

@@ -24,7 +24,7 @@
 
 use crate::colorer::{Colorer, Instrumentation};
 use crate::{Algorithm, ColoringRun, Params, UNCOLORED};
-use pgc_graph::CsrGraph;
+use pgc_graph::GraphView;
 use pgc_primitives::{FixedBitmap, JoinCounters};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering as AtOrd};
@@ -50,12 +50,12 @@ impl Jp {
     }
 }
 
-impl Colorer for Jp {
+impl<G: GraphView> Colorer<G> for Jp {
     fn algorithm(&self) -> Algorithm {
         self.algo
     }
 
-    fn color(&self, g: &CsrGraph, params: &Params) -> ColoringRun {
+    fn color(&self, g: &G, params: &Params) -> ColoringRun {
         let kind = self
             .algo
             .ordering_kind(params)
@@ -79,13 +79,12 @@ impl Colorer for Jp {
 
 /// Number of predecessors (higher-priority neighbors) per vertex — the
 /// initial `count[]` of Alg. 3 (line 11).
-pub fn predecessor_counts(g: &CsrGraph, rho: &[u64]) -> Vec<u32> {
+pub fn predecessor_counts<G: GraphView>(g: &G, rho: &[u64]) -> Vec<u32> {
     g.vertices()
         .into_par_iter()
         .map(|v| {
             g.neighbors(v)
-                .iter()
-                .filter(|&&u| rho[u as usize] > rho[v as usize])
+                .filter(|&u| rho[u as usize] > rho[v as usize])
                 .count() as u32
         })
         .collect()
@@ -95,8 +94,8 @@ pub fn predecessor_counts(g: &CsrGraph, rho: &[u64]) -> Vec<u32> {
 /// predecessors of `v`. The answer is at most `|pred(v)|`, so predecessor
 /// colors beyond the scratch capacity are irrelevant and dropped.
 #[inline]
-fn get_color(
-    g: &CsrGraph,
+fn get_color<G: GraphView>(
+    g: &G,
     rho: &[u64],
     colors: &[AtomicU32],
     v: u32,
@@ -104,14 +103,14 @@ fn get_color(
 ) -> u32 {
     let rv = rho[v as usize];
     let mut npred = 0usize;
-    for &u in g.neighbors(v) {
+    for u in g.neighbors(v) {
         if rho[u as usize] > rv {
             npred += 1;
         }
     }
     scratch.clear_all();
     scratch.ensure_len(npred + 1);
-    for &u in g.neighbors(v) {
+    for u in g.neighbors(v) {
         if rho[u as usize] > rv {
             let c = colors[u as usize].load(AtOrd::Relaxed);
             debug_assert_ne!(c, UNCOLORED, "predecessor {u} of {v} uncolored");
@@ -125,7 +124,7 @@ fn get_color(
 
 /// Asynchronous JP (Alg. 3): rayon fork–join with one task per released
 /// vertex. Returns the coloring.
-pub fn jp_color(g: &CsrGraph, rho: &[u64]) -> Vec<u32> {
+pub fn jp_color<G: GraphView>(g: &G, rho: &[u64]) -> Vec<u32> {
     let counts = predecessor_counts(g, rho);
     jp_color_with_counts(g, rho, &counts)
 }
@@ -133,7 +132,7 @@ pub fn jp_color(g: &CsrGraph, rho: &[u64]) -> Vec<u32> {
 /// [`jp_color`] with precomputed predecessor counts — the §V-C fused-rank
 /// fast path: ADG already produced `count[v]` during its UPDATE pass, so
 /// JP's Part 1 (Alg. 3 lines 6–11) is skipped.
-pub fn jp_color_with_counts(g: &CsrGraph, rho: &[u64], counts: &[u32]) -> Vec<u32> {
+pub fn jp_color_with_counts<G: GraphView>(g: &G, rho: &[u64], counts: &[u32]) -> Vec<u32> {
     assert_eq!(rho.len(), g.n());
     debug_assert_eq!(counts, &predecessor_counts(g, rho)[..], "bad fused counts");
     let counters = JoinCounters::from_values(counts);
@@ -144,14 +143,14 @@ pub fn jp_color_with_counts(g: &CsrGraph, rho: &[u64], counts: &[u32]) -> Vec<u3
         .filter(|&v| counts[v as usize] == 0)
         .collect();
 
-    struct Ctx<'a> {
-        g: &'a CsrGraph,
+    struct Ctx<'a, G: GraphView> {
+        g: &'a G,
         rho: &'a [u64],
         colors: &'a [AtomicU32],
         counters: &'a JoinCounters,
     }
 
-    fn run_vertex<'s>(ctx: &'s Ctx<'s>, v: u32, scope: &rayon::Scope<'s>) {
+    fn run_vertex<'s, G: GraphView>(ctx: &'s Ctx<'s, G>, v: u32, scope: &rayon::Scope<'s>) {
         let mut scratch = FixedBitmap::new(0);
         // JPColor: color v, then release successors whose last predecessor
         // this was. Chains of single successors are followed inline to
@@ -162,7 +161,7 @@ pub fn jp_color_with_counts(g: &CsrGraph, rho: &[u64], counts: &[u32]) -> Vec<u3
             ctx.colors[current as usize].store(c, AtOrd::Relaxed);
             let rv = ctx.rho[current as usize];
             let mut next: Option<u32> = None;
-            for &u in ctx.g.neighbors(current) {
+            for u in ctx.g.neighbors(current) {
                 if ctx.rho[u as usize] < rv && ctx.counters.join(u as usize) {
                     if next.is_none() {
                         next = Some(u);
@@ -197,7 +196,7 @@ pub fn jp_color_with_counts(g: &CsrGraph, rho: &[u64], counts: &[u32]) -> Vec<u3
 /// Level-synchronous JP. Returns `(colors, rounds)`; `rounds` equals the
 /// number of levels of `Gρ`, i.e. the longest directed path length + 1 —
 /// the quantity bounded by Lemma 7 for ρ = ⟨ρ_ADG, ρ_R⟩.
-pub fn jp_color_levels(g: &CsrGraph, rho: &[u64]) -> (Vec<u32>, u32) {
+pub fn jp_color_levels<G: GraphView>(g: &G, rho: &[u64]) -> (Vec<u32>, u32) {
     assert_eq!(rho.len(), g.n());
     let counts = predecessor_counts(g, rho);
     let counters = JoinCounters::from_values(&counts);
@@ -226,8 +225,6 @@ pub fn jp_color_levels(g: &CsrGraph, rho: &[u64]) -> (Vec<u32>, u32) {
             .flat_map_iter(|&v| {
                 let rv = rho[v as usize];
                 g.neighbors(v)
-                    .iter()
-                    .copied()
                     .filter(move |&u| rho[u as usize] < rv && counters_ref.join(u as usize))
             })
             .collect();
@@ -239,7 +236,7 @@ pub fn jp_color_levels(g: &CsrGraph, rho: &[u64]) -> (Vec<u32>, u32) {
 /// of the paper's depth bounds. Computed as the number of peeling levels of
 /// the DAG (identical to [`jp_color_levels`]'s round count but without
 /// doing the coloring work).
-pub fn dag_longest_path(g: &CsrGraph, rho: &[u64]) -> u32 {
+pub fn dag_longest_path<G: GraphView>(g: &G, rho: &[u64]) -> u32 {
     let counts = predecessor_counts(g, rho);
     let counters = JoinCounters::from_values(&counts);
     let mut frontier: Vec<u32> = g
@@ -256,8 +253,6 @@ pub fn dag_longest_path(g: &CsrGraph, rho: &[u64]) -> u32 {
             .flat_map_iter(|&v| {
                 let rv = rho[v as usize];
                 g.neighbors(v)
-                    .iter()
-                    .copied()
                     .filter(move |&u| rho[u as usize] < rv && counters_ref.join(u as usize))
             })
             .collect();
@@ -271,6 +266,7 @@ mod tests {
     use crate::verify::{assert_proper, num_colors};
     use pgc_graph::builder::from_edges;
     use pgc_graph::gen::{generate, GraphSpec};
+    use pgc_graph::CsrGraph;
     use pgc_order::{compute, OrderingKind};
     use pgc_primitives::random_permutation;
 

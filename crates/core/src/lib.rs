@@ -11,12 +11,12 @@
 //!   colorer.
 //! * [`dec`] — **DEC-ADG** (Alg. 4, contribution #3) and **DEC-ADG-ITR**
 //!   (§IV-C, contribution #4) built on the ADG low-degree decomposition.
-//! * [`speculative`] — the ITR/ITRB speculative baselines ([40], [38]).
+//! * [`speculative`] — the ITR/ITRB speculative baselines (\[40\], \[38\]).
 //! * [`greedy`] — sequential Greedy with FF/LF/SL/ID/SD orderings
 //!   (Table III class 2 quality baselines).
 //! * [`verify`] — proper-coloring verification and quality-bound oracles.
 //!
-//! Dispatch is uniform: every algorithm is a [`Colorer`] (see [`colorer`]
+//! Dispatch is uniform: every algorithm is a [`Colorer`] (see [`colorer()`]
 //! for the `Algorithm → Box<dyn Colorer>` registry), and the [`run`] facade
 //! resolves an [`Algorithm`] tag through that registry. A run returns a
 //! [`ColoringRun`] carrying the coloring plus the shared [`Instrumentation`]
@@ -34,7 +34,7 @@ pub mod verify;
 
 pub use colorer::{best_of, colorer, Colorer, Instrumentation};
 
-use pgc_graph::CsrGraph;
+use pgc_graph::GraphView;
 use pgc_order::{AdgOptions, OrderingKind, SortAlgo, ThresholdRule, UpdateStyle};
 use std::time::Duration;
 
@@ -51,9 +51,9 @@ pub enum Algorithm {
     /// Sequential Greedy, smallest-degree-last (degeneracy) order — the
     /// d+1 quality gold standard.
     GreedySl,
-    /// Sequential Greedy, incidence-degree order [1].
+    /// Sequential Greedy, incidence-degree order \[1\].
     GreedyId,
-    /// Sequential Greedy, saturation-degree order (DSATUR) [27].
+    /// Sequential Greedy, saturation-degree order (DSATUR) \[27\].
     GreedySd,
     /// JP with the natural order.
     JpFf,
@@ -73,11 +73,11 @@ pub enum Algorithm {
     JpAdg,
     /// **JP-ADG-M** (§V-D): 4d + 1 colors.
     JpAdgM,
-    /// Speculative iterative coloring (Çatalyürek et al. [40]).
+    /// Speculative iterative coloring (Çatalyürek et al. \[40\]).
     Itr,
-    /// Superstep-batched speculative coloring (Boman et al. [38]).
+    /// Superstep-batched speculative coloring (Boman et al. \[38\]).
     ItrB,
-    /// ITR guided by the ASL order (Patwary et al. [32]).
+    /// ITR guided by the ASL order (Patwary et al. \[32\]).
     ItrAsl,
     /// **SIM-COL** (Alg. 5): randomized speculation with per-vertex
     /// `⌈(1+µ)·deg⌉` palettes; ≤ ⌈(1+µ)Δ⌉ colors, O(log n) rounds w.h.p.
@@ -294,9 +294,9 @@ impl ColoringRun {
     }
 }
 
-/// Run `algo` on `g` with the given parameters, through the [`colorer`]
-/// registry.
-pub fn run(g: &CsrGraph, algo: Algorithm, params: &Params) -> ColoringRun {
+/// Run `algo` on `g` with the given parameters, through the [`colorer()`]
+/// registry. Accepts any [`GraphView`] representation.
+pub fn run<G: GraphView>(g: &G, algo: Algorithm, params: &Params) -> ColoringRun {
     colorer(algo).color(g, params)
 }
 

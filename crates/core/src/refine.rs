@@ -2,15 +2,15 @@
 //!
 //! The paper's related work (§VII) covers two practical post-processing
 //! families it leaves orthogonal to its contributions: *recoloring*
-//! (Culberson's iterated greedy [130], [131]) which improves an existing
-//! coloring's color count, and *balanced coloring* ([138]–[140]) which
+//! (Culberson's iterated greedy \[130\], \[131\]) which improves an existing
+//! coloring's color count, and *balanced coloring* (\[138\]–\[140\]) which
 //! equalizes color-class sizes for load-balanced scheduling. Both compose
 //! with every algorithm in this crate: run JP-ADG, then refine.
 
 use crate::greedy::greedy_in_sequence;
 use crate::verify::{color_histogram, num_colors};
 use crate::UNCOLORED;
-use pgc_graph::CsrGraph;
+use pgc_graph::GraphView;
 use pgc_primitives::{FixedBitmap, SplitMix64};
 
 /// One pass of Culberson's iterated greedy: re-run greedy with vertices
@@ -21,7 +21,7 @@ use pgc_primitives::{FixedBitmap, SplitMix64};
 ///
 /// `passes` alternates three class orders (reverse color index, decreasing
 /// size, random) — the classic recipe. Returns the best coloring found.
-pub fn iterated_greedy(g: &CsrGraph, colors: &[u32], passes: usize, seed: u64) -> Vec<u32> {
+pub fn iterated_greedy<G: GraphView>(g: &G, colors: &[u32], passes: usize, seed: u64) -> Vec<u32> {
     assert_eq!(colors.len(), g.n());
     let mut rng = SplitMix64::new(seed ^ 0x17E4);
     let mut current = colors.to_vec();
@@ -77,11 +77,11 @@ pub fn balance_stats(colors: &[u32]) -> (usize, usize, f64) {
     (max, min, max as f64 / avg)
 }
 
-/// Greedy balancing ([139]-style "vertex moving"): repeatedly move
+/// Greedy balancing (\[139\]-style "vertex moving"): repeatedly move
 /// vertices from overfull classes into the smallest permissible class.
 /// Properness and the color count are preserved; class sizes approach the
 /// mean. Returns the balanced coloring.
-pub fn balance_colors(g: &CsrGraph, colors: &[u32], max_rounds: usize) -> Vec<u32> {
+pub fn balance_colors<G: GraphView>(g: &G, colors: &[u32], max_rounds: usize) -> Vec<u32> {
     assert_eq!(colors.len(), g.n());
     let mut out = colors.to_vec();
     let k = num_colors(&out) as usize;
@@ -100,7 +100,7 @@ pub fn balance_colors(g: &CsrGraph, colors: &[u32], max_rounds: usize) -> Vec<u3
             }
             // Colors used by neighbors.
             forbidden.clear_all();
-            for &u in g.neighbors(v) {
+            for u in g.neighbors(v) {
                 let cu = out[u as usize];
                 if cu != UNCOLORED {
                     forbidden.set_saturating(cu as usize);

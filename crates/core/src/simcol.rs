@@ -23,7 +23,7 @@
 
 use crate::colorer::{Colorer, Instrumentation};
 use crate::{Algorithm, ColoringRun, Params, UNCOLORED};
-use pgc_graph::CsrGraph;
+use pgc_graph::GraphView;
 use pgc_primitives::bitmap::AtomicBitmap;
 use pgc_primitives::rng::uniform_at;
 use rayon::prelude::*;
@@ -33,12 +33,12 @@ use std::sync::atomic::{AtomicU32, Ordering as AtOrd};
 /// palette headroom `params.simcol_mu`.
 pub struct SimCol;
 
-impl Colorer for SimCol {
+impl<G: GraphView> Colorer<G> for SimCol {
     fn algorithm(&self) -> Algorithm {
         Algorithm::SimCol
     }
 
-    fn color(&self, g: &CsrGraph, params: &Params) -> ColoringRun {
+    fn color(&self, g: &G, params: &Params) -> ColoringRun {
         let mut instr = Instrumentation::default();
         let (colors, stats) = instr.coloring(|| sim_col(g, params.simcol_mu, params.seed));
         instr.record_rounds(stats.rounds, stats.retries);
@@ -46,10 +46,11 @@ impl Colorer for SimCol {
     }
 }
 
-/// Shared state for coloring partitions of one graph.
-pub struct SimColEngine<'a> {
+/// Shared state for coloring partitions of one graph (any
+/// [`GraphView`] representation).
+pub struct SimColEngine<'a, G: GraphView> {
     /// The host graph.
-    pub g: &'a CsrGraph,
+    pub g: &'a G,
     /// Fixed (committed) colors; `UNCOLORED` until a vertex is done.
     pub colors: &'a [AtomicU32],
     /// Per-round tentative draws; `UNCOLORED` outside phase windows, which
@@ -74,7 +75,7 @@ pub struct SimColStats {
     pub retries: u64,
 }
 
-impl<'a> SimColEngine<'a> {
+impl<'a, G: GraphView> SimColEngine<'a, G> {
     #[inline]
     fn bv_contains(&self, v: u32, c: u32) -> bool {
         c < self.palette[v as usize]
@@ -98,7 +99,7 @@ impl<'a> SimColEngine<'a> {
     /// `B_v` (Alg. 4 lines 16–18 before the call, and Alg. 5 part 3 inside
     /// the round loop — both are the same pull-style scan).
     fn absorb_fixed_neighbors(&self, v: u32) {
-        for &u in self.g.neighbors(v) {
+        for u in self.g.neighbors(v) {
             let c = self.colors[u as usize].load(AtOrd::Relaxed);
             if c != UNCOLORED {
                 self.bv_insert(v, c);
@@ -143,8 +144,7 @@ impl<'a> SimColEngine<'a> {
                         || self
                             .g
                             .neighbors(v)
-                            .iter()
-                            .any(|&u| self.tent[u as usize].load(AtOrd::Relaxed) == draw)
+                            .any(|u| self.tent[u as usize].load(AtOrd::Relaxed) == draw)
                 })
                 .collect();
 
@@ -155,8 +155,7 @@ impl<'a> SimColEngine<'a> {
                     || self
                         .g
                         .neighbors(v)
-                        .iter()
-                        .any(|&u| self.tent[u as usize].load(AtOrd::Relaxed) == draw);
+                        .any(|u| self.tent[u as usize].load(AtOrd::Relaxed) == draw);
                 if !lost {
                     self.colors[v as usize].store(draw, AtOrd::Relaxed);
                 }
@@ -210,7 +209,7 @@ impl<'a> SimColEngine<'a> {
                 .filter(|&v| {
                     let draw = self.tent[v as usize].load(AtOrd::Relaxed);
                     let pv = priority[v as usize];
-                    self.g.neighbors(v).iter().any(|&u| {
+                    self.g.neighbors(v).any(|u| {
                         self.tent[u as usize].load(AtOrd::Relaxed) == draw
                             && priority[u as usize] > pv
                     })
@@ -220,7 +219,7 @@ impl<'a> SimColEngine<'a> {
             active.par_iter().for_each(|&v| {
                 let draw = self.tent[v as usize].load(AtOrd::Relaxed);
                 let pv = priority[v as usize];
-                let lost = self.g.neighbors(v).iter().any(|&u| {
+                let lost = self.g.neighbors(v).any(|u| {
                     self.tent[u as usize].load(AtOrd::Relaxed) == draw && priority[u as usize] > pv
                 });
                 if !lost {
@@ -263,7 +262,7 @@ pub fn palette_layout(constraint_deg: &[u32], headroom: f64) -> (Vec<u32>, Vec<u
 /// Standalone SIM-COL: color an entire graph with `⌈(1+µ)Δ⌉` colors w.h.p.
 /// in O(log n) rounds (Lemmas 10–11). Primarily a test vehicle; DEC-ADG
 /// calls the engine per partition instead.
-pub fn sim_col(g: &CsrGraph, mu: f64, seed: u64) -> (Vec<u32>, SimColStats) {
+pub fn sim_col<G: GraphView>(g: &G, mu: f64, seed: u64) -> (Vec<u32>, SimColStats) {
     assert!(mu > 0.0, "SIM-COL requires mu > 0");
     let n = g.n();
     let deg = g.degree_array();

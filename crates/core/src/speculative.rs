@@ -1,5 +1,5 @@
-//! Speculative coloring baselines: **ITR** (Çatalyürek et al. [40]) and
-//! **ITRB** (Boman et al. [38]).
+//! Speculative coloring baselines: **ITR** (Çatalyürek et al. \[40\]) and
+//! **ITRB** (Boman et al. \[38\]).
 //!
 //! The speculative recipe (Table III class 1): color all active vertices
 //! *optimistically* in parallel (each takes the smallest color unused by
@@ -20,7 +20,7 @@
 
 use crate::colorer::{Colorer, Instrumentation};
 use crate::{Algorithm, ColoringRun, Params, UNCOLORED};
-use pgc_graph::CsrGraph;
+use pgc_graph::GraphView;
 use pgc_primitives::{random_permutation, FixedBitmap};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering as AtOrd};
@@ -43,12 +43,12 @@ impl Speculative {
     }
 }
 
-impl Colorer for Speculative {
+impl<G: GraphView> Colorer<G> for Speculative {
     fn algorithm(&self) -> Algorithm {
         self.algo
     }
 
-    fn color(&self, g: &CsrGraph, params: &Params) -> ColoringRun {
+    fn color(&self, g: &G, params: &Params) -> ColoringRun {
         let mut instr = Instrumentation::default();
         let priority: Vec<u64> = match self.algo.ordering_kind(params) {
             Some(kind) => instr.ordering(|| pgc_order::compute(g, &kind, params.seed).rho),
@@ -80,7 +80,7 @@ pub struct ItrOutcome {
 
 /// Core speculative loop. `priority` breaks conflicts (higher value wins);
 /// `batch` bounds the vertices processed per superstep (0 = all).
-pub fn itr(g: &CsrGraph, priority: &[u64], batch: usize, _seed: u64) -> ItrOutcome {
+pub fn itr<G: GraphView>(g: &G, priority: &[u64], batch: usize, _seed: u64) -> ItrOutcome {
     let n = g.n();
     assert_eq!(priority.len(), n);
     let colors: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNCOLORED)).collect();
@@ -112,7 +112,7 @@ pub fn itr(g: &CsrGraph, priority: &[u64], batch: usize, _seed: u64) -> ItrOutco
                 let cap = g.degree(v) as usize + 1;
                 scratch.clear_all();
                 scratch.ensure_len(cap);
-                for &u in g.neighbors(v) {
+                for u in g.neighbors(v) {
                     let c = colors[u as usize].load(AtOrd::Relaxed);
                     if c != UNCOLORED && (c as usize) < cap {
                         scratch.set(c as usize);
@@ -132,7 +132,7 @@ pub fn itr(g: &CsrGraph, priority: &[u64], batch: usize, _seed: u64) -> ItrOutco
             .filter(|&v| {
                 let cv = tent[v as usize].load(AtOrd::Relaxed);
                 let pv = priority[v as usize];
-                g.neighbors(v).iter().any(|&u| {
+                g.neighbors(v).any(|u| {
                     tent[u as usize].load(AtOrd::Relaxed) == cv && priority[u as usize] > pv
                 })
             })
@@ -144,8 +144,7 @@ pub fn itr(g: &CsrGraph, priority: &[u64], batch: usize, _seed: u64) -> ItrOutco
             let pv = priority[v as usize];
             let lost = g
                 .neighbors(v)
-                .iter()
-                .any(|&u| tent[u as usize].load(AtOrd::Relaxed) == cv && priority[u as usize] > pv);
+                .any(|u| tent[u as usize].load(AtOrd::Relaxed) == cv && priority[u as usize] > pv);
             if !lost {
                 colors[v as usize].store(cv, AtOrd::Relaxed);
             }
@@ -172,6 +171,7 @@ mod tests {
     use super::*;
     use crate::verify::{assert_proper, num_colors};
     use pgc_graph::gen::{generate, GraphSpec};
+    use pgc_graph::CsrGraph;
 
     fn prio(n: usize, seed: u64) -> Vec<u64> {
         random_permutation(n, seed)

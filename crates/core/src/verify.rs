@@ -6,17 +6,17 @@
 //! "Quality" column) so tests and the harness can assert them.
 
 use crate::UNCOLORED;
-use pgc_graph::CsrGraph;
+use pgc_graph::GraphView;
 use rayon::prelude::*;
 
 /// True iff every vertex has a color and no edge is monochromatic.
-pub fn is_proper(g: &CsrGraph, colors: &[u32]) -> bool {
+pub fn is_proper<G: GraphView>(g: &G, colors: &[u32]) -> bool {
     find_violation(g, colors).is_none()
 }
 
 /// The first violation, if any: either an uncolored vertex (`(v, v)`) or a
 /// monochromatic edge `(u, v)`.
-pub fn find_violation(g: &CsrGraph, colors: &[u32]) -> Option<(u32, u32)> {
+pub fn find_violation<G: GraphView>(g: &G, colors: &[u32]) -> Option<(u32, u32)> {
     if colors.len() != g.n() {
         return Some((0, 0));
     }
@@ -25,14 +25,13 @@ pub fn find_violation(g: &CsrGraph, colors: &[u32]) -> Option<(u32, u32)> {
             return Some((v, v));
         }
         g.neighbors(v)
-            .iter()
-            .find(|&&u| colors[u as usize] == colors[v as usize])
-            .map(|&u| (v, u))
+            .find(|&u| colors[u as usize] == colors[v as usize])
+            .map(|u| (v, u))
     })
 }
 
 /// Panic with a diagnostic if the coloring is not proper.
-pub fn assert_proper(g: &CsrGraph, colors: &[u32]) {
+pub fn assert_proper<G: GraphView>(g: &G, colors: &[u32]) {
     if let Some((v, u)) = find_violation(g, colors) {
         if v == u {
             panic!("vertex {v} is uncolored");

@@ -1,12 +1,16 @@
 //! Edge-list → CSR construction.
 //!
 //! Accepts arbitrary (possibly duplicated, self-looped, one-directional)
-//! edge lists and produces a clean undirected simple [`CsrGraph`]:
-//! self-loops dropped, both arc directions materialized, neighbor lists
-//! sorted and deduplicated. Sorting uses rayon's parallel sort — the
-//! construction is off the measured path in the paper, but large generator
-//! outputs benefit.
+//! edge lists and produces a clean undirected simple graph: self-loops
+//! dropped, both arc directions materialized, neighbor lists sorted and
+//! deduplicated. [`EdgeListBuilder::build`] produces the default
+//! [`CompactCsr`] (u32 offsets whenever they fit);
+//! [`EdgeListBuilder::build_legacy`] the machine-word-offset [`CsrGraph`]
+//! kept for representation-equivalence tests. Sorting uses rayon's
+//! parallel sort — the construction is off the measured path in the paper,
+//! but large generator outputs benefit.
 
+use crate::compact::CompactCsr;
 use crate::csr::CsrGraph;
 use rayon::prelude::*;
 
@@ -57,8 +61,21 @@ impl EdgeListBuilder {
         self.edges.extend(it);
     }
 
-    /// Build the CSR graph: symmetrize, drop self-loops, sort, dedup.
-    pub fn build(self) -> CsrGraph {
+    /// Build the default [`CompactCsr`]: symmetrize, drop self-loops,
+    /// sort, dedup; offsets narrowed to `u32` when `2m < u32::MAX`.
+    pub fn build(self) -> CompactCsr {
+        let (offsets, neighbors) = self.build_arrays();
+        CompactCsr::from_raw(offsets, neighbors)
+    }
+
+    /// Build the legacy machine-word-offset [`CsrGraph`] from the same
+    /// pipeline (bit-identical adjacency, used by the equivalence suite).
+    pub fn build_legacy(self) -> CsrGraph {
+        let (offsets, neighbors) = self.build_arrays();
+        CsrGraph::from_raw(offsets, neighbors)
+    }
+
+    fn build_arrays(self) -> (Vec<usize>, Vec<u32>) {
         let n = self.n;
         // Materialize both directions, dropping self-loops.
         let mut arcs: Vec<u64> = Vec::with_capacity(self.edges.len() * 2);
@@ -85,15 +102,22 @@ impl EdgeListBuilder {
             offsets[i + 1] += offsets[i];
         }
         let neighbors: Vec<u32> = arcs.iter().map(|&a| a as u32).collect();
-        CsrGraph::from_raw(offsets, neighbors)
+        (offsets, neighbors)
     }
 }
 
 /// Convenience: build a graph directly from an edge slice.
-pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
+pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> CompactCsr {
     let mut b = EdgeListBuilder::with_capacity(n, edges.len());
     b.extend_edges(edges.iter().copied());
     b.build()
+}
+
+/// [`from_edges`] producing the legacy [`CsrGraph`] representation.
+pub fn from_edges_legacy(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
+    let mut b = EdgeListBuilder::with_capacity(n, edges.len());
+    b.extend_edges(edges.iter().copied());
+    b.build_legacy()
 }
 
 #[cfg(test)]

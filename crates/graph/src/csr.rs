@@ -6,7 +6,68 @@
 //! paper's `1..n` shifted to 0-based); the id order is the total order `≺`
 //! used to sort neighborhoods.
 
-/// An immutable, undirected, simple graph in CSR form.
+use crate::view::{GraphMemory, GraphView};
+use rayon::prelude::*;
+
+/// Cached degree extremes `(Δ, δ)` from an offsets accessor — shared by
+/// every CSR-shaped representation so the construction-time caching
+/// semantics cannot diverge between layouts.
+pub(crate) fn degree_extremes(n: usize, offset: impl Fn(usize) -> usize) -> (u32, u32) {
+    let (max_deg, min_deg) = (0..n)
+        .map(|v| (offset(v + 1) - offset(v)) as u32)
+        .fold((0u32, u32::MAX), |(mx, mn), d| (mx.max(d), mn.min(d)));
+    (max_deg, if n == 0 { 0 } else { min_deg })
+}
+
+/// Check the CSR invariants of `(offsets, neighbors)` arrays behind an
+/// accessor, without copying anything: offsets non-decreasing from 0 to
+/// `neighbors.len()`, adjacencies strictly ascending, in range, loop-free,
+/// and symmetric. Returns the first violation, if any.
+pub(crate) fn validate_csr_arrays(
+    offsets_len: usize,
+    offset: impl Fn(usize) -> usize,
+    neighbors: &[u32],
+) -> Result<(), String> {
+    if offsets_len == 0 {
+        return Err("offsets must have length n+1 >= 1".into());
+    }
+    if offset(0) != 0 {
+        return Err("offsets[0] must be 0".into());
+    }
+    if offset(offsets_len - 1) != neighbors.len() {
+        return Err("offsets must end at neighbors.len()".into());
+    }
+    let n = (offsets_len - 1) as u32;
+    let adjacency = |v: u32| &neighbors[offset(v as usize)..offset(v as usize + 1)];
+    for v in 0..n {
+        let (lo, hi) = (offset(v as usize), offset(v as usize + 1));
+        if lo > hi {
+            return Err(format!("offsets decrease at vertex {v}"));
+        }
+        let nbrs = &neighbors[lo..hi];
+        for w in nbrs.windows(2) {
+            if w[0] >= w[1] {
+                return Err(format!("neighbors of {v} not strictly increasing"));
+            }
+        }
+        for &u in nbrs {
+            if u >= n {
+                return Err(format!("neighbor {u} of {v} out of range"));
+            }
+            if u == v {
+                return Err(format!("self-loop at {v}"));
+            }
+            if adjacency(u).binary_search(&v).is_err() {
+                return Err(format!("asymmetric edge ({v},{u})"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// An immutable, undirected, simple graph in CSR form with machine-word
+/// offsets — the legacy layout kept for representation-equivalence testing
+/// ([`crate::CompactCsr`] is the default).
 ///
 /// Invariants (enforced by [`crate::builder::EdgeListBuilder`] and checked
 /// by [`CsrGraph::validate`]):
@@ -18,13 +79,27 @@
 pub struct CsrGraph {
     offsets: Vec<usize>,
     neighbors: Vec<u32>,
+    max_deg: u32,
+    min_deg: u32,
 }
 
 impl CsrGraph {
-    /// Construct from raw CSR arrays. Debug builds validate the invariants.
+    /// Construct from raw CSR arrays (Δ and δ are cached here, making
+    /// [`max_degree`](Self::max_degree) / [`min_degree`](Self::min_degree)
+    /// O(1)). Debug builds validate the invariants.
     pub fn from_raw(offsets: Vec<usize>, neighbors: Vec<u32>) -> Self {
-        let g = Self { offsets, neighbors };
-        debug_assert!(g.validate().is_ok(), "{:?}", g.validate());
+        let n = offsets.len().saturating_sub(1);
+        let (max_deg, min_deg) = degree_extremes(n, |i| offsets[i]);
+        let g = Self {
+            offsets,
+            neighbors,
+            max_deg,
+            min_deg,
+        };
+        #[cfg(debug_assertions)]
+        if let Err(e) = g.validate() {
+            panic!("invalid CSR: {e}");
+        }
         g
     }
 
@@ -33,6 +108,8 @@ impl CsrGraph {
         Self {
             offsets: vec![0; n + 1],
             neighbors: Vec::new(),
+            max_deg: 0,
+            min_deg: 0,
         }
     }
 
@@ -71,20 +148,16 @@ impl CsrGraph {
         self.neighbors(u).binary_search(&v).is_ok()
     }
 
-    /// Maximum degree Δ.
+    /// Maximum degree Δ (cached at construction).
+    #[inline]
     pub fn max_degree(&self) -> u32 {
-        (0..self.n() as u32)
-            .map(|v| self.degree(v))
-            .max()
-            .unwrap_or(0)
+        self.max_deg
     }
 
-    /// Minimum degree δ.
+    /// Minimum degree δ (cached at construction).
+    #[inline]
     pub fn min_degree(&self) -> u32 {
-        (0..self.n() as u32)
-            .map(|v| self.degree(v))
-            .min()
-            .unwrap_or(0)
+        self.min_deg
     }
 
     /// Average degree δ̂ = 2m / n.
@@ -129,45 +202,67 @@ impl CsrGraph {
     /// Check all CSR invariants; returns a description of the first
     /// violation, if any.
     pub fn validate(&self) -> Result<(), String> {
-        if self.offsets.is_empty() {
-            return Err("offsets must have length n+1 >= 1".into());
-        }
-        if self.offsets[0] != 0 {
-            return Err("offsets[0] must be 0".into());
-        }
-        if *self.offsets.last().unwrap() != self.neighbors.len() {
-            return Err("offsets must end at neighbors.len()".into());
-        }
-        let n = self.n() as u32;
-        for v in 0..n {
-            let (lo, hi) = (self.offsets[v as usize], self.offsets[v as usize + 1]);
-            if lo > hi {
-                return Err(format!("offsets decrease at vertex {v}"));
-            }
-            let nbrs = &self.neighbors[lo..hi];
-            for w in nbrs.windows(2) {
-                if w[0] >= w[1] {
-                    return Err(format!("neighbors of {v} not strictly increasing"));
-                }
-            }
-            for &u in nbrs {
-                if u >= n {
-                    return Err(format!("neighbor {u} of {v} out of range"));
-                }
-                if u == v {
-                    return Err(format!("self-loop at {v}"));
-                }
-                if !self.has_edge(u, v) {
-                    return Err(format!("asymmetric edge ({v},{u})"));
-                }
-            }
-        }
-        Ok(())
+        validate_csr_arrays(self.offsets.len(), |i| self.offsets[i], &self.neighbors)
     }
 
-    /// Degree array `D = [deg(v_1) … deg(v_n)]` (Alg. 1, line 4).
+    /// Degree array `D = [deg(v_1) … deg(v_n)]` (Alg. 1, line 4; parallel).
     pub fn degree_array(&self) -> Vec<u32> {
-        (0..self.n() as u32).map(|v| self.degree(v)).collect()
+        self.vertices()
+            .into_par_iter()
+            .map(|v| self.degree(v))
+            .collect()
+    }
+}
+
+impl GraphView for CsrGraph {
+    type Neighbors<'a> = std::iter::Copied<std::slice::Iter<'a, u32>>;
+
+    #[inline]
+    fn n(&self) -> usize {
+        CsrGraph::n(self)
+    }
+
+    #[inline]
+    fn num_arcs(&self) -> usize {
+        CsrGraph::num_arcs(self)
+    }
+
+    #[inline]
+    fn degree(&self, v: u32) -> u32 {
+        CsrGraph::degree(self, v)
+    }
+
+    #[inline]
+    fn neighbors(&self, v: u32) -> Self::Neighbors<'_> {
+        CsrGraph::neighbors(self, v).iter().copied()
+    }
+
+    #[inline]
+    fn max_degree(&self) -> u32 {
+        self.max_deg
+    }
+
+    #[inline]
+    fn min_degree(&self) -> u32 {
+        self.min_deg
+    }
+
+    fn degree_array(&self) -> Vec<u32> {
+        CsrGraph::degree_array(self)
+    }
+
+    fn has_edge(&self, u: u32, v: u32) -> bool {
+        CsrGraph::has_edge(self, u, v)
+    }
+
+    fn memory_footprint(&self) -> GraphMemory {
+        GraphMemory {
+            offset_width: std::mem::size_of::<usize>(),
+            offset_count: self.offsets.len(),
+            neighbor_width: std::mem::size_of::<u32>(),
+            neighbor_count: self.neighbors.len(),
+            aux_bytes: 0,
+        }
     }
 }
 
@@ -181,7 +276,7 @@ mod tests {
         b.add_edge(0, 1);
         b.add_edge(1, 2);
         b.add_edge(0, 2);
-        b.build()
+        b.build_legacy()
     }
 
     #[test]
@@ -234,6 +329,8 @@ mod tests {
         let g = CsrGraph {
             offsets: vec![0, 1, 1],
             neighbors: vec![1],
+            max_deg: 0,
+            min_deg: 0,
         };
         assert!(g.validate().is_err());
     }
@@ -243,6 +340,8 @@ mod tests {
         let g = CsrGraph {
             offsets: vec![0, 1],
             neighbors: vec![0],
+            max_deg: 0,
+            min_deg: 0,
         };
         assert!(g.validate().is_err());
     }
@@ -252,6 +351,8 @@ mod tests {
         let g = CsrGraph {
             offsets: vec![0, 2, 3, 5],
             neighbors: vec![2, 1, 0, 0, 1],
+            max_deg: 0,
+            min_deg: 0,
         };
         assert!(g.validate().is_err());
     }

@@ -9,7 +9,7 @@
 //! * the SL ordering baseline (JP-SL, Greedy-SL),
 //! * per-vertex coreness (used by tests to cross-check `d = max coreness`).
 
-use crate::csr::CsrGraph;
+use crate::view::GraphView;
 
 /// Output of the exact peeling pass.
 #[derive(Clone, Debug)]
@@ -28,7 +28,7 @@ pub struct DegeneracyInfo {
 }
 
 /// Linear-time `O(n + m)` bucket peeling (Matula–Beck / Batagelj–Zaveršnik).
-pub fn degeneracy(g: &CsrGraph) -> DegeneracyInfo {
+pub fn degeneracy<G: GraphView>(g: &G) -> DegeneracyInfo {
     let n = g.n();
     if n == 0 {
         return DegeneracyInfo {
@@ -73,7 +73,7 @@ pub fn degeneracy(g: &CsrGraph) -> DegeneracyInfo {
         let dv = deg[v as usize];
         coreness[v as usize] = dv;
         d_max = d_max.max(dv);
-        for &u in g.neighbors(v) {
+        for u in g.neighbors(v) {
             let du = deg[u as usize];
             if du > dv {
                 // Swap `u` with the head of its degree bucket, then shrink
@@ -108,14 +108,13 @@ pub fn degeneracy(g: &CsrGraph) -> DegeneracyInfo {
 /// at most `k` neighbors that appear later in `removal_order`. Returns the
 /// maximum such "forward degree" (which equals the degeneracy when the
 /// order is exact).
-pub fn max_forward_degree(g: &CsrGraph, removal_pos: &[u32]) -> u32 {
+pub fn max_forward_degree<G: GraphView>(g: &G, removal_pos: &[u32]) -> u32 {
     let mut worst = 0u32;
     for v in g.vertices() {
         let pv = removal_pos[v as usize];
         let fwd = g
             .neighbors(v)
-            .iter()
-            .filter(|&&u| removal_pos[u as usize] > pv)
+            .filter(|&u| removal_pos[u as usize] > pv)
             .count() as u32;
         worst = worst.max(fwd);
     }
@@ -126,6 +125,7 @@ pub fn max_forward_degree(g: &CsrGraph, removal_pos: &[u32]) -> u32 {
 mod tests {
     use super::*;
     use crate::builder::from_edges;
+    use crate::csr::CsrGraph;
 
     #[test]
     fn empty_and_isolated() {

@@ -1,7 +1,7 @@
 //! Seeded synthetic graph generators.
 //!
 //! The paper evaluates on SNAP / KONECT / DIMACS / WebGraph datasets
-//! (Table V) plus Kronecker graphs for weak scaling (§VI-F, [101]). The
+//! (Table V) plus Kronecker graphs for weak scaling (§VI-F, \[101\]). The
 //! real datasets are not redistributable here, so each dataset *category*
 //! gets a synthetic proxy spanning the same structural regime (see
 //! DESIGN.md §5): the paper's bounds and comparisons are parameterized only
@@ -11,7 +11,7 @@
 //! All generators are deterministic in `(spec, seed)`.
 
 use crate::builder::EdgeListBuilder;
-use crate::csr::CsrGraph;
+use crate::compact::CompactCsr;
 use pgc_primitives::SplitMix64;
 
 /// A recipe for a synthetic graph.
@@ -27,7 +27,7 @@ pub enum GraphSpec {
     BarabasiAlbert { n: usize, attach: usize },
     /// RMAT / stochastic-Kronecker (Graph500 parameters a=0.57, b=0.19,
     /// c=0.19): `n = 2^scale`, `m = n * edge_factor`. Proxy for hyperlink
-    /// graphs (`h-*`) and the paper's weak-scaling workload [101].
+    /// graphs (`h-*`) and the paper's weak-scaling workload \[101\].
     Rmat { scale: u32, edge_factor: usize },
     /// 2D grid (4-neighborhood), `rows × cols` vertices: planar, degeneracy
     /// 2 — proxy for road networks (`v-usa`).
@@ -80,7 +80,7 @@ impl GraphSpec {
 }
 
 /// Generate the graph described by `spec`, deterministically in `seed`.
-pub fn generate(spec: &GraphSpec, seed: u64) -> CsrGraph {
+pub fn generate(spec: &GraphSpec, seed: u64) -> CompactCsr {
     match *spec {
         GraphSpec::ErdosRenyi { n, m } => erdos_renyi(n, m, seed),
         GraphSpec::BarabasiAlbert { n, attach } => barabasi_albert(n, attach, seed),
@@ -96,11 +96,11 @@ pub fn generate(spec: &GraphSpec, seed: u64) -> CsrGraph {
         GraphSpec::Path { n } => path(n),
         GraphSpec::Cycle { n } => cycle(n),
         GraphSpec::Star { n } => star(n),
-        GraphSpec::Empty { n } => CsrGraph::empty(n),
+        GraphSpec::Empty { n } => CompactCsr::empty(n),
     }
 }
 
-fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
+fn erdos_renyi(n: usize, m: usize, seed: u64) -> CompactCsr {
     let mut rng = SplitMix64::new(seed ^ 0xE2D0);
     let mut b = EdgeListBuilder::with_capacity(n, m);
     if n < 2 {
@@ -114,7 +114,7 @@ fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
     b.build()
 }
 
-fn barabasi_albert(n: usize, attach: usize, seed: u64) -> CsrGraph {
+fn barabasi_albert(n: usize, attach: usize, seed: u64) -> CompactCsr {
     let mut rng = SplitMix64::new(seed ^ 0xBA0B);
     let attach = attach.max(1);
     let mut b = EdgeListBuilder::with_capacity(n, n * attach);
@@ -149,7 +149,7 @@ fn barabasi_albert(n: usize, attach: usize, seed: u64) -> CsrGraph {
     b.build()
 }
 
-fn rmat(scale: u32, edge_factor: usize, seed: u64) -> CsrGraph {
+fn rmat(scale: u32, edge_factor: usize, seed: u64) -> CompactCsr {
     let n = 1usize << scale;
     let m = n * edge_factor;
     let (a, bb, c) = (0.57, 0.19, 0.19);
@@ -176,7 +176,7 @@ fn rmat(scale: u32, edge_factor: usize, seed: u64) -> CsrGraph {
     b.build()
 }
 
-fn grid2d(rows: usize, cols: usize) -> CsrGraph {
+fn grid2d(rows: usize, cols: usize) -> CompactCsr {
     let id = |r: usize, c: usize| (r * cols + c) as u32;
     let mut b = EdgeListBuilder::with_capacity(rows * cols, 2 * rows * cols);
     for r in 0..rows {
@@ -192,7 +192,7 @@ fn grid2d(rows: usize, cols: usize) -> CsrGraph {
     b.build()
 }
 
-fn ring_of_cliques(cliques: usize, clique_size: usize) -> CsrGraph {
+fn ring_of_cliques(cliques: usize, clique_size: usize) -> CompactCsr {
     let n = cliques * clique_size;
     let mut b = EdgeListBuilder::new(n);
     for q in 0..cliques {
@@ -211,7 +211,7 @@ fn ring_of_cliques(cliques: usize, clique_size: usize) -> CsrGraph {
     b.build()
 }
 
-fn planted_coloring(n: usize, k: u32, m: usize, seed: u64) -> CsrGraph {
+fn planted_coloring(n: usize, k: u32, m: usize, seed: u64) -> CompactCsr {
     let k = k.max(2);
     let mut rng = SplitMix64::new(seed ^ 0x9A27);
     let mut b = EdgeListBuilder::with_capacity(n, m);
@@ -234,7 +234,7 @@ fn planted_coloring(n: usize, k: u32, m: usize, seed: u64) -> CsrGraph {
     b.build()
 }
 
-fn k_out(n: usize, k: usize, seed: u64) -> CsrGraph {
+fn k_out(n: usize, k: usize, seed: u64) -> CompactCsr {
     let mut rng = SplitMix64::new(seed ^ 0x0C07);
     let mut b = EdgeListBuilder::with_capacity(n, n * k);
     if n < 2 {
@@ -252,7 +252,7 @@ fn k_out(n: usize, k: usize, seed: u64) -> CsrGraph {
     b.build()
 }
 
-fn complete(n: usize) -> CsrGraph {
+fn complete(n: usize) -> CompactCsr {
     let mut b = EdgeListBuilder::new(n);
     for u in 0..n as u32 {
         for v in (u + 1)..n as u32 {
@@ -262,7 +262,7 @@ fn complete(n: usize) -> CsrGraph {
     b.build()
 }
 
-fn path(n: usize) -> CsrGraph {
+fn path(n: usize) -> CompactCsr {
     let mut b = EdgeListBuilder::new(n);
     for v in 1..n as u32 {
         b.add_edge(v - 1, v);
@@ -270,7 +270,7 @@ fn path(n: usize) -> CsrGraph {
     b.build()
 }
 
-fn cycle(n: usize) -> CsrGraph {
+fn cycle(n: usize) -> CompactCsr {
     let mut b = EdgeListBuilder::new(n);
     if n >= 3 {
         for v in 1..n as u32 {
@@ -283,7 +283,7 @@ fn cycle(n: usize) -> CsrGraph {
     b.build()
 }
 
-fn star(n: usize) -> CsrGraph {
+fn star(n: usize) -> CompactCsr {
     let mut b = EdgeListBuilder::new(n);
     for v in 1..n as u32 {
         b.add_edge(0, v);

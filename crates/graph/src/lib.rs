@@ -2,8 +2,16 @@
 //!
 //! Graph substrate for the SC'20 graph-coloring reproduction:
 //!
-//! * [`csr`] — the paper's graph representation (§II-A): CSR with `n`
-//!   offsets and `2m` sorted neighbor words, undirected simple graphs,
+//! * [`view`] — the representation-generic [`GraphView`] trait every
+//!   algorithm crate is written against, plus the [`GraphMemory`]
+//!   footprint record,
+//! * [`compact`] — [`CompactCsr`], the default representation: the paper's
+//!   CSR (§II-A) with `u32` offsets whenever `2m < u32::MAX` (half the
+//!   offset memory of the legacy layout) and a transparent wide fallback,
+//! * [`csr`] — the legacy machine-word-offset [`CsrGraph`], kept as the
+//!   equivalence-test baseline,
+//! * [`induced`] — [`InducedView`], a zero-copy induced-subgraph view
+//!   (vertex mask + remap) over any other view,
 //! * [`builder`] — edge-list → CSR construction (dedup, de-loop,
 //!   symmetrize, sort) with parallel sorting,
 //! * [`gen`] — seeded synthetic generators standing in for the paper's
@@ -11,17 +19,23 @@
 //!   workloads (§VI-F); see DESIGN.md §5 for the substitution argument,
 //! * [`io`] — plain edge-list and DIMACS `.col` readers/writers so real
 //!   datasets can be used when available,
-//! * [`degeneracy`] — exact degeneracy, coreness, and the smallest-degree-
+//! * [`degeneracy`](mod@degeneracy) — exact degeneracy, coreness, and the smallest-degree-
 //!   last (SL) removal order via linear-time bucket peeling (Matula–Beck),
 //!   the ground truth against which ADG's approximation is validated.
 
 pub mod builder;
+pub mod compact;
 pub mod csr;
 pub mod degeneracy;
 pub mod gen;
+pub mod induced;
 pub mod io;
 pub mod transform;
+pub mod view;
 
 pub use builder::EdgeListBuilder;
+pub use compact::CompactCsr;
 pub use csr::CsrGraph;
 pub use degeneracy::{degeneracy, DegeneracyInfo};
+pub use induced::InducedView;
+pub use view::{GraphMemory, GraphView};

@@ -6,12 +6,13 @@
 //! ids are sparse or that contain small disconnected debris.
 
 use crate::builder::EdgeListBuilder;
-use crate::csr::CsrGraph;
+use crate::compact::CompactCsr;
+use crate::view::GraphView;
 
 /// The subgraph induced by `vertices` (paper notation `G[U]`), with
 /// vertices relabeled `0..|U|` in the order given. Returns the graph and
 /// the mapping `new_id -> old_id`.
-pub fn induced_subgraph(g: &CsrGraph, vertices: &[u32]) -> (CsrGraph, Vec<u32>) {
+pub fn induced_subgraph<G: GraphView>(g: &G, vertices: &[u32]) -> (CompactCsr, Vec<u32>) {
     let mut old_to_new = vec![u32::MAX; g.n()];
     for (new, &old) in vertices.iter().enumerate() {
         assert!(
@@ -22,7 +23,7 @@ pub fn induced_subgraph(g: &CsrGraph, vertices: &[u32]) -> (CsrGraph, Vec<u32>) 
     }
     let mut b = EdgeListBuilder::new(vertices.len());
     for (new, &old) in vertices.iter().enumerate() {
-        for &nb in g.neighbors(old) {
+        for nb in g.neighbors(old) {
             let nn = old_to_new[nb as usize];
             if nn != u32::MAX && (new as u32) < nn {
                 b.add_edge(new as u32, nn);
@@ -34,7 +35,7 @@ pub fn induced_subgraph(g: &CsrGraph, vertices: &[u32]) -> (CsrGraph, Vec<u32>) 
 
 /// Connected components by BFS. Returns `(component_id_per_vertex,
 /// component_count)`.
-pub fn connected_components(g: &CsrGraph) -> (Vec<u32>, u32) {
+pub fn connected_components<G: GraphView>(g: &G) -> (Vec<u32>, u32) {
     let n = g.n();
     let mut comp = vec![u32::MAX; n];
     let mut next = 0u32;
@@ -47,7 +48,7 @@ pub fn connected_components(g: &CsrGraph) -> (Vec<u32>, u32) {
         queue.clear();
         queue.push(s);
         while let Some(v) = queue.pop() {
-            for &u in g.neighbors(v) {
+            for u in g.neighbors(v) {
                 if comp[u as usize] == u32::MAX {
                     comp[u as usize] = next;
                     queue.push(u);
@@ -62,10 +63,10 @@ pub fn connected_components(g: &CsrGraph) -> (Vec<u32>, u32) {
 /// The largest connected component as a relabeled graph plus the
 /// `new_id -> old_id` map. Useful for road-network-like datasets with
 /// disconnected debris.
-pub fn largest_component(g: &CsrGraph) -> (CsrGraph, Vec<u32>) {
+pub fn largest_component<G: GraphView>(g: &G) -> (CompactCsr, Vec<u32>) {
     let (comp, k) = connected_components(g);
     if k == 0 {
-        return (CsrGraph::empty(0), Vec::new());
+        return (CompactCsr::empty(0), Vec::new());
     }
     let mut sizes = vec![0usize; k as usize];
     for &c in &comp {
@@ -80,7 +81,7 @@ pub fn largest_component(g: &CsrGraph) -> (CsrGraph, Vec<u32>) {
 
 /// Histogram of vertex degrees: `hist[d]` = number of vertices of degree
 /// `d` (length `Δ + 1`).
-pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+pub fn degree_histogram<G: GraphView>(g: &G) -> Vec<usize> {
     let mut hist = vec![0usize; g.max_degree() as usize + 1];
     for v in g.vertices() {
         hist[g.degree(v) as usize] += 1;
@@ -91,7 +92,7 @@ pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
 /// Relabel vertices by a permutation: `perm[old] = new`. Preserves the
 /// edge set; used to study order-sensitivity (e.g. cache traces under
 /// different layouts).
-pub fn relabel(g: &CsrGraph, perm: &[u32]) -> CsrGraph {
+pub fn relabel<G: GraphView>(g: &G, perm: &[u32]) -> CompactCsr {
     assert_eq!(perm.len(), g.n());
     let mut b = EdgeListBuilder::with_capacity(g.n(), g.m());
     for (u, v) in g.edges() {
@@ -150,7 +151,7 @@ mod tests {
 
     #[test]
     fn largest_component_of_empty() {
-        let (big, map) = largest_component(&CsrGraph::empty(0));
+        let (big, map) = largest_component(&CompactCsr::empty(0));
         assert_eq!(big.n(), 0);
         assert!(map.is_empty());
     }

@@ -8,7 +8,7 @@ use crate::profiles::performance_profiles;
 use crate::table::{ms, Table};
 use pgc_core::{best_of, run, Algorithm, Instrumentation, Params};
 use pgc_graph::gen::{generate, suite, GraphSpec, SuiteGraph};
-use pgc_graph::CsrGraph;
+use pgc_graph::{CompactCsr, GraphView};
 use pgc_order::{compute, max_back_degree, AdgOptions, OrderingKind, UpdateStyle};
 
 /// Shared experiment configuration.
@@ -69,8 +69,20 @@ pub fn parse_thread_list(s: &str) -> Option<Vec<usize>> {
     list.filter(|l| !l.is_empty())
 }
 
+/// Offset + neighbor bytes of a graph's representation, in MiB — the
+/// paper's §II-A word budget as actually laid out in memory. Printed in
+/// the fig2-style tables so `CompactCsr`'s 4-byte-offset saving is
+/// visible next to the timings.
+fn graph_mib<G: GraphView>(g: &G) -> String {
+    let fp = g.memory_footprint();
+    format!(
+        "{:.2}",
+        (fp.offset_bytes() + fp.neighbor_bytes()) as f64 / (1024.0 * 1024.0)
+    )
+}
+
 /// Generate every suite graph once.
-fn load_suite(cfg: &ExpConfig) -> Vec<(SuiteGraph, CsrGraph)> {
+fn load_suite(cfg: &ExpConfig) -> Vec<(SuiteGraph, CompactCsr)> {
     suite(cfg.scale)
         .into_iter()
         .map(|sg| {
@@ -166,6 +178,7 @@ pub fn fig2_strong(cfg: &ExpConfig) -> Table {
         "total_ms",
         "speedup_vs_1t",
         "colors",
+        "graph_MiB",
     ]);
     for (sg, g) in load_suite(cfg)
         .into_iter()
@@ -188,6 +201,7 @@ pub fn fig2_strong(cfg: &ExpConfig) -> Table {
                     ms(r.total_time()),
                     format!("{speedup:.2}"),
                     r.num_colors.to_string(),
+                    graph_mib(&g),
                 ]);
             }
         }
@@ -205,6 +219,7 @@ pub fn fig2_weak(cfg: &ExpConfig) -> Table {
         "threads",
         "n",
         "m",
+        "graph_MiB",
         "algorithm",
         "total_ms",
         "colors",
@@ -224,6 +239,7 @@ pub fn fig2_weak(cfg: &ExpConfig) -> Table {
                 threads.to_string(),
                 g.n().to_string(),
                 g.m().to_string(),
+                graph_mib(&g),
                 algo.name().to_string(),
                 ms(r.total_time()),
                 r.num_colors.to_string(),
@@ -677,6 +693,8 @@ mod tests {
             assert!(speedup > 0.0, "{row:?}");
             let threads: usize = row[2].parse().unwrap();
             assert!(threads == 1 || threads == 2);
+            let mib: f64 = row[6].parse().unwrap();
+            assert!(mib > 0.0, "graph memory column must be positive: {row:?}");
         }
     }
 

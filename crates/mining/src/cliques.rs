@@ -1,5 +1,5 @@
 //! Maximal clique enumeration with a degeneracy-order outer loop —
-//! Eppstein, Löffler & Strash [50], one of the paper's named consumers of
+//! Eppstein, Löffler & Strash \[50\], one of the paper's named consumers of
 //! degeneracy orderings.
 //!
 //! Bron–Kerbosch with pivoting enumerates maximal cliques; processing
@@ -10,19 +10,19 @@
 //! exponent only grows by the 2(1+ε) factor while the order itself is
 //! computed in polylog depth.
 
-use pgc_graph::CsrGraph;
+use pgc_graph::GraphView;
 use pgc_order::{adg, AdgOptions};
 
 /// Enumerate all maximal cliques, invoking `emit` once per clique (vertex
 /// lists are sorted). Uses the exact degeneracy order for the outer loop.
-pub fn maximal_cliques(g: &CsrGraph, emit: &mut impl FnMut(&[u32])) {
+pub fn maximal_cliques<G: GraphView>(g: &G, emit: &mut impl FnMut(&[u32])) {
     let info = pgc_graph::degeneracy::degeneracy(g);
     maximal_cliques_with_positions(g, &info.removal_pos, emit);
 }
 
 /// Enumeration driven by an ADG order instead of the exact one — same
 /// output set (any total order is correct), polylog-depth preprocessing.
-pub fn maximal_cliques_adg(g: &CsrGraph, epsilon: f64, emit: &mut impl FnMut(&[u32])) {
+pub fn maximal_cliques_adg<G: GraphView>(g: &G, epsilon: f64, emit: &mut impl FnMut(&[u32])) {
     let ord = adg(g, &AdgOptions::with_epsilon(epsilon));
     // Positions: ascending by priority = removal order (low ρ removed
     // first, consistent with SL semantics).
@@ -37,7 +37,11 @@ pub fn maximal_cliques_adg(g: &CsrGraph, epsilon: f64, emit: &mut impl FnMut(&[u
 
 /// Core driver: vertices processed in increasing `pos`; each top-level
 /// call seeds `P` with later neighbors and `X` with earlier ones.
-pub fn maximal_cliques_with_positions(g: &CsrGraph, pos: &[u32], emit: &mut impl FnMut(&[u32])) {
+pub fn maximal_cliques_with_positions<G: GraphView>(
+    g: &G,
+    pos: &[u32],
+    emit: &mut impl FnMut(&[u32]),
+) {
     assert_eq!(pos.len(), g.n());
     let mut order: Vec<u32> = (0..g.n() as u32).collect();
     order.sort_unstable_by_key(|&v| pos[v as usize]);
@@ -45,14 +49,10 @@ pub fn maximal_cliques_with_positions(g: &CsrGraph, pos: &[u32], emit: &mut impl
     for &v in &order {
         let mut p: Vec<u32> = g
             .neighbors(v)
-            .iter()
-            .copied()
             .filter(|&u| pos[u as usize] > pos[v as usize])
             .collect();
         let mut x: Vec<u32> = g
             .neighbors(v)
-            .iter()
-            .copied()
             .filter(|&u| pos[u as usize] < pos[v as usize])
             .collect();
         p.sort_unstable();
@@ -63,27 +63,32 @@ pub fn maximal_cliques_with_positions(g: &CsrGraph, pos: &[u32], emit: &mut impl
     }
 }
 
-/// Sorted-set intersection of `set` with `N(v)` (both sorted ascending).
-fn intersect_neighbors(g: &CsrGraph, set: &[u32], v: u32) -> Vec<u32> {
-    let nbrs = g.neighbors(v);
-    let mut out = Vec::with_capacity(set.len().min(nbrs.len()));
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < set.len() && j < nbrs.len() {
-        match set[i].cmp(&nbrs[j]) {
+/// Sorted-set intersection of `set` with `N(v)` (both sorted ascending):
+/// a linear merge of the slice against the adjacency stream.
+fn intersect_neighbors<G: GraphView>(g: &G, set: &[u32], v: u32) -> Vec<u32> {
+    let mut out = Vec::with_capacity(set.len().min(g.degree(v) as usize));
+    let mut nbrs = g.neighbors(v);
+    let mut cur = nbrs.next();
+    let mut i = 0usize;
+    while let Some(nb) = cur {
+        if i >= set.len() {
+            break;
+        }
+        match set[i].cmp(&nb) {
             std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Greater => cur = nbrs.next(),
             std::cmp::Ordering::Equal => {
                 out.push(set[i]);
                 i += 1;
-                j += 1;
+                cur = nbrs.next();
             }
         }
     }
     out
 }
 
-fn bk_pivot(
-    g: &CsrGraph,
+fn bk_pivot<G: GraphView>(
+    g: &G,
     r: &mut Vec<u32>,
     mut p: Vec<u32>,
     mut x: Vec<u32>,
@@ -124,14 +129,14 @@ fn bk_pivot(
 }
 
 /// Number of maximal cliques.
-pub fn count_maximal_cliques(g: &CsrGraph) -> u64 {
+pub fn count_maximal_cliques<G: GraphView>(g: &G) -> u64 {
     let mut count = 0u64;
     maximal_cliques(g, &mut |_| count += 1);
     count
 }
 
 /// Size of the largest clique (clique number ω(G); 0 for empty graphs).
-pub fn max_clique_size(g: &CsrGraph) -> usize {
+pub fn max_clique_size<G: GraphView>(g: &G) -> usize {
     let mut best = 0usize;
     maximal_cliques(g, &mut |c| best = best.max(c.len()));
     best
@@ -145,7 +150,7 @@ mod tests {
     use std::collections::BTreeSet;
 
     /// Brute-force maximal cliques by subset enumeration (n ≤ 20).
-    fn brute_force(g: &CsrGraph) -> BTreeSet<Vec<u32>> {
+    fn brute_force<G: GraphView>(g: &G) -> BTreeSet<Vec<u32>> {
         let n = g.n();
         assert!(n <= 20);
         let is_clique = |mask: u32| -> bool {
@@ -168,7 +173,7 @@ mod tests {
         cliques
     }
 
-    fn collected(g: &CsrGraph) -> BTreeSet<Vec<u32>> {
+    fn collected<G: GraphView>(g: &G) -> BTreeSet<Vec<u32>> {
         let mut out = BTreeSet::new();
         maximal_cliques(g, &mut |c| {
             assert!(out.insert(c.to_vec()), "duplicate clique {c:?}");
@@ -226,7 +231,7 @@ mod tests {
 
     #[test]
     fn isolated_vertices_are_trivial_cliques() {
-        let g = CsrGraph::empty(3);
+        let g = pgc_graph::CompactCsr::empty(3);
         assert_eq!(count_maximal_cliques(&g), 3);
         assert_eq!(max_clique_size(&g), 1);
     }

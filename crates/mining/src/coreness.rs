@@ -16,13 +16,13 @@
 //! **Tightness**: every batch residual degree is ≤ ⌈2(1+ε)d⌉ (Lemma 4),
 //! so `est(v) ≤ 2(1+ε)·d` globally — the same factor as the ordering.
 
-use pgc_graph::CsrGraph;
+use pgc_graph::{GraphView, InducedView};
 use pgc_order::{adg, AdgOptions};
 use rayon::prelude::*;
 
 /// Parallel coreness upper estimates with accuracy ε (one ADG run plus two
 /// O(m)/O(n) passes).
-pub fn approx_coreness(g: &CsrGraph, epsilon: f64) -> Vec<u32> {
+pub fn approx_coreness<G: GraphView>(g: &G, epsilon: f64) -> Vec<u32> {
     let ord = adg(g, &AdgOptions::with_epsilon(epsilon));
     let levels = ord.levels.expect("ADG yields levels");
     if g.n() == 0 {
@@ -35,10 +35,7 @@ pub fn approx_coreness(g: &CsrGraph, epsilon: f64) -> Vec<u32> {
         .into_par_iter()
         .map(|v| {
             let rv = rank[v as usize];
-            g.neighbors(v)
-                .iter()
-                .filter(|&&u| rank[u as usize] >= rv)
-                .count() as u32
+            g.neighbors(v).filter(|&u| rank[u as usize] >= rv).count() as u32
         })
         .collect();
     // Per-level max residual degree, then prefix max across levels.
@@ -56,6 +53,19 @@ pub fn approx_coreness(g: &CsrGraph, epsilon: f64) -> Vec<u32> {
         .into_par_iter()
         .map(|v| prefix[rank[v] as usize])
         .collect()
+}
+
+/// Zero-copy view of the exact `k`-core of `g`: the maximal induced
+/// subgraph of minimum degree ≥ `k`, as an [`InducedView`] (empty view if
+/// no vertex has coreness ≥ `k`). Mining subroutines can recurse into it —
+/// or color it — without materializing a copy.
+pub fn kcore_view<G: GraphView>(g: &G, k: u32) -> InducedView<'_, G> {
+    let coreness = pgc_graph::degeneracy::degeneracy(g).coreness;
+    let members: Vec<u32> = g
+        .vertices()
+        .filter(|&v| coreness[v as usize] >= k)
+        .collect();
+    InducedView::new(g, &members)
 }
 
 #[cfg(test)]
@@ -115,9 +125,25 @@ mod tests {
 
     #[test]
     fn empty_inputs() {
-        assert!(approx_coreness(&CsrGraph::empty(0), 0.1).is_empty());
-        let est = approx_coreness(&CsrGraph::empty(5), 0.1);
+        use pgc_graph::CompactCsr;
+        assert!(approx_coreness(&CompactCsr::empty(0), 0.1).is_empty());
+        let est = approx_coreness(&CompactCsr::empty(5), 0.1);
         assert_eq!(est, vec![0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn kcore_view_has_min_degree_k() {
+        // Triangle + pendant path: the 2-core is exactly the triangle.
+        let g = pgc_graph::builder::from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]);
+        let core = kcore_view(&g, 2);
+        assert_eq!(core.members(), &[0, 1, 2]);
+        assert_eq!(core.min_degree(), 2);
+        assert_eq!(core.m(), 3);
+        // k beyond the degeneracy: empty view.
+        assert_eq!(kcore_view(&g, 3).n(), 0);
+        // The view agrees with the materialized induced subgraph.
+        let (mat, _) = pgc_graph::transform::induced_subgraph(&g, core.members());
+        assert_eq!(core.materialize(), mat);
     }
 
     #[test]

@@ -5,14 +5,14 @@
 //! a 2-approximation. Batched peeling (exactly ADG's loop) loses only the
 //! batch slack: with threshold `(1+ε)·δ̂`, the best *suffix* of the ADG
 //! removal order is a `2(1+ε)`-approximate densest subgraph — this is the
-//! structure of the `(2+ε)`-approximation of Dhulipala et al. [61] that
+//! structure of the `(2+ε)`-approximation of Dhulipala et al. \[61\] that
 //! the paper points to as prior use of the same peeling pattern.
 //!
 //! Implementation: one O(m) pass assigns every edge to the *lower* of its
 //! endpoint levels (the level at which the edge leaves the active
 //! subgraph); suffix sums then give `m(U_ℓ)` for every level in O(ρ̄).
 
-use pgc_graph::CsrGraph;
+use pgc_graph::{GraphView, InducedView};
 use pgc_order::{adg, AdgOptions, Levels, VertexOrdering};
 
 /// Output of [`approx_densest_subgraph`].
@@ -29,7 +29,7 @@ pub struct DensestResult {
 }
 
 /// Density of the best suffix of a level ordering.
-pub fn best_suffix(g: &CsrGraph, levels: &Levels) -> DensestResult {
+pub fn best_suffix<G: GraphView>(g: &G, levels: &Levels) -> DensestResult {
     let num = levels.num_levels();
     if num == 0 || g.n() == 0 {
         return DensestResult {
@@ -78,9 +78,26 @@ pub fn best_suffix(g: &CsrGraph, levels: &Levels) -> DensestResult {
 ///
 /// Guarantee (Charikar + batch slack): the returned density is at least
 /// `ρ* / (2(1+ε))` where `ρ*` is the optimum.
-pub fn approx_densest_subgraph(g: &CsrGraph, epsilon: f64) -> DensestResult {
+pub fn approx_densest_subgraph<G: GraphView>(g: &G, epsilon: f64) -> DensestResult {
     let ord: VertexOrdering = adg(g, &AdgOptions::with_epsilon(epsilon));
     best_suffix(g, ord.levels.as_ref().expect("ADG yields levels"))
+}
+
+/// [`approx_densest_subgraph`] returning the chosen subgraph as a
+/// zero-copy [`InducedView`] (via [`Levels::suffix_view`]) instead of a
+/// vertex list — downstream analysis (recounting, recursing, coloring the
+/// dense core) runs directly on the view without materializing `G[U]`.
+pub fn densest_view<G: GraphView>(g: &G, epsilon: f64) -> (InducedView<'_, G>, DensestResult) {
+    let ord: VertexOrdering = adg(g, &AdgOptions::with_epsilon(epsilon));
+    let levels = ord.levels.expect("ADG yields levels");
+    let result = best_suffix(g, &levels);
+    let view = if levels.num_levels() == 0 {
+        InducedView::new(g, &[])
+    } else {
+        levels.suffix_view(g, result.level)
+    };
+    debug_assert_eq!(view.m(), result.edges);
+    (view, result)
 }
 
 #[cfg(test)]
@@ -158,7 +175,7 @@ mod tests {
 
     #[test]
     fn empty_graph() {
-        let g = CsrGraph::empty(0);
+        let g = pgc_graph::CompactCsr::empty(0);
         let r = approx_densest_subgraph(&g, 0.1);
         assert_eq!(r.density, 0.0);
         assert!(r.vertices.is_empty());
@@ -166,7 +183,7 @@ mod tests {
 
     #[test]
     fn edgeless_graph_density_zero() {
-        let g = CsrGraph::empty(10);
+        let g = pgc_graph::CompactCsr::empty(10);
         let r = approx_densest_subgraph(&g, 0.1);
         assert_eq!(r.edges, 0);
         assert_eq!(r.density, 0.0);

@@ -26,7 +26,7 @@
 //!   recomputed (subtracting the removed degrees and the cut size).
 
 use crate::{Levels, OrderingStats, VertexOrdering};
-use pgc_graph::CsrGraph;
+use pgc_graph::GraphView;
 use pgc_primitives::rng::random_permutation;
 use pgc_primitives::sort::{sort_pairs, SortAlgo};
 use rayon::prelude::*;
@@ -133,7 +133,7 @@ const ACTIVE: u32 = u32::MAX;
 /// Returns a total priority (rank in high bits, §V-B batch position or the
 /// random permutation in low bits) plus the level structure consumed by
 /// DEC-ADG.
-pub fn adg(g: &CsrGraph, opts: &AdgOptions) -> VertexOrdering {
+pub fn adg<G: GraphView>(g: &G, opts: &AdgOptions) -> VertexOrdering {
     assert!(opts.epsilon >= 0.0, "epsilon must be non-negative");
     let n = g.n();
     let mut rho = vec![0u64; n];
@@ -284,7 +284,7 @@ pub fn adg(g: &CsrGraph, opts: &AdgOptions) -> VertexOrdering {
                     // with a higher explicit priority.
                     let mut npred = 0u32;
                     let rho_v = rho[v as usize];
-                    for &u in g.neighbors(v) {
+                    for u in g.neighbors(v) {
                         let ru = rank[u as usize].load(AtOrd::Relaxed);
                         if ru == ACTIVE {
                             deg[u as usize].fetch_sub(1, AtOrd::Relaxed);
@@ -305,8 +305,7 @@ pub fn adg(g: &CsrGraph, opts: &AdgOptions) -> VertexOrdering {
                 .map(|&v| {
                     let removed_now = g
                         .neighbors(v)
-                        .iter()
-                        .filter(|&&u| rank[u as usize].load(AtOrd::Relaxed) == level)
+                        .filter(|&u| rank[u as usize].load(AtOrd::Relaxed) == level)
                         .count() as u32;
                     if removed_now > 0 {
                         // Single owner: a plain store suffices in CREW.
@@ -346,10 +345,7 @@ pub fn adg(g: &CsrGraph, opts: &AdgOptions) -> VertexOrdering {
                 .into_par_iter()
                 .map(|v| {
                     let rv = rho[v as usize];
-                    g.neighbors(v)
-                        .iter()
-                        .filter(|&&u| rho[u as usize] > rv)
-                        .count() as u32
+                    g.neighbors(v).filter(|&u| rho[u as usize] > rv).count() as u32
                 })
                 .collect(),
         )

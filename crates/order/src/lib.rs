@@ -30,10 +30,11 @@ pub mod adg;
 pub mod simple;
 pub mod sll;
 
-use pgc_graph::CsrGraph;
+use pgc_graph::{GraphView, InducedView};
 
 pub use adg::{adg, AdgOptions, ThresholdRule, UpdateStyle};
 pub use pgc_primitives::sort::SortAlgo;
+use pgc_primitives::{hash_mix, FixedBitmap};
 
 /// Batch (level) structure of a partial ordering: vertices grouped by rank.
 ///
@@ -59,6 +60,20 @@ impl Levels {
     /// The vertex set `R(i)`.
     pub fn level(&self, i: usize) -> &[u32] {
         &self.seq[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Zero-copy [`InducedView`] of partition `R(i)` — the low-degree
+    /// subgraph DEC-ADG colors at level `i`, without materializing it.
+    pub fn level_view<'g, G: GraphView>(&self, g: &'g G, i: usize) -> InducedView<'g, G> {
+        InducedView::new(g, self.level(i))
+    }
+
+    /// Zero-copy [`InducedView`] of the suffix `U_ℓ = ∪_{i ≥ ℓ} R(i)` —
+    /// the still-active subgraph at the start of peeling iteration `ℓ`
+    /// (the candidate subgraphs of Charikar-style densest-subgraph
+    /// peeling).
+    pub fn suffix_view<'g, G: GraphView>(&self, g: &'g G, from: usize) -> InducedView<'g, G> {
+        InducedView::new(g, &self.seq[self.offsets[from]..])
     }
 }
 
@@ -92,10 +107,38 @@ pub struct VertexOrdering {
 
 impl VertexOrdering {
     /// Check that ρ is a total order (no duplicate priorities).
+    ///
+    /// Runs in expected O(n) time via a [`pgc_primitives::bitmap`] filter
+    /// instead of cloning and sorting the whole priority vector: priorities
+    /// are hashed into a bitmap of ~8n bits; only values landing in a
+    /// multi-occupancy bit (expected n/8 of them) are collected and
+    /// sort-checked. Any true duplicate pair hashes to the same bit, so the
+    /// check is exact.
     pub fn is_total(&self) -> bool {
-        let mut sorted = self.rho.clone();
-        sorted.sort_unstable();
-        sorted.windows(2).all(|w| w[0] != w[1])
+        let n = self.rho.len();
+        if n <= 1 {
+            return true;
+        }
+        let bits = (8 * n).next_power_of_two();
+        let mask = bits - 1;
+        let mut seen = FixedBitmap::new(bits);
+        let mut multi = FixedBitmap::new(bits);
+        for &r in &self.rho {
+            let b = (hash_mix(r) as usize) & mask;
+            if seen.get(b) {
+                multi.set(b);
+            } else {
+                seen.set(b);
+            }
+        }
+        let mut suspects: Vec<u64> = self
+            .rho
+            .iter()
+            .copied()
+            .filter(|&r| multi.get((hash_mix(r) as usize) & mask))
+            .collect();
+        suspects.sort_unstable();
+        suspects.windows(2).all(|w| w[0] != w[1])
     }
 }
 
@@ -140,7 +183,7 @@ impl OrderingKind {
 }
 
 /// Compute the selected ordering. `seed` drives every random tie-break.
-pub fn compute(g: &CsrGraph, kind: &OrderingKind, seed: u64) -> VertexOrdering {
+pub fn compute<G: GraphView>(g: &G, kind: &OrderingKind, seed: u64) -> VertexOrdering {
     match kind {
         OrderingKind::FirstFit => simple::first_fit(g),
         OrderingKind::Random => simple::random(g, seed),
@@ -161,7 +204,7 @@ pub fn compute(g: &CsrGraph, kind: &OrderingKind, seed: u64) -> VertexOrdering {
 /// — the quantity bounded by `k·d` in a partial k-approximate degeneracy
 /// ordering (§II-B). For orderings without level structure, ranks are the
 /// full priorities.
-pub fn max_back_degree(g: &CsrGraph, ord: &VertexOrdering) -> u32 {
+pub fn max_back_degree<G: GraphView>(g: &G, ord: &VertexOrdering) -> u32 {
     let rank_of = |v: u32| -> u64 {
         match &ord.levels {
             Some(l) => l.rank[v as usize] as u64,
@@ -171,7 +214,7 @@ pub fn max_back_degree(g: &CsrGraph, ord: &VertexOrdering) -> u32 {
     let mut worst = 0u32;
     for v in g.vertices() {
         let rv = rank_of(v);
-        let b = g.neighbors(v).iter().filter(|&&u| rank_of(u) >= rv).count() as u32;
+        let b = g.neighbors(v).filter(|&u| rank_of(u) >= rv).count() as u32;
         worst = worst.max(b);
     }
     worst
@@ -243,6 +286,50 @@ mod tests {
             }
             assert!(seen.iter().all(|&s| s), "{}", kind.name());
         }
+    }
+
+    #[test]
+    fn is_total_detects_duplicates() {
+        // The bitmap-filtered check must stay exact: any duplicated
+        // priority (including across wide value ranges) flips the answer.
+        let mk = |rho: Vec<u64>| VertexOrdering {
+            rho,
+            levels: None,
+            stats: OrderingStats::default(),
+            pred_counts: None,
+        };
+        assert!(mk(vec![]).is_total());
+        assert!(mk(vec![7]).is_total());
+        assert!(mk(vec![3, 1, 2, 0]).is_total());
+        assert!(!mk(vec![3, 1, 3, 0]).is_total());
+        // Rank-encoded values (high-bits rank, low-bits tiebreak).
+        let packed = |r: u64, t: u64| (r << 32) | t;
+        assert!(mk(vec![packed(1, 5), packed(2, 5), packed(1, 6)]).is_total());
+        assert!(!mk(vec![packed(1, 5), packed(2, 5), packed(1, 5)]).is_total());
+        // Larger stress: a permutation is total, one collision is caught.
+        let mut big: Vec<u64> = (0..10_000u64).map(|v| packed(v % 37, v)).collect();
+        assert!(mk(big.clone()).is_total());
+        big[9_999] = big[123];
+        assert!(!mk(big).is_total());
+    }
+
+    #[test]
+    fn level_views_partition_and_suffix() {
+        let g = generate(&GraphSpec::BarabasiAlbert { n: 300, attach: 5 }, 9);
+        let ord = compute(&g, &OrderingKind::Adg(AdgOptions::default()), 1);
+        let levels = ord.levels.as_ref().unwrap();
+        use pgc_graph::GraphView as _;
+        let mut total = 0usize;
+        for i in 0..levels.num_levels() {
+            let view = levels.level_view(&g, i);
+            assert_eq!(view.n(), levels.level(i).len());
+            total += view.n();
+        }
+        assert_eq!(total, g.n());
+        // The full suffix is the whole graph, zero-copy.
+        let whole = levels.suffix_view(&g, 0);
+        assert_eq!(whole.n(), g.n());
+        assert_eq!(whole.m(), g.m());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! `ρ = ⟨ρ_SL, ρ_R⟩` with the exact degeneracy ordering `ρ_SL`.
 
 use crate::{Levels, OrderingStats, VertexOrdering};
-use pgc_graph::{degeneracy, CsrGraph};
+use pgc_graph::{degeneracy, GraphView};
 use pgc_primitives::random_permutation;
 use rayon::prelude::*;
 
@@ -27,7 +27,7 @@ pub fn ceil_log2(x: u32) -> u32 {
 }
 
 /// First-fit: vertex 0 is colored first (highest priority).
-pub fn first_fit(g: &CsrGraph) -> VertexOrdering {
+pub fn first_fit<G: GraphView>(g: &G) -> VertexOrdering {
     let n = g.n();
     let rho: Vec<u64> = (0..n as u64).map(|v| (n as u64 - 1) - v).collect();
     VertexOrdering {
@@ -39,7 +39,7 @@ pub fn first_fit(g: &CsrGraph) -> VertexOrdering {
 }
 
 /// Uniformly random total order.
-pub fn random(g: &CsrGraph, seed: u64) -> VertexOrdering {
+pub fn random<G: GraphView>(g: &G, seed: u64) -> VertexOrdering {
     let perm = random_permutation(g.n(), seed);
     VertexOrdering {
         rho: perm.into_iter().map(|p| p as u64).collect(),
@@ -50,7 +50,7 @@ pub fn random(g: &CsrGraph, seed: u64) -> VertexOrdering {
 }
 
 /// Largest-degree-first: `ρ(v) = ⟨deg(v), ρ_R⟩`.
-pub fn largest_first(g: &CsrGraph, seed: u64) -> VertexOrdering {
+pub fn largest_first<G: GraphView>(g: &G, seed: u64) -> VertexOrdering {
     let perm = random_permutation(g.n(), seed);
     let rho: Vec<u64> = g
         .vertices()
@@ -68,7 +68,7 @@ pub fn largest_first(g: &CsrGraph, seed: u64) -> VertexOrdering {
 /// Largest-log-degree-first: `ρ(v) = ⟨⌈log₂ deg(v)⌉, ρ_R⟩`. Coarsening the
 /// degree to its logarithm randomizes within large degree classes, which is
 /// what restores polylogarithmic depth relative to LF (Hasenplaugh et al.).
-pub fn largest_log_first(g: &CsrGraph, seed: u64) -> VertexOrdering {
+pub fn largest_log_first<G: GraphView>(g: &G, seed: u64) -> VertexOrdering {
     let perm = random_permutation(g.n(), seed);
     let rho: Vec<u64> = g
         .vertices()
@@ -88,7 +88,7 @@ pub fn largest_log_first(g: &CsrGraph, seed: u64) -> VertexOrdering {
 /// removed (lowest-degree) vertex is colored last. This is the quality
 /// gold standard (d+1 colors with JP/Greedy) with Ω(n) depth — the
 /// bottleneck ADG exists to break.
-pub fn smallest_last(g: &CsrGraph, seed: u64) -> VertexOrdering {
+pub fn smallest_last<G: GraphView>(g: &G, seed: u64) -> VertexOrdering {
     let info = degeneracy::degeneracy(g);
     let n = g.n();
     let perm = random_permutation(n, seed);

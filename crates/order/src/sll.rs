@@ -1,13 +1,13 @@
 //! SLL and ASL — the heuristic smallest-last relaxations the paper compares
 //! against (Table II).
 //!
-//! * **SLL** (smallest-log-degree-last, Hasenplaugh et al. [31]): peel in
+//! * **SLL** (smallest-log-degree-last, Hasenplaugh et al. \[31\]): peel in
 //!   rounds; round `r` removes every vertex whose residual degree is at
 //!   most the current power-of-two threshold `2^k`, bumping `k` only when
 //!   nothing qualifies. Approximates SL within log-degree classes with
 //!   O(log Δ log n) rounds, but offers **no approximation guarantee** on
 //!   the degeneracy order — the gap ADG closes.
-//! * **ASL** (approximate-SL, Patwary et al. [32]): batched exact peeling —
+//! * **ASL** (approximate-SL, Patwary et al. \[32\]): batched exact peeling —
 //!   every round removes *all* current minimum-degree vertices at once.
 //!   Also guarantee-free: a round can remove a vertex whose degree rose
 //!   relative to... (it cannot rise, but the batch may be tiny, degrading
@@ -17,7 +17,7 @@
 //! threshold schedule.
 
 use crate::{Levels, OrderingStats, VertexOrdering};
-use pgc_graph::CsrGraph;
+use pgc_graph::GraphView;
 use pgc_primitives::rng::random_permutation;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering as AtOrd};
@@ -27,8 +27,9 @@ const ACTIVE: u32 = u32::MAX;
 /// Generic batched peeling: each round removes all active vertices with
 /// residual degree ≤ `threshold(min_deg)`; rank = round index; pull-style
 /// (CREW) degree updates.
-fn batched_peel<F>(g: &CsrGraph, seed: u64, mut threshold: F) -> VertexOrdering
+fn batched_peel<G, F>(g: &G, seed: u64, mut threshold: F) -> VertexOrdering
 where
+    G: GraphView,
     F: FnMut(u32) -> u32,
 {
     let n = g.n();
@@ -84,8 +85,7 @@ where
         order[index + r_len..].par_iter().for_each(|&v| {
             let removed = g
                 .neighbors(v)
-                .iter()
-                .filter(|&&u| rank[u as usize].load(AtOrd::Relaxed) == level)
+                .filter(|&u| rank[u as usize].load(AtOrd::Relaxed) == level)
                 .count() as u32;
             if removed > 0 {
                 let cur = deg[v as usize].load(AtOrd::Relaxed);
@@ -116,7 +116,7 @@ where
 }
 
 /// Smallest-log-degree-last (Hasenplaugh et al.): power-of-two thresholds.
-pub fn smallest_log_last(g: &CsrGraph, seed: u64) -> VertexOrdering {
+pub fn smallest_log_last<G: GraphView>(g: &G, seed: u64) -> VertexOrdering {
     let mut k = 0u32;
     batched_peel(g, seed ^ 0x511, move |min_deg| {
         while (1u64 << k) < min_deg as u64 {
@@ -128,7 +128,7 @@ pub fn smallest_log_last(g: &CsrGraph, seed: u64) -> VertexOrdering {
 
 /// Approximate-SL (Patwary et al.): remove all current minimum-degree
 /// vertices per round.
-pub fn approx_smallest_last(g: &CsrGraph, seed: u64) -> VertexOrdering {
+pub fn approx_smallest_last<G: GraphView>(g: &G, seed: u64) -> VertexOrdering {
     batched_peel(g, seed ^ 0xA51, |min_deg| min_deg)
 }
 
@@ -138,6 +138,7 @@ mod tests {
     use crate::max_back_degree;
     use pgc_graph::degeneracy::degeneracy;
     use pgc_graph::gen::{generate, GraphSpec};
+    use pgc_graph::CsrGraph;
 
     #[test]
     fn sll_covers_all_vertices() {

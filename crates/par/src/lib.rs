@@ -20,7 +20,7 @@
 //!   an un-stolen fork is one queue push/pop). While blocked on a stolen
 //!   half, the caller *helps* by executing other queued tasks instead of
 //!   idling — which also makes nested fork–join deadlock-free.
-//! * **Scoped spawning** ([`scope`]/[`Scope`]): structured task parallelism
+//! * **Scoped spawning** ([`scope()`]/[`Scope`]): structured task parallelism
 //!   with non-`'static` borrows, used by the asynchronous Jones–Plassmann
 //!   engine. All spawned tasks complete before `scope` returns; panics are
 //!   captured and re-thrown at the scope boundary.

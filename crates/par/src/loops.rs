@@ -1,7 +1,7 @@
 //! Blocked parallel loops and reductions over index ranges.
 //!
 //! These are the paper's `Reduce`/parallel-for primitives realized with
-//! [`join`](crate::join): recursively halve `0..len` down to a grain, run
+//! [`join`](crate::join()): recursively halve `0..len` down to a grain, run
 //! leaves on whatever threads steal them, and combine results up a *fixed*
 //! binary tree — so the combine order (and thus any non-commutative or
 //! floating-point reduction) is deterministic for a given `len`/`grain`,
@@ -19,7 +19,7 @@ pub const DEFAULT_MIN_GRAIN: usize = 1024;
 const PIECES_PER_WORKER: usize = 8;
 
 /// A grain (leaf size) for `len` items at the current width: aims for
-/// [`PIECES_PER_WORKER`] leaves per strand but never below `min_grain`.
+/// `PIECES_PER_WORKER` leaves per strand but never below `min_grain`.
 /// At width 1 the grain is the whole range (fully sequential).
 pub fn auto_grain(len: usize, min_grain: usize) -> usize {
     let width = current_width();

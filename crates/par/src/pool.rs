@@ -1,7 +1,7 @@
 //! The global worker pool, job plumbing, and the two-way [`join`].
 //!
-//! One process-wide [`Registry`] owns a FIFO injector queue of type-erased
-//! [`JobRef`]s and a set of daemon worker threads that loop popping and
+//! One process-wide `Registry` owns a FIFO injector queue of type-erased
+//! `JobRef`s and a set of daemon worker threads that loop popping and
 //! executing them. Blocked threads (a `join` waiting for its stolen half, a
 //! scope waiting for its tasks) *help*: they execute queued jobs while they
 //! wait, and only park — with a short timeout, so a job enqueued in the

@@ -248,7 +248,7 @@ pub mod collection {
     use super::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Element-count range for [`vec`].
+    /// Element-count range for [`vec()`].
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,

@@ -36,7 +36,7 @@
 //!   on [`iter::ParallelIterator`] (`map`, `filter`, `copied`, `enumerate`,
 //!   `zip`, `flat_map_iter`, `for_each(_init)`, `sum`, `min`, `max`,
 //!   `all`, `find_any`, `find_map_any`, `collect`, …),
-//! * [`scope`] / [`Scope`] — structured task scopes on the worker pool,
+//! * [`scope()`] / [`Scope`] — structured task scopes on the worker pool,
 //! * [`join`] — two-way fork–join,
 //! * [`ThreadPoolBuilder`] / [`ThreadPool`] — width installers backed by
 //!   the shared global pool.

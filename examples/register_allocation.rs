@@ -25,7 +25,7 @@ fn interference_graph(
     program_len: u32,
     max_span: u32,
     seed: u64,
-) -> (pgc::graph::CsrGraph, u32) {
+) -> (pgc::graph::CompactCsr, u32) {
     let mut rng = SplitMix64::new(seed);
     let ivals: Vec<(u32, u32)> = (0..ranges)
         .map(|_| {

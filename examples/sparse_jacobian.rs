@@ -40,7 +40,7 @@ fn random_pattern(rows: usize, cols: usize, nnz_per_row: usize, seed: u64) -> Sp
 
 /// Column-intersection graph: vertices = columns, edge {a,b} iff some row
 /// contains both.
-fn column_intersection_graph(p: &SparsePattern) -> pgc::graph::CsrGraph {
+fn column_intersection_graph(p: &SparsePattern) -> pgc::graph::CompactCsr {
     let mut b = EdgeListBuilder::new(p.cols);
     for row in &p.rows {
         for i in 0..row.len() {

@@ -23,7 +23,7 @@ fn build_conflict_graph(
     cells: usize,
     touches: usize,
     seed: u64,
-) -> (pgc::graph::CsrGraph, Vec<Vec<u32>>) {
+) -> (pgc::graph::CompactCsr, Vec<Vec<u32>>) {
     let mut rng = SplitMix64::new(seed);
     let mut touched: Vec<Vec<u32>> = Vec::with_capacity(tasks);
     let mut cell_users: Vec<Vec<u32>> = vec![Vec::new(); cells];

@@ -13,7 +13,7 @@
 //! * [`color`] — the coloring algorithms: JP-X / JP-ADG (§IV-A), SIM-COL &
 //!   DEC-ADG (§IV-B), DEC-ADG-ITR (§IV-C), speculative baselines, greedy
 //!   baselines, verification and metrics. Every algorithm is a
-//!   [`color::Colorer`] resolved through the [`color::colorer`] registry;
+//!   [`color::Colorer`] resolved through the [`color::colorer()`] registry;
 //!   [`color::run`] is the facade over it, and runs report the shared
 //!   [`color::Instrumentation`] measurements (times, rounds, conflicts),
 //! * [`cachesim`] — the software cache simulator substituting for the

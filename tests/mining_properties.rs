@@ -4,11 +4,11 @@
 use parallel_graph_coloring as pgc;
 use pgc::graph::builder::from_edges;
 use pgc::graph::degeneracy::degeneracy;
-use pgc::graph::CsrGraph;
+use pgc::graph::CompactCsr;
 use pgc::mining;
 use proptest::prelude::*;
 
-fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = CsrGraph> {
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = CompactCsr> {
     (2usize..=max_n).prop_flat_map(move |n| {
         proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_m)
             .prop_map(move |edges| from_edges(n, &edges))

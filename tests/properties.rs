@@ -5,13 +5,13 @@ use parallel_graph_coloring as pgc;
 use pgc::color::{run, verify, Algorithm, Params};
 use pgc::graph::builder::from_edges;
 use pgc::graph::degeneracy::{degeneracy, max_forward_degree};
-use pgc::graph::CsrGraph;
+use pgc::graph::CompactCsr;
 use pgc::order::{adg, compute, max_back_degree, AdgOptions, OrderingKind};
 use proptest::prelude::*;
 
 /// Strategy: an arbitrary simple undirected graph with up to `max_n`
 /// vertices and `max_m` raw edges (dedup happens in the builder).
-fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = CsrGraph> {
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = CompactCsr> {
     (2usize..=max_n).prop_flat_map(move |n| {
         proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_m)
             .prop_map(move |edges| from_edges(n, &edges))

@@ -7,7 +7,7 @@ use pgc::color::{colorer, run, verify, Algorithm, Params};
 use pgc::graph::degeneracy::degeneracy;
 use pgc::graph::gen::{generate, GraphSpec};
 
-fn smoke_graphs() -> Vec<(&'static str, pgc::graph::CsrGraph)> {
+fn smoke_graphs() -> Vec<(&'static str, pgc::graph::CompactCsr)> {
     vec![
         (
             "barabasi-albert",
@@ -60,6 +60,6 @@ fn registry_resolves_every_variant() {
     // The facade's `run` goes through `colorer`; make sure the registry's
     // own tags agree and every variant is constructible.
     for algo in Algorithm::all() {
-        assert_eq!(colorer(algo).algorithm(), algo);
+        assert_eq!(colorer::<pgc::graph::CompactCsr>(algo).algorithm(), algo);
     }
 }

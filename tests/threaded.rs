@@ -12,7 +12,7 @@ use pgc_harness::experiments::with_threads;
 
 const WIDTHS: [usize; 3] = [1, 2, 8];
 
-fn graphs() -> Vec<(&'static str, pgc::graph::CsrGraph)> {
+fn graphs() -> Vec<(&'static str, pgc::graph::CompactCsr)> {
     vec![
         // Big enough that parallel loops split into several leaves.
         (
