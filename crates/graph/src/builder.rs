@@ -1,20 +1,22 @@
-//! Edge-list → CSR construction.
+//! Buffered edge-list → CSR construction.
 //!
 //! Accepts arbitrary (possibly duplicated, self-looped, one-directional)
 //! edge lists and produces a clean undirected simple graph: self-loops
 //! dropped, both arc directions materialized, neighbor lists sorted and
-//! deduplicated. [`EdgeListBuilder::build`] produces the default
-//! [`CompactCsr`] (u32 offsets whenever they fit);
-//! [`EdgeListBuilder::build_legacy`] the machine-word-offset [`CsrGraph`]
-//! kept for representation-equivalence tests. Sorting uses rayon's
-//! parallel sort — the construction is off the measured path in the paper,
-//! but large generator outputs benefit.
+//! deduplicated. [`EdgeListBuilder`] is the trivial *buffered*
+//! [`EdgeSource`]: it holds the raw pairs in memory and replays them as
+//! slices, so [`EdgeListBuilder::build`] runs the same two-pass streaming
+//! engine ([`crate::stream`]) as every generator and reader — one
+//! construction engine, no drift. Producers that can re-derive their
+//! edges (seeded generators, file scans) should implement [`EdgeSource`]
+//! directly and skip the buffer entirely.
 
 use crate::compact::CompactCsr;
 use crate::csr::CsrGraph;
-use rayon::prelude::*;
+use crate::stream::{self, ChunkFn, EdgeSource, CHUNK_EDGES};
 
-/// Accumulates raw edges and builds a [`CsrGraph`].
+/// Accumulates raw edges and builds a [`CompactCsr`] (or legacy
+/// [`CsrGraph`]) through the streaming two-pass engine.
 #[derive(Clone, Debug)]
 pub struct EdgeListBuilder {
     n: usize,
@@ -50,59 +52,70 @@ impl EdgeListBuilder {
 
     /// Add an undirected edge `{u, v}`. Self-loops and duplicates are
     /// tolerated here and removed by [`Self::build`].
+    ///
+    /// # Panics
+    ///
+    /// If `u` or `v` is not in `0..n`. (The streaming engine itself grows
+    /// `n` for id-*discovering* sources; this builder declared its vertex
+    /// count, so an out-of-range id is a caller bug, not discovery.)
     #[inline]
     pub fn add_edge(&mut self, u: u32, v: u32) {
-        debug_assert!((u as usize) < self.n && (v as usize) < self.n);
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u}, {v}) out of range for n = {}",
+            self.n
+        );
         self.edges.push((u, v));
     }
 
-    /// Bulk-add edges.
+    /// Bulk-add edges. Reserves from the iterator's size hint first, so a
+    /// builder created with [`Self::with_capacity`] (or fed an
+    /// exact-length iterator) ingests without re-allocating. Panics on
+    /// out-of-range ids, like [`Self::add_edge`].
     pub fn extend_edges(&mut self, it: impl IntoIterator<Item = (u32, u32)>) {
-        self.edges.extend(it);
+        let it = it.into_iter();
+        let (lo, _) = it.size_hint();
+        self.edges.reserve(lo);
+        for (u, v) in it {
+            self.add_edge(u, v);
+        }
     }
 
     /// Build the default [`CompactCsr`]: symmetrize, drop self-loops,
     /// sort, dedup; offsets narrowed to `u32` when `2m < u32::MAX`.
     pub fn build(self) -> CompactCsr {
-        let (offsets, neighbors) = self.build_arrays();
-        CompactCsr::from_raw(offsets, neighbors)
+        stream::build_compact(&self).expect("in-memory replay cannot fail")
     }
 
     /// Build the legacy machine-word-offset [`CsrGraph`] from the same
-    /// pipeline (bit-identical adjacency, used by the equivalence suite).
+    /// two-pass engine (bit-identical adjacency, used by the equivalence
+    /// suite).
     pub fn build_legacy(self) -> CsrGraph {
-        let (offsets, neighbors) = self.build_arrays();
-        CsrGraph::from_raw(offsets, neighbors)
+        stream::build_legacy(&self).expect("in-memory replay cannot fail")
+    }
+}
+
+/// The trivial buffered source: replays the in-memory edge list as
+/// zero-copy chunk slices. Kept so the push-style builder API rides the
+/// same construction engine as the true streaming producers.
+impl EdgeSource for EdgeListBuilder {
+    fn num_vertices(&self) -> usize {
+        self.n
     }
 
-    fn build_arrays(self) -> (Vec<usize>, Vec<u32>) {
-        let n = self.n;
-        // Materialize both directions, dropping self-loops.
-        let mut arcs: Vec<u64> = Vec::with_capacity(self.edges.len() * 2);
-        for &(u, v) in &self.edges {
-            if u != v {
-                arcs.push(((u as u64) << 32) | v as u64);
-                arcs.push(((v as u64) << 32) | u as u64);
-            }
-        }
-        // Sort by (source, target): packs into one u64 key so the parallel
-        // sort is a single pass over POD data.
-        if arcs.len() > 1 << 14 {
-            arcs.par_sort_unstable();
-        } else {
-            arcs.sort_unstable();
-        }
-        arcs.dedup();
+    fn edge_hint(&self) -> Option<usize> {
+        Some(self.edges.len())
+    }
 
-        let mut offsets = vec![0usize; n + 1];
-        for &a in &arcs {
-            offsets[(a >> 32) as usize + 1] += 1;
+    fn buffered_bytes(&self) -> usize {
+        self.edges.capacity() * std::mem::size_of::<(u32, u32)>()
+    }
+
+    fn replay(&self, emit: &mut ChunkFn<'_>) -> std::io::Result<()> {
+        for chunk in self.edges.chunks(CHUNK_EDGES) {
+            emit(chunk);
         }
-        for i in 0..n {
-            offsets[i + 1] += offsets[i];
-        }
-        let neighbors: Vec<u32> = arcs.iter().map(|&a| a as u32).collect();
-        (offsets, neighbors)
+        Ok(())
     }
 }
 
@@ -153,6 +166,28 @@ mod tests {
     }
 
     #[test]
+    fn extend_edges_honors_capacity() {
+        // `with_capacity` + an exact-size iterator within that capacity
+        // must not re-allocate the buffer.
+        let mut b = EdgeListBuilder::with_capacity(10, 8);
+        let cap = b.edges.capacity();
+        b.extend_edges((0..8u32).map(|i| (i, (i + 1) % 10)));
+        assert_eq!(b.len(), 8);
+        assert_eq!(b.edges.capacity(), cap, "no re-allocation within capacity");
+        // And an un-reserved builder pre-sizes from the size hint.
+        let mut b = EdgeListBuilder::new(10);
+        b.extend_edges((0..6u32).map(|i| (i, (i + 2) % 10)));
+        assert!(b.edges.capacity() >= 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_rejects_out_of_range_ids() {
+        let mut b = EdgeListBuilder::new(4);
+        b.add_edge(10, 11);
+    }
+
+    #[test]
     fn empty_build() {
         let g = EdgeListBuilder::new(4).build();
         assert_eq!(g.n(), 4);
@@ -161,7 +196,7 @@ mod tests {
 
     #[test]
     fn large_build_is_valid() {
-        // Exercise the parallel sort path.
+        // Exercise multi-chunk replay and the parallel scatter path.
         let n = 5_000u32;
         let edges: Vec<(u32, u32)> = (0..60_000u64)
             .map(|i| {

@@ -17,7 +17,7 @@ use rayon::prelude::*;
 /// The offset array, at the narrowest width that can address `2m`
 /// neighbor slots.
 #[derive(Clone, Debug, PartialEq, Eq)]
-enum Offsets {
+pub(crate) enum Offsets {
     /// 4-byte offsets: valid while `2m < u32::MAX`.
     Small(Vec<u32>),
     /// Machine-word fallback for graphs with `2m ≥ u32::MAX` arcs.
@@ -78,7 +78,11 @@ impl CompactCsr {
         Self::from_offsets(offsets, neighbors)
     }
 
-    fn from_offsets(offsets: Offsets, neighbors: Vec<u32>) -> Self {
+    /// Construct from an already-width-resolved offset array — the entry
+    /// point of the streaming two-pass builder ([`crate::stream`]), which
+    /// produces `u32` offsets directly on the fast path instead of
+    /// narrowing a machine-word array after the fact.
+    pub(crate) fn from_offsets(offsets: Offsets, neighbors: Vec<u32>) -> Self {
         let n = offsets.len().saturating_sub(1);
         let (max_deg, min_deg) = degree_extremes(n, |i| offsets.get(i));
         let g = Self {

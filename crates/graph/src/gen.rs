@@ -8,10 +8,15 @@
 //! by `n`, `m`, `Δ`, and the degeneracy `d`, all of which these families
 //! control.
 //!
-//! All generators are deterministic in `(spec, seed)`.
+//! All generators are deterministic in `(spec, seed)` — which is exactly
+//! what makes them streamable: [`SpecSource`] implements
+//! [`EdgeSource`] by *re-running* the seeded generator on every replay, so
+//! [`generate`] feeds the two-pass builder ([`crate::stream`]) without
+//! ever buffering the edge list. Regeneration trades a second pass of
+//! (cheap) RNG work for ~8 bytes per raw edge of peak memory.
 
-use crate::builder::EdgeListBuilder;
 use crate::compact::CompactCsr;
+use crate::stream::{build_compact_with_stats, BuildStats, ChunkFn, EdgeSink, EdgeSource};
 use pgc_primitives::SplitMix64;
 
 /// A recipe for a synthetic graph.
@@ -77,59 +82,169 @@ impl GraphSpec {
             } => cliques * clique_size,
         }
     }
+
+    /// Raw (pre-dedup) edge count one replay emits. Exact for every
+    /// family except [`GraphSpec::PlantedColoring`], whose
+    /// rejection-sampling guard may stop marginally short of `m`.
+    pub fn raw_edge_hint(&self) -> usize {
+        match *self {
+            GraphSpec::ErdosRenyi { n, m } => {
+                if n < 2 {
+                    0
+                } else {
+                    m
+                }
+            }
+            GraphSpec::BarabasiAlbert { n, attach } => {
+                if n == 0 {
+                    return 0;
+                }
+                let attach = attach.max(1);
+                let core = attach.min(n);
+                core * (core - 1) / 2 + (n - core) * attach
+            }
+            GraphSpec::Rmat { scale, edge_factor } => (1usize << scale) * edge_factor,
+            GraphSpec::Grid2d { rows, cols } => {
+                rows * cols.saturating_sub(1) + cols * rows.saturating_sub(1)
+            }
+            GraphSpec::RingOfCliques {
+                cliques,
+                clique_size,
+            } => {
+                let per = clique_size * clique_size.saturating_sub(1) / 2;
+                cliques * per + if cliques > 1 { cliques } else { 0 }
+            }
+            GraphSpec::PlantedColoring { n, m, .. } => {
+                if n < 2 {
+                    0
+                } else {
+                    m
+                }
+            }
+            GraphSpec::KOut { n, k } => {
+                if n < 2 {
+                    0
+                } else {
+                    n * k
+                }
+            }
+            GraphSpec::Complete { n } => n * n.saturating_sub(1) / 2,
+            GraphSpec::Path { n } => n.saturating_sub(1),
+            GraphSpec::Cycle { n } => match n {
+                0 | 1 => 0,
+                2 => 1,
+                _ => n,
+            },
+            GraphSpec::Star { n } => n.saturating_sub(1),
+            GraphSpec::Empty { .. } => 0,
+        }
+    }
+}
+
+/// A generator as a streaming [`EdgeSource`]: every replay re-runs the
+/// seeded generator, so the edge list is never buffered. Deterministic in
+/// `(spec, seed)` by construction.
+#[derive(Clone, Debug)]
+pub struct SpecSource {
+    spec: GraphSpec,
+    seed: u64,
+}
+
+impl SpecSource {
+    /// A source that regenerates `spec` with `seed` on every replay.
+    pub fn new(spec: GraphSpec, seed: u64) -> Self {
+        Self { spec, seed }
+    }
+}
+
+impl EdgeSource for SpecSource {
+    fn num_vertices(&self) -> usize {
+        self.spec.n()
+    }
+
+    fn edge_hint(&self) -> Option<usize> {
+        Some(self.spec.raw_edge_hint())
+    }
+
+    fn buffered_bytes(&self) -> usize {
+        // Most families regenerate statelessly, but Barabási–Albert keeps
+        // its endpoint list alive for essentially a whole replay — as
+        // good as resident, so it is charged into `build_bytes_peak`
+        // rather than hidden as "scratch".
+        match self.spec {
+            GraphSpec::BarabasiAlbert { n, attach } => 2 * n * attach.max(1) * 4,
+            _ => 0,
+        }
+    }
+
+    fn replay(&self, emit: &mut ChunkFn<'_>) -> std::io::Result<()> {
+        let mut sink = EdgeSink::new(emit);
+        emit_edges(&self.spec, self.seed, &mut sink);
+        Ok(())
+    }
 }
 
 /// Generate the graph described by `spec`, deterministically in `seed`.
 pub fn generate(spec: &GraphSpec, seed: u64) -> CompactCsr {
+    generate_with_stats(spec, seed).0
+}
+
+/// [`generate`], also returning the streaming-build instrumentation
+/// (ingest time, peak build bytes) the harness prints in its tables.
+pub fn generate_with_stats(spec: &GraphSpec, seed: u64) -> (CompactCsr, BuildStats) {
+    build_compact_with_stats(&SpecSource::new(spec.clone(), seed))
+        .expect("generator replay cannot fail")
+}
+
+/// Run one seeded generation, pushing every raw edge into `sink`.
+fn emit_edges(spec: &GraphSpec, seed: u64, sink: &mut EdgeSink<'_>) {
     match *spec {
-        GraphSpec::ErdosRenyi { n, m } => erdos_renyi(n, m, seed),
-        GraphSpec::BarabasiAlbert { n, attach } => barabasi_albert(n, attach, seed),
-        GraphSpec::Rmat { scale, edge_factor } => rmat(scale, edge_factor, seed),
-        GraphSpec::Grid2d { rows, cols } => grid2d(rows, cols),
+        GraphSpec::ErdosRenyi { n, m } => erdos_renyi(n, m, seed, sink),
+        GraphSpec::BarabasiAlbert { n, attach } => barabasi_albert(n, attach, seed, sink),
+        GraphSpec::Rmat { scale, edge_factor } => rmat(scale, edge_factor, seed, sink),
+        GraphSpec::Grid2d { rows, cols } => grid2d(rows, cols, sink),
         GraphSpec::RingOfCliques {
             cliques,
             clique_size,
-        } => ring_of_cliques(cliques, clique_size),
-        GraphSpec::PlantedColoring { n, k, m } => planted_coloring(n, k, m, seed),
-        GraphSpec::KOut { n, k } => k_out(n, k, seed),
-        GraphSpec::Complete { n } => complete(n),
-        GraphSpec::Path { n } => path(n),
-        GraphSpec::Cycle { n } => cycle(n),
-        GraphSpec::Star { n } => star(n),
-        GraphSpec::Empty { n } => CompactCsr::empty(n),
+        } => ring_of_cliques(cliques, clique_size, sink),
+        GraphSpec::PlantedColoring { n, k, m } => planted_coloring(n, k, m, seed, sink),
+        GraphSpec::KOut { n, k } => k_out(n, k, seed, sink),
+        GraphSpec::Complete { n } => complete(n, sink),
+        GraphSpec::Path { n } => path(n, sink),
+        GraphSpec::Cycle { n } => cycle(n, sink),
+        GraphSpec::Star { n } => star(n, sink),
+        GraphSpec::Empty { .. } => {}
     }
 }
 
-fn erdos_renyi(n: usize, m: usize, seed: u64) -> CompactCsr {
+fn erdos_renyi(n: usize, m: usize, seed: u64, sink: &mut EdgeSink<'_>) {
     let mut rng = SplitMix64::new(seed ^ 0xE2D0);
-    let mut b = EdgeListBuilder::with_capacity(n, m);
     if n < 2 {
-        return b.build();
+        return;
     }
     for _ in 0..m {
         let u = rng.below(n as u32);
         let v = rng.below(n as u32);
-        b.add_edge(u, v);
+        sink.push(u, v);
     }
-    b.build()
 }
 
-fn barabasi_albert(n: usize, attach: usize, seed: u64) -> CompactCsr {
+fn barabasi_albert(n: usize, attach: usize, seed: u64, sink: &mut EdgeSink<'_>) {
     let mut rng = SplitMix64::new(seed ^ 0xBA0B);
     let attach = attach.max(1);
-    let mut b = EdgeListBuilder::with_capacity(n, n * attach);
     if n == 0 {
-        return b.build();
+        return;
     }
     // Endpoint list: each edge contributes both endpoints, so sampling a
-    // uniform entry is sampling proportional to degree.
+    // uniform entry is sampling proportional to degree. This is generator
+    // *state* (re-derived per replay), not an edge buffer.
     let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * attach);
     let seed_core = attach.min(n);
     // Seed clique over the first `attach` vertices keeps early attachment
     // well-defined.
     for u in 0..seed_core as u32 {
         for v in (u + 1)..seed_core as u32 {
-            b.add_edge(u, v);
+            sink.push(u, v);
             endpoints.push(u);
             endpoints.push(v);
         }
@@ -141,20 +256,18 @@ fn barabasi_albert(n: usize, attach: usize, seed: u64) -> CompactCsr {
             } else {
                 endpoints[rng.below(endpoints.len() as u32) as usize]
             };
-            b.add_edge(v, t);
+            sink.push(v, t);
             endpoints.push(v);
             endpoints.push(t);
         }
     }
-    b.build()
 }
 
-fn rmat(scale: u32, edge_factor: usize, seed: u64) -> CompactCsr {
+fn rmat(scale: u32, edge_factor: usize, seed: u64, sink: &mut EdgeSink<'_>) {
     let n = 1usize << scale;
     let m = n * edge_factor;
     let (a, bb, c) = (0.57, 0.19, 0.19);
     let mut rng = SplitMix64::new(seed ^ 0x50A7);
-    let mut b = EdgeListBuilder::with_capacity(n, m);
     for _ in 0..m {
         let (mut u, mut v) = (0u32, 0u32);
         for _ in 0..scale {
@@ -171,52 +284,45 @@ fn rmat(scale: u32, edge_factor: usize, seed: u64) -> CompactCsr {
             u = (u << 1) | ubit;
             v = (v << 1) | vbit;
         }
-        b.add_edge(u, v);
+        sink.push(u, v);
     }
-    b.build()
 }
 
-fn grid2d(rows: usize, cols: usize) -> CompactCsr {
+fn grid2d(rows: usize, cols: usize, sink: &mut EdgeSink<'_>) {
     let id = |r: usize, c: usize| (r * cols + c) as u32;
-    let mut b = EdgeListBuilder::with_capacity(rows * cols, 2 * rows * cols);
     for r in 0..rows {
         for c in 0..cols {
             if c + 1 < cols {
-                b.add_edge(id(r, c), id(r, c + 1));
+                sink.push(id(r, c), id(r, c + 1));
             }
             if r + 1 < rows {
-                b.add_edge(id(r, c), id(r + 1, c));
+                sink.push(id(r, c), id(r + 1, c));
             }
         }
     }
-    b.build()
 }
 
-fn ring_of_cliques(cliques: usize, clique_size: usize) -> CompactCsr {
-    let n = cliques * clique_size;
-    let mut b = EdgeListBuilder::new(n);
+fn ring_of_cliques(cliques: usize, clique_size: usize, sink: &mut EdgeSink<'_>) {
     for q in 0..cliques {
         let base = (q * clique_size) as u32;
         for i in 0..clique_size as u32 {
             for j in (i + 1)..clique_size as u32 {
-                b.add_edge(base + i, base + j);
+                sink.push(base + i, base + j);
             }
         }
         if cliques > 1 {
             // Bridge: last vertex of clique q to first vertex of clique q+1.
             let next_base = (((q + 1) % cliques) * clique_size) as u32;
-            b.add_edge(base + clique_size as u32 - 1, next_base);
+            sink.push(base + clique_size as u32 - 1, next_base);
         }
     }
-    b.build()
 }
 
-fn planted_coloring(n: usize, k: u32, m: usize, seed: u64) -> CompactCsr {
+fn planted_coloring(n: usize, k: u32, m: usize, seed: u64, sink: &mut EdgeSink<'_>) {
     let k = k.max(2);
     let mut rng = SplitMix64::new(seed ^ 0x9A27);
-    let mut b = EdgeListBuilder::with_capacity(n, m);
     if n < 2 {
-        return b.build();
+        return;
     }
     // part(v) = v mod k; only cross-part edges, so coloring by part is
     // proper and χ(G) ≤ k.
@@ -227,18 +333,16 @@ fn planted_coloring(n: usize, k: u32, m: usize, seed: u64) -> CompactCsr {
         let u = rng.below(n as u32);
         let v = rng.below(n as u32);
         if u % k != v % k {
-            b.add_edge(u, v);
+            sink.push(u, v);
             placed += 1;
         }
     }
-    b.build()
 }
 
-fn k_out(n: usize, k: usize, seed: u64) -> CompactCsr {
+fn k_out(n: usize, k: usize, seed: u64, sink: &mut EdgeSink<'_>) {
     let mut rng = SplitMix64::new(seed ^ 0x0C07);
-    let mut b = EdgeListBuilder::with_capacity(n, n * k);
     if n < 2 {
-        return b.build();
+        return;
     }
     for v in 0..n as u32 {
         for _ in 0..k {
@@ -246,49 +350,40 @@ fn k_out(n: usize, k: usize, seed: u64) -> CompactCsr {
             if u == v {
                 u = (u + 1) % n as u32;
             }
-            b.add_edge(v, u);
+            sink.push(v, u);
         }
     }
-    b.build()
 }
 
-fn complete(n: usize) -> CompactCsr {
-    let mut b = EdgeListBuilder::new(n);
+fn complete(n: usize, sink: &mut EdgeSink<'_>) {
     for u in 0..n as u32 {
         for v in (u + 1)..n as u32 {
-            b.add_edge(u, v);
+            sink.push(u, v);
         }
     }
-    b.build()
 }
 
-fn path(n: usize) -> CompactCsr {
-    let mut b = EdgeListBuilder::new(n);
+fn path(n: usize, sink: &mut EdgeSink<'_>) {
     for v in 1..n as u32 {
-        b.add_edge(v - 1, v);
+        sink.push(v - 1, v);
     }
-    b.build()
 }
 
-fn cycle(n: usize) -> CompactCsr {
-    let mut b = EdgeListBuilder::new(n);
+fn cycle(n: usize, sink: &mut EdgeSink<'_>) {
     if n >= 3 {
         for v in 1..n as u32 {
-            b.add_edge(v - 1, v);
+            sink.push(v - 1, v);
         }
-        b.add_edge(n as u32 - 1, 0);
+        sink.push(n as u32 - 1, 0);
     } else if n == 2 {
-        b.add_edge(0, 1);
+        sink.push(0, 1);
     }
-    b.build()
 }
 
-fn star(n: usize) -> CompactCsr {
-    let mut b = EdgeListBuilder::new(n);
+fn star(n: usize, sink: &mut EdgeSink<'_>) {
     for v in 1..n as u32 {
-        b.add_edge(0, v);
+        sink.push(0, v);
     }
-    b.build()
 }
 
 /// A named graph in the evaluation suite.
@@ -396,6 +491,7 @@ pub fn suite(scale: usize) -> Vec<SuiteGraph> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::EdgeListBuilder;
     use crate::degeneracy::degeneracy;
 
     #[test]
@@ -444,6 +540,77 @@ mod tests {
     fn seeds_matter() {
         let spec = GraphSpec::ErdosRenyi { n: 300, m: 900 };
         assert_ne!(generate(&spec, 1), generate(&spec, 2));
+    }
+
+    #[test]
+    fn raw_edge_hints_are_exact() {
+        // Every family except PlantedColoring promises an exact hint.
+        for spec in [
+            GraphSpec::ErdosRenyi { n: 200, m: 600 },
+            GraphSpec::BarabasiAlbert { n: 200, attach: 4 },
+            GraphSpec::Rmat {
+                scale: 7,
+                edge_factor: 5,
+            },
+            GraphSpec::Grid2d { rows: 9, cols: 13 },
+            GraphSpec::RingOfCliques {
+                cliques: 5,
+                clique_size: 6,
+            },
+            GraphSpec::KOut { n: 120, k: 3 },
+            GraphSpec::Complete { n: 12 },
+            GraphSpec::Path { n: 17 },
+            GraphSpec::Cycle { n: 9 },
+            GraphSpec::Cycle { n: 2 },
+            GraphSpec::Star { n: 21 },
+            GraphSpec::Empty { n: 8 },
+        ] {
+            let src = SpecSource::new(spec.clone(), 5);
+            let mut emitted = 0usize;
+            src.replay(&mut |c| emitted += c.len()).unwrap();
+            assert_eq!(emitted, spec.raw_edge_hint(), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_matches_buffered_replay() {
+        // Regenerating per pass must produce the exact graph that
+        // buffering every emitted edge produces.
+        for spec in [
+            GraphSpec::Rmat {
+                scale: 8,
+                edge_factor: 6,
+            },
+            GraphSpec::BarabasiAlbert { n: 300, attach: 5 },
+            GraphSpec::PlantedColoring {
+                n: 150,
+                k: 5,
+                m: 500,
+            },
+        ] {
+            let src = SpecSource::new(spec.clone(), 42);
+            let mut b = EdgeListBuilder::with_capacity(spec.n(), spec.raw_edge_hint());
+            src.replay(&mut |chunk| {
+                for &(u, v) in chunk {
+                    b.add_edge(u, v);
+                }
+            })
+            .unwrap();
+            assert_eq!(generate(&spec, 42), b.build(), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn generate_with_stats_reports_streaming_peak() {
+        let spec = GraphSpec::Rmat {
+            scale: 10,
+            edge_factor: 8,
+        };
+        let (g, stats) = generate_with_stats(&spec, 3);
+        assert_eq!(stats.raw_edges, spec.raw_edge_hint());
+        assert_eq!(stats.hinted_edges, Some(stats.raw_edges));
+        assert_eq!(stats.arcs, g.num_arcs());
+        assert!(stats.build_bytes_peak < stats.arc_list_baseline_bytes());
     }
 
     #[test]

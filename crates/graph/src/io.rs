@@ -1,45 +1,334 @@
 //! Graph I/O.
 //!
-//! Two interchange formats so users can run the paper's real datasets when
-//! they have them:
+//! Three interchange formats so users can run the paper's real datasets
+//! when they have them:
 //!
 //! * whitespace-separated **edge lists** (`u v` per line, `#` comments) —
 //!   the SNAP/KONECT distribution format,
 //! * **DIMACS `.col`** (`p edge n m` header, `e u v` lines, 1-based) — the
-//!   classic coloring-benchmark format.
+//!   classic coloring-benchmark format,
+//! * **Matrix Market** coordinate files — the SuiteSparse format.
+//!
+//! Every reader is a replayable [`EdgeSource`]: parsing happens inside
+//! [`EdgeSource::replay`], so the two-pass streaming builder
+//! ([`crate::stream`]) ingests a file with **two sequential scans and no
+//! edge buffering**. The [`Reopen`] trait abstracts "give me a fresh
+//! reader over the same bytes" — a path reopens the file, a byte slice
+//! rewinds for free — so the same parser serves the streaming
+//! [`read_edge_list_path`]-style entry points and the buffered
+//! [`read_edge_list`]-style `BufRead` compatibility APIs (which slurp the
+//! input once, then stream over the in-memory bytes: text is the only
+//! buffer, never a decoded arc list).
 
-use crate::builder::EdgeListBuilder;
 use crate::compact::CompactCsr;
+use crate::stream::{build_compact, ChunkFn, EdgeSink, EdgeSource};
 use crate::view::GraphView;
-use std::io::{BufRead, Write};
+use std::fs::File;
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// Input that can be opened for reading any number of times, yielding the
+/// identical byte stream — what makes a file-backed [`EdgeSource`]
+/// replayable.
+pub trait Reopen: Sync {
+    /// The reader one scan runs over.
+    type Reader: BufRead;
+    /// Open a fresh reader at the start of the input.
+    fn reopen(&self) -> std::io::Result<Self::Reader>;
+}
+
+/// A path reopens the underlying file (the streaming case: two
+/// sequential scans of the file, zero buffering).
+impl Reopen for PathBuf {
+    type Reader = BufReader<File>;
+
+    fn reopen(&self) -> std::io::Result<Self::Reader> {
+        Ok(BufReader::new(File::open(self)?))
+    }
+}
+
+/// In-memory bytes replay for free (the compatibility case and tests).
+impl<'a> Reopen for &'a [u8] {
+    type Reader = &'a [u8];
+
+    fn reopen(&self) -> std::io::Result<Self::Reader> {
+        Ok(*self)
+    }
+}
+
+/// SNAP-style edge list as a streaming [`EdgeSource`]: one `u v` pair per
+/// line, `#`/`%` comment lines. Vertex ids may be sparse; the builder
+/// sizes the graph by the maximum id + 1 (so
+/// [`num_vertices`](EdgeSource::num_vertices) reports 0 — unknown until
+/// scanned).
+pub struct EdgeListSource<R: Reopen> {
+    input: R,
+}
+
+impl<R: Reopen> EdgeListSource<R> {
+    /// Wrap a replayable input.
+    pub fn new(input: R) -> Self {
+        Self { input }
+    }
+}
+
+impl<R: Reopen> EdgeSource for EdgeListSource<R> {
+    fn num_vertices(&self) -> usize {
+        0
+    }
+
+    fn replay(&self, emit: &mut ChunkFn<'_>) -> std::io::Result<()> {
+        let reader = self.input.reopen()?;
+        let mut sink = EdgeSink::new(emit);
+        for line in reader.lines() {
+            let line = line?;
+            let t = line.trim();
+            if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+                continue;
+            }
+            let mut it = t.split_whitespace();
+            let u: u32 = parse_field(it.next(), "source", t)?;
+            let v: u32 = parse_field(it.next(), "target", t)?;
+            sink.push(u, v);
+        }
+        Ok(())
+    }
+}
+
+/// DIMACS `.col` as a streaming [`EdgeSource`]: `c` comments, one
+/// `p edge <n> <m>` line, `e u v` edges with **1-based** vertex ids.
+/// The header is parsed eagerly by [`DimacsSource::new`] (a short partial
+/// read), so the declared `n` and edge hint are known before the scans.
+pub struct DimacsSource<R: Reopen> {
+    input: R,
+    n: usize,
+    m: usize,
+}
+
+impl<R: Reopen> DimacsSource<R> {
+    /// Wrap a replayable input, reading ahead to the `p edge` header.
+    /// Errors if the header is missing or the problem type unsupported.
+    pub fn new(input: R) -> std::io::Result<Self> {
+        let mut header = None;
+        for line in input.reopen()?.lines() {
+            let line = line?;
+            if let Some(rest) = line.trim().strip_prefix("p ") {
+                let t = line.trim();
+                let mut it = rest.split_whitespace();
+                let kind = it.next().unwrap_or("");
+                if kind != "edge" && kind != "edges" && kind != "col" {
+                    return Err(bad(format!("unsupported problem type {kind:?}")));
+                }
+                let n = parse_field(it.next(), "n", t)? as usize;
+                let m = parse_field(it.next(), "m", t)
+                    .map(|m| m as usize)
+                    .unwrap_or(0);
+                header = Some((n, m));
+                break;
+            }
+        }
+        let (n, m) = header.ok_or_else(|| bad("missing 'p edge' header".into()))?;
+        Ok(Self { input, n, m })
+    }
+
+    /// Declared vertex count from the `p edge` header.
+    pub fn declared_n(&self) -> usize {
+        self.n
+    }
+}
+
+impl<R: Reopen> EdgeSource for DimacsSource<R> {
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    fn edge_hint(&self) -> Option<usize> {
+        Some(self.m)
+    }
+
+    fn replay(&self, emit: &mut ChunkFn<'_>) -> std::io::Result<()> {
+        let reader = self.input.reopen()?;
+        let mut sink = EdgeSink::new(emit);
+        for line in reader.lines() {
+            let line = line?;
+            let t = line.trim();
+            if let Some(rest) = t.strip_prefix("e ") {
+                let mut it = rest.split_whitespace();
+                let u: u32 = parse_field(it.next(), "u", t)?;
+                let v: u32 = parse_field(it.next(), "v", t)?;
+                if u == 0 || v == 0 {
+                    return Err(bad(format!("DIMACS ids are 1-based, got line {t:?}")));
+                }
+                if u as usize > self.n || v as usize > self.n {
+                    return Err(bad(format!(
+                        "edge ({u},{v}) out of declared range n={}",
+                        self.n
+                    )));
+                }
+                sink.push(u - 1, v - 1);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Matrix Market coordinate file as a streaming [`EdgeSource`]:
+/// rows/columns are vertices, entries are edges (values, if present, are
+/// ignored). The `%%MatrixMarket` header and size line are parsed eagerly
+/// by [`MatrixMarketSource::new`].
+pub struct MatrixMarketSource<R: Reopen> {
+    input: R,
+    n: usize,
+    nnz: usize,
+}
+
+impl<R: Reopen> MatrixMarketSource<R> {
+    /// Wrap a replayable input, reading ahead to the header and size
+    /// line. Errors on missing/dense/non-matrix headers.
+    pub fn new(input: R) -> std::io::Result<Self> {
+        let mut lines = input.reopen()?.lines();
+        let header = loop {
+            match lines.next() {
+                Some(line) => {
+                    let line = line?;
+                    if line.starts_with("%%MatrixMarket") {
+                        break line;
+                    } else if !line.trim().is_empty() {
+                        return Err(bad("missing %%MatrixMarket header".into()));
+                    }
+                }
+                None => return Err(bad("empty Matrix Market file".into())),
+            }
+        };
+        let lower = header.to_ascii_lowercase();
+        if !lower.contains("matrix") || !lower.contains("coordinate") {
+            return Err(bad(format!("unsupported Matrix Market header {header:?}")));
+        }
+        // Size line: first non-comment line after the header.
+        for line in lines {
+            let line = line?;
+            let t = line.trim();
+            if t.is_empty() || t.starts_with('%') {
+                continue;
+            }
+            let mut it = t.split_whitespace();
+            let nrows = parse_field(it.next(), "rows", t)? as usize;
+            let ncols = parse_field(it.next(), "cols", t)? as usize;
+            let nnz = parse_field(it.next(), "nnz", t)? as usize;
+            return Ok(Self {
+                input,
+                n: nrows.max(ncols),
+                nnz,
+            });
+        }
+        Err(bad("missing Matrix Market size line".into()))
+    }
+}
+
+impl<R: Reopen> EdgeSource for MatrixMarketSource<R> {
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    fn edge_hint(&self) -> Option<usize> {
+        Some(self.nnz)
+    }
+
+    fn replay(&self, emit: &mut ChunkFn<'_>) -> std::io::Result<()> {
+        let reader = self.input.reopen()?;
+        let mut sink = EdgeSink::new(emit);
+        let mut past_size_line = false;
+        for line in reader.lines() {
+            let line = line?;
+            let t = line.trim();
+            if t.is_empty() || t.starts_with('%') {
+                continue;
+            }
+            if !past_size_line {
+                past_size_line = true; // validated by `new`
+                continue;
+            }
+            let mut it = t.split_whitespace();
+            let r: u32 = parse_field(it.next(), "row", t)?;
+            let c: u32 = parse_field(it.next(), "col", t)?;
+            if r == 0 || c == 0 {
+                return Err(bad(format!("Matrix Market ids are 1-based: {t:?}")));
+            }
+            if r as usize > self.n || c as usize > self.n {
+                return Err(bad(format!("entry ({r},{c}) exceeds size {}", self.n)));
+            }
+            sink.push(r - 1, c - 1); // value column (if any) is ignored
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Streaming entry points (two sequential file scans, no buffering)
+// ---------------------------------------------------------------------
+
+/// Read a SNAP-style edge list from a file with two sequential scans and
+/// no edge buffering.
+pub fn read_edge_list_path(path: &Path) -> std::io::Result<CompactCsr> {
+    build_compact(&EdgeListSource::new(path.to_path_buf()))
+}
+
+/// Read DIMACS `.col` from a file with two sequential scans and no edge
+/// buffering.
+pub fn read_dimacs_col_path(path: &Path) -> std::io::Result<CompactCsr> {
+    build_compact(&DimacsSource::new(path.to_path_buf())?)
+}
+
+/// Read a Matrix Market coordinate file with two sequential scans and no
+/// edge buffering.
+pub fn read_matrix_market_path(path: &Path) -> std::io::Result<CompactCsr> {
+    build_compact(&MatrixMarketSource::new(path.to_path_buf())?)
+}
+
+// ---------------------------------------------------------------------
+// `BufRead` compatibility entry points
+// ---------------------------------------------------------------------
+
+/// Read the whole input once: a one-shot reader cannot be replayed, so
+/// the compatibility APIs stream over the slurped text instead (the raw
+/// bytes are the only buffer — no decoded arc list is ever built; the
+/// builder's two passes each re-parse the in-memory text).
+fn slurp<R: BufRead>(mut reader: R) -> std::io::Result<Vec<u8>> {
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    Ok(bytes)
+}
 
 /// Parse a SNAP-style edge list: one `u v` pair per line; lines starting
 /// with `#` or `%` are comments. Vertex ids may be sparse; the graph is
-/// sized by the maximum id + 1.
+/// sized by the maximum id + 1. Prefer [`read_edge_list_path`] for files:
+/// it streams in two scans instead of buffering the text. Like every
+/// two-pass ingestion, the text is *parsed* twice (count + scatter) —
+/// the price of never holding a decoded edge list.
 pub fn read_edge_list<R: BufRead>(reader: R) -> std::io::Result<CompactCsr> {
-    let mut edges: Vec<(u32, u32)> = Vec::new();
-    let mut max_id = 0u32;
-    for line in reader.lines() {
-        let line = line?;
-        let t = line.trim();
-        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
-            continue;
-        }
-        let mut it = t.split_whitespace();
-        let u: u32 = parse_field(it.next(), "source", t)?;
-        let v: u32 = parse_field(it.next(), "target", t)?;
-        max_id = max_id.max(u).max(v);
-        edges.push((u, v));
-    }
-    let n = if edges.is_empty() {
-        0
-    } else {
-        max_id as usize + 1
-    };
-    let mut b = EdgeListBuilder::with_capacity(n, edges.len());
-    b.extend_edges(edges);
-    Ok(b.build())
+    let bytes = slurp(reader)?;
+    build_compact(&EdgeListSource::new(&bytes[..]))
 }
+
+/// Parse DIMACS `.col`: `c` comments, one `p edge <n> <m>` line, `e u v`
+/// edges with **1-based** vertex ids. Prefer [`read_dimacs_col_path`] for
+/// files.
+pub fn read_dimacs_col<R: BufRead>(reader: R) -> std::io::Result<CompactCsr> {
+    let bytes = slurp(reader)?;
+    build_compact(&DimacsSource::new(&bytes[..])?)
+}
+
+/// Parse a Matrix Market pattern/coordinate file (`%%MatrixMarket matrix
+/// coordinate ...`) as an undirected graph. Prefer
+/// [`read_matrix_market_path`] for files.
+pub fn read_matrix_market<R: BufRead>(reader: R) -> std::io::Result<CompactCsr> {
+    let bytes = slurp(reader)?;
+    build_compact(&MatrixMarketSource::new(&bytes[..])?)
+}
+
+// ---------------------------------------------------------------------
+// Writers
+// ---------------------------------------------------------------------
 
 /// Write an edge list (`u v` per line, each undirected edge once).
 pub fn write_edge_list<G: GraphView, W: Write>(g: &G, mut w: W) -> std::io::Result<()> {
@@ -50,45 +339,6 @@ pub fn write_edge_list<G: GraphView, W: Write>(g: &G, mut w: W) -> std::io::Resu
     Ok(())
 }
 
-/// Parse DIMACS `.col`: `c` comments, one `p edge <n> <m>` line, `e u v`
-/// edges with **1-based** vertex ids.
-pub fn read_dimacs_col<R: BufRead>(reader: R) -> std::io::Result<CompactCsr> {
-    let mut n: Option<usize> = None;
-    let mut edges: Vec<(u32, u32)> = Vec::new();
-    for line in reader.lines() {
-        let line = line?;
-        let t = line.trim();
-        if t.is_empty() || t.starts_with('c') {
-            continue;
-        }
-        if let Some(rest) = t.strip_prefix("p ") {
-            let mut it = rest.split_whitespace();
-            let kind = it.next().unwrap_or("");
-            if kind != "edge" && kind != "edges" && kind != "col" {
-                return Err(bad(format!("unsupported problem type {kind:?}")));
-            }
-            n = Some(parse_field(it.next(), "n", t)? as usize);
-        } else if let Some(rest) = t.strip_prefix("e ") {
-            let mut it = rest.split_whitespace();
-            let u: u32 = parse_field(it.next(), "u", t)?;
-            let v: u32 = parse_field(it.next(), "v", t)?;
-            if u == 0 || v == 0 {
-                return Err(bad(format!("DIMACS ids are 1-based, got line {t:?}")));
-            }
-            edges.push((u - 1, v - 1));
-        }
-    }
-    let n = n.ok_or_else(|| bad("missing 'p edge' header".into()))?;
-    for &(u, v) in &edges {
-        if u as usize >= n || v as usize >= n {
-            return Err(bad(format!("edge ({u},{v}) out of declared range n={n}")));
-        }
-    }
-    let mut b = EdgeListBuilder::with_capacity(n, edges.len());
-    b.extend_edges(edges);
-    Ok(b.build())
-}
-
 /// Write DIMACS `.col`.
 pub fn write_dimacs_col<G: GraphView, W: Write>(g: &G, mut w: W) -> std::io::Result<()> {
     writeln!(w, "c generated by parallel-graph-coloring")?;
@@ -97,66 +347,6 @@ pub fn write_dimacs_col<G: GraphView, W: Write>(g: &G, mut w: W) -> std::io::Res
         writeln!(w, "e {} {}", u + 1, v + 1)?;
     }
     Ok(())
-}
-
-/// Parse a Matrix Market pattern/coordinate file (`%%MatrixMarket matrix
-/// coordinate ...`) as an undirected graph: rows/columns are vertices,
-/// entries are edges (values, if present, are ignored). This is the
-/// SuiteSparse distribution format, covering most matrices the coloring
-/// literature evaluates on.
-pub fn read_matrix_market<R: BufRead>(reader: R) -> std::io::Result<CompactCsr> {
-    let mut lines = reader.lines();
-    let header = loop {
-        match lines.next() {
-            Some(line) => {
-                let line = line?;
-                if line.starts_with("%%MatrixMarket") {
-                    break line;
-                } else if !line.trim().is_empty() {
-                    return Err(bad("missing %%MatrixMarket header".into()));
-                }
-            }
-            None => return Err(bad("empty Matrix Market file".into())),
-        }
-    };
-    let lower = header.to_ascii_lowercase();
-    if !lower.contains("matrix") || !lower.contains("coordinate") {
-        return Err(bad(format!("unsupported Matrix Market header {header:?}")));
-    }
-    // Size line: first non-comment line after the header.
-    let (mut nrows, mut ncols, mut nnz) = (0usize, 0usize, 0usize);
-    for line in lines.by_ref() {
-        let line = line?;
-        let t = line.trim();
-        if t.is_empty() || t.starts_with('%') {
-            continue;
-        }
-        let mut it = t.split_whitespace();
-        nrows = parse_field(it.next(), "rows", t)? as usize;
-        ncols = parse_field(it.next(), "cols", t)? as usize;
-        nnz = parse_field(it.next(), "nnz", t)? as usize;
-        break;
-    }
-    let n = nrows.max(ncols);
-    let mut b = EdgeListBuilder::with_capacity(n, nnz);
-    for line in lines {
-        let line = line?;
-        let t = line.trim();
-        if t.is_empty() || t.starts_with('%') {
-            continue;
-        }
-        let mut it = t.split_whitespace();
-        let r: u32 = parse_field(it.next(), "row", t)?;
-        let c: u32 = parse_field(it.next(), "col", t)?;
-        if r == 0 || c == 0 {
-            return Err(bad(format!("Matrix Market ids are 1-based: {t:?}")));
-        }
-        if r as usize > n || c as usize > n {
-            return Err(bad(format!("entry ({r},{c}) exceeds size {n}")));
-        }
-        b.add_edge(r - 1, c - 1); // value column (if any) is ignored
-    }
-    Ok(b.build())
 }
 
 fn parse_field(field: Option<&str>, what: &str, line: &str) -> std::io::Result<u32> {
@@ -227,6 +417,15 @@ mod tests {
     }
 
     #[test]
+    fn dimacs_declared_isolated_tail_survives() {
+        // n=6 declared but ids only reach 3: the declared size wins.
+        let text = "p edge 6 2\ne 1 2\ne 2 3\n";
+        let g = read_dimacs_col(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 6);
+        assert_eq!(g.degree(5), 0);
+    }
+
+    #[test]
     fn dimacs_errors() {
         assert!(read_dimacs_col("e 1 2\n".as_bytes()).is_err(), "no header");
         assert!(
@@ -284,5 +483,19 @@ mod tests {
                 .is_err(),
             "out of range"
         );
+    }
+
+    #[test]
+    fn sources_replay_identically() {
+        // The bit-for-bit replay contract the two-pass builder relies on.
+        let text = "p edge 5 3\ne 1 2\ne 4 5\ne 2 3\n".as_bytes();
+        let src = DimacsSource::new(text).unwrap();
+        let mut a: Vec<(u32, u32)> = Vec::new();
+        let mut b: Vec<(u32, u32)> = Vec::new();
+        src.replay(&mut |c| a.extend_from_slice(c)).unwrap();
+        src.replay(&mut |c| b.extend_from_slice(c)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, vec![(0, 1), (3, 4), (1, 2)]);
+        assert_eq!(src.declared_n(), 5);
     }
 }

@@ -12,8 +12,12 @@
 //!   equivalence-test baseline,
 //! * [`induced`] — [`InducedView`], a zero-copy induced-subgraph view
 //!   (vertex mask + remap) over any other view,
-//! * [`builder`] — edge-list → CSR construction (dedup, de-loop,
-//!   symmetrize, sort) with parallel sorting,
+//! * [`stream`] — the [`EdgeSource`] trait (re-playable chunked arc
+//!   streams) and the two-pass parallel builder that constructs either CSR
+//!   representation without materializing an arc list,
+//! * [`builder`] — [`EdgeListBuilder`], the buffered edge-list front end
+//!   (dedup, de-loop, symmetrize), now the trivial buffered [`EdgeSource`]
+//!   over the same two-pass engine,
 //! * [`gen`] — seeded synthetic generators standing in for the paper's
 //!   SNAP/KONECT/WebGraph datasets (Table V) and the Kronecker weak-scaling
 //!   workloads (§VI-F); see DESIGN.md §5 for the substitution argument,
@@ -30,6 +34,7 @@ pub mod degeneracy;
 pub mod gen;
 pub mod induced;
 pub mod io;
+pub mod stream;
 pub mod transform;
 pub mod view;
 
@@ -38,4 +43,5 @@ pub use compact::CompactCsr;
 pub use csr::CsrGraph;
 pub use degeneracy::{degeneracy, DegeneracyInfo};
 pub use induced::InducedView;
+pub use stream::{BuildStats, EdgeSink, EdgeSource};
 pub use view::{GraphMemory, GraphView};

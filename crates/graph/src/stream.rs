@@ -1,0 +1,834 @@
+//! Streaming two-pass CSR construction: the [`EdgeSource`] trait and the
+//! parallel builder that turns any re-playable arc stream into a
+//! [`CompactCsr`] (or legacy [`CsrGraph`]) **without materializing an arc
+//! list**.
+//!
+//! The paper targets graphs where memory, not compute, binds (§II-A's
+//! word-budget accounting). The old build path buffered every input edge
+//! twice — an 8-byte `(u32, u32)` list plus a 16-byte symmetrized `u64`
+//! arc array — before sorting; ~24 bytes per raw edge of transient
+//! allocation, more than the finished CSR itself. The streaming engine
+//! replaces that with two replays of the source:
+//!
+//! ```text
+//!            ┌───────────── pass 1 (count) ─────────────┐
+//!  EdgeSource ──chunks──▶ parallel degree count (atomics, self-loops
+//!                         dropped, n grown to max id + 1)
+//!                              │
+//!                              ▼
+//!                 parallel exclusive prefix sum
+//!                 (pgc_primitives::offsets_from_counts,
+//!                  u32 offsets while the arc total fits)
+//!                              │
+//!            ┌───────────── pass 2 (scatter) ───────────┐
+//!  EdgeSource ──chunks──▶ atomic per-vertex cursors scatter each arc
+//!                         directly into the neighbor array
+//!                              │
+//!                              ▼
+//!                 per-vertex parallel sort + in-place dedup
+//!                 (compaction pass only if duplicates existed)
+//! ```
+//!
+//! Peak transient memory is the scatter array (4 bytes per raw,
+//! pre-dedup arc — duplicate-heavy inputs pay for their duplicates until
+//! the compaction pass) plus `O(n)` counters — roughly half the old
+//! path's peak, tracked exactly in [`BuildStats::build_bytes_peak`] and
+//! surfaced by the harness's `fig2_*` tables.
+//!
+//! Every producer in the workspace builds through this engine: the
+//! generators replay by seeded regeneration ([`crate::gen::SpecSource`]),
+//! the readers by re-scanning their file ([`crate::io::EdgeListSource`]
+//! and friends), and [`EdgeListBuilder`](crate::EdgeListBuilder) acts as
+//! the trivial buffered source for API compatibility.
+
+use crate::compact::{CompactCsr, Offsets};
+use crate::csr::CsrGraph;
+use pgc_par::for_each_chunk;
+use pgc_primitives::{offsets_from_counts, reduce_sum_u64, OffsetWord};
+use rayon::prelude::*;
+use std::io;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Adjacency lists at least this long are sorted with the parallel sort
+/// (nested fork–join is fine on `pgc-par`); shorter lists sort inline on
+/// whichever worker owns their vertex range.
+const PAR_SORT_MIN_LEN: usize = 1 << 14;
+
+/// Number of `(u32, u32)` pairs a well-behaved source emits per chunk:
+/// big enough that the per-chunk parallel fan-out amortizes, small enough
+/// that chunk buffers stay cache-resident and O(1) in the graph size.
+pub const CHUNK_EDGES: usize = 1 << 16;
+
+/// The chunk callback a builder hands to [`EdgeSource::replay`]: called
+/// once per consecutive chunk of raw `(u, v)` pairs.
+pub type ChunkFn<'a> = dyn FnMut(&[(u32, u32)]) + 'a;
+
+/// A re-playable, chunked stream of raw undirected edges — how graphs
+/// enter the system.
+///
+/// A source describes a multiset of `(u, v)` pairs (self-loops and
+/// duplicates permitted; both get cleaned by the builder, which also
+/// materializes the reverse direction of every arc). The builder consumes
+/// it with **two sequential replays** — one to count degrees, one to
+/// scatter neighbors — so implementations must yield the *identical* pair
+/// sequence on every [`replay`](Self::replay) call: buffered slices, a
+/// seeded generator re-run, or a second scan of a file all qualify.
+///
+/// One documented limit: raw (pre-dedup) incident pairs are counted per
+/// vertex in `u32`, so a single vertex appearing in ≥ 2³² raw pairs
+/// (only possible via duplicates — ids themselves are `u32`) makes the
+/// build fail with an `InvalidData` error rather than wrap silently.
+///
+/// # Example: a replayable file reader
+///
+/// ```no_run
+/// use pgc_graph::stream::{build_compact, EdgeSource};
+/// use pgc_graph::io::EdgeListSource;
+///
+/// // A SNAP-style `u v` edge list, replayed by reopening the file: the
+/// // graph is built in two sequential scans with no edge buffering.
+/// let src = EdgeListSource::new(std::path::PathBuf::from("web-graph.txt"));
+/// assert_eq!(src.num_vertices(), 0); // unknown up front: grown while counting
+/// let g = build_compact(&src)?;
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub trait EdgeSource: Sync {
+    /// Vertex count known *a priori* (a declared header `n`, a generator
+    /// parameter, …). Return 0 when unknown: the builder sizes the graph
+    /// as `max(num_vertices(), max id seen + 1)`, so declared isolated
+    /// tail vertices survive and id-discovering sources still work.
+    fn num_vertices(&self) -> usize;
+
+    /// Expected number of raw pairs per replay, if cheaply known. Purely
+    /// advisory and may be approximate: the engine records it in
+    /// [`BuildStats::hinted_edges`] next to the measured count, and
+    /// benches/drivers use it to scale throughput before a build exists.
+    fn edge_hint(&self) -> Option<usize> {
+        None
+    }
+
+    /// Bytes this source keeps resident for the whole build (e.g. a
+    /// buffered edge list). Counted into [`BuildStats::build_bytes_peak`];
+    /// transient per-replay scratch is the source's own business.
+    fn buffered_bytes(&self) -> usize {
+        0
+    }
+
+    /// Stream the pairs, invoking `emit` with consecutive chunks.
+    /// Must be deterministic: every call yields the same sequence.
+    /// Implementations that produce pairs one at a time can wrap `emit`
+    /// in an [`EdgeSink`] to get the chunking for free.
+    fn replay(&self, emit: &mut ChunkFn<'_>) -> io::Result<()>;
+}
+
+/// Chunking adapter for [`EdgeSource::replay`] implementations: push pairs
+/// one at a time, and they are flushed to the underlying callback in
+/// [`CHUNK_EDGES`]-sized chunks (plus a final partial chunk on drop).
+pub struct EdgeSink<'a> {
+    buf: Vec<(u32, u32)>,
+    emit: &'a mut ChunkFn<'a>,
+}
+
+impl<'a> EdgeSink<'a> {
+    /// Wrap a chunk callback in a pair-at-a-time interface.
+    pub fn new(emit: &'a mut ChunkFn<'a>) -> Self {
+        Self {
+            buf: Vec::with_capacity(CHUNK_EDGES),
+            emit,
+        }
+    }
+
+    /// Add one raw pair (self-loops and duplicates are fine — the builder
+    /// cleans them).
+    #[inline]
+    pub fn push(&mut self, u: u32, v: u32) {
+        self.buf.push((u, v));
+        if self.buf.len() == CHUNK_EDGES {
+            self.flush();
+        }
+    }
+
+    /// Flush any buffered pairs to the callback.
+    pub fn flush(&mut self) {
+        if !self.buf.is_empty() {
+            (self.emit)(&self.buf);
+            self.buf.clear();
+        }
+    }
+}
+
+impl Drop for EdgeSink<'_> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Instrumentation of one streaming build, printed by the harness next to
+/// the finished graph's memory footprint.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BuildStats {
+    /// Wall-clock time of the whole ingestion (both passes + finalize).
+    pub ingest: Duration,
+    /// Peak bytes of build-side allocations (count/cursor/offset arrays,
+    /// the scatter array, compaction scratch) plus the source's
+    /// [`buffered_bytes`](EdgeSource::buffered_bytes).
+    pub build_bytes_peak: usize,
+    /// Raw pairs streamed per replay (before de-loop/dedup).
+    pub raw_edges: usize,
+    /// The source's [`edge_hint`](EdgeSource::edge_hint), recorded so
+    /// consumers can see how tight a hint was against
+    /// [`raw_edges`](Self::raw_edges).
+    pub hinted_edges: Option<usize>,
+    /// Directed arcs scattered in pass 2 (`2 ×` loop-free raw pairs,
+    /// before dedup).
+    pub raw_arcs: usize,
+    /// Directed arcs in the finished graph (`2m`).
+    pub arcs: usize,
+}
+
+impl BuildStats {
+    /// Ingestion wall-clock in milliseconds.
+    pub fn ingest_ms(&self) -> f64 {
+        self.ingest.as_secs_f64() * 1e3
+    }
+
+    /// What the retired arc-list path would have allocated transiently for
+    /// the same input: an 8-byte buffered pair per raw edge plus an
+    /// 8-byte `u64` entry per symmetrized arc (self-loops were buffered
+    /// but never expanded into arcs). Lower bound on its peak — useful as
+    /// the baseline the streaming build must beat.
+    pub fn arc_list_baseline_bytes(&self) -> usize {
+        self.raw_edges * 8 + self.raw_arcs * 8
+    }
+}
+
+/// Build the default [`CompactCsr`] from a source.
+pub fn build_compact<S: EdgeSource + ?Sized>(src: &S) -> io::Result<CompactCsr> {
+    build_compact_with_stats(src).map(|(g, _)| g)
+}
+
+/// [`build_compact`] returning the [`BuildStats`] instrumentation too.
+pub fn build_compact_with_stats<S: EdgeSource + ?Sized>(
+    src: &S,
+) -> io::Result<(CompactCsr, BuildStats)> {
+    let (raw, stats) = build_raw(src, u32::MAX as usize)?;
+    Ok((raw.into_compact(), stats))
+}
+
+/// Build the legacy machine-word-offset [`CsrGraph`] through the same
+/// two-pass engine (bit-identical adjacency, used by the equivalence
+/// suite).
+pub fn build_legacy<S: EdgeSource + ?Sized>(src: &S) -> io::Result<CsrGraph> {
+    build_legacy_with_stats(src).map(|(g, _)| g)
+}
+
+/// [`build_legacy`] returning the [`BuildStats`] instrumentation too.
+pub fn build_legacy_with_stats<S: EdgeSource + ?Sized>(
+    src: &S,
+) -> io::Result<(CsrGraph, BuildStats)> {
+    let (raw, stats) = build_raw(src, u32::MAX as usize)?;
+    Ok((raw.into_legacy(), stats))
+}
+
+/// Test hook: run the builder with an artificially small `u32` offset
+/// limit, forcing the wide-offset fallback on small graphs so the
+/// `u32 → usize` boundary is exercisable without 4-billion-arc inputs.
+#[doc(hidden)]
+pub fn build_compact_with_offset_limit<S: EdgeSource + ?Sized>(
+    src: &S,
+    u32_limit: usize,
+) -> io::Result<(CompactCsr, BuildStats)> {
+    let (raw, stats) = build_raw(src, u32_limit)?;
+    Ok((raw.into_compact(), stats))
+}
+
+// ---------------------------------------------------------------------
+// The two-pass core
+// ---------------------------------------------------------------------
+
+/// Width-resolved CSR arrays as produced by the engine.
+enum RawCsr {
+    Small {
+        offsets: Vec<u32>,
+        neighbors: Vec<u32>,
+    },
+    Wide {
+        offsets: Vec<usize>,
+        neighbors: Vec<u32>,
+    },
+}
+
+impl RawCsr {
+    fn into_compact(self) -> CompactCsr {
+        match self {
+            RawCsr::Small { offsets, neighbors } => {
+                CompactCsr::from_offsets(Offsets::Small(offsets), neighbors)
+            }
+            RawCsr::Wide { offsets, neighbors } => {
+                CompactCsr::from_offsets(Offsets::Wide(offsets), neighbors)
+            }
+        }
+    }
+
+    fn into_legacy(self) -> CsrGraph {
+        match self {
+            RawCsr::Small { offsets, neighbors } => {
+                let wide: Vec<usize> = offsets.iter().map(|&o| o as usize).collect();
+                CsrGraph::from_raw(wide, neighbors)
+            }
+            RawCsr::Wide { offsets, neighbors } => CsrGraph::from_raw(offsets, neighbors),
+        }
+    }
+}
+
+/// Running high-water mark of build-side allocations.
+#[derive(Default)]
+struct Peak {
+    cur: usize,
+    peak: usize,
+}
+
+impl Peak {
+    fn alloc(&mut self, bytes: usize) {
+        self.cur += bytes;
+        self.peak = self.peak.max(self.cur);
+    }
+
+    fn free(&mut self, bytes: usize) {
+        self.cur -= bytes;
+    }
+}
+
+/// An atomic per-vertex write cursor at one of the two offset widths.
+trait Cursor: Sync + Sized {
+    /// Post-increment: claim the next slot of this vertex's range.
+    fn bump(&self) -> usize;
+}
+
+impl Cursor for AtomicU32 {
+    #[inline]
+    fn bump(&self) -> usize {
+        self.fetch_add(1, Ordering::Relaxed) as usize
+    }
+}
+
+impl Cursor for AtomicUsize {
+    #[inline]
+    fn bump(&self) -> usize {
+        self.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// Ties an offset width to its cursor type and to the `RawCsr` variant it
+/// packs into.
+trait ScatterWord: OffsetWord {
+    type Cursor: Cursor;
+    /// View a mutable word buffer as atomic cursors (no copy; see
+    /// [`as_atomic_u32s`] for the layout argument).
+    fn as_cursors(words: &mut [Self]) -> &[Self::Cursor];
+    fn pack(offsets: Vec<Self>, neighbors: Vec<u32>) -> RawCsr;
+}
+
+impl ScatterWord for u32 {
+    type Cursor = AtomicU32;
+
+    fn as_cursors(words: &mut [Self]) -> &[Self::Cursor] {
+        as_atomic_u32s(words)
+    }
+
+    fn pack(offsets: Vec<Self>, neighbors: Vec<u32>) -> RawCsr {
+        RawCsr::Small { offsets, neighbors }
+    }
+}
+
+impl ScatterWord for usize {
+    type Cursor = AtomicUsize;
+
+    fn as_cursors(words: &mut [Self]) -> &[Self::Cursor] {
+        // SAFETY: `AtomicUsize` has the same size, alignment, and bit
+        // validity as `usize`; exclusivity comes from the `&mut`.
+        unsafe { std::slice::from_raw_parts(words.as_mut_ptr() as *const AtomicUsize, words.len()) }
+    }
+
+    fn pack(offsets: Vec<Self>, neighbors: Vec<u32>) -> RawCsr {
+        RawCsr::Wide { offsets, neighbors }
+    }
+}
+
+/// View a mutable `u32` buffer as atomics for a parallel section, without
+/// copying — so the big arrays can be allocated as `vec![0u32; len]`
+/// (zeroed pages straight from the allocator) instead of an element-wise
+/// atomic-constructor pass, and used as plain words again afterwards.
+fn as_atomic_u32s(v: &mut [u32]) -> &[AtomicU32] {
+    // SAFETY: `AtomicU32` has the same size, alignment, and bit validity
+    // as `u32`, and the `&mut` proves exclusive access, which is then
+    // shared only through the atomics for the borrow's duration.
+    unsafe { std::slice::from_raw_parts(v.as_mut_ptr() as *const AtomicU32, v.len()) }
+}
+
+/// Raw-pointer view over a mutable buffer for parallel writes to
+/// *disjoint* ranges. Every use below hands different workers
+/// vertex-aligned CSR ranges, which never overlap.
+struct SharedMut<T>(*mut T);
+
+unsafe impl<T: Send> Send for SharedMut<T> {}
+unsafe impl<T: Send> Sync for SharedMut<T> {}
+
+impl<T> SharedMut<T> {
+    /// SAFETY: callers must ensure `[lo, hi)` ranges given to concurrent
+    /// callers are pairwise disjoint and in bounds.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slice(&self, lo: usize, hi: usize) -> &mut [T] {
+        std::slice::from_raw_parts_mut(self.0.add(lo), hi - lo)
+    }
+
+    /// SAFETY: `i` must be in bounds and not written concurrently.
+    unsafe fn write(&self, i: usize, v: T) {
+        *self.0.add(i) = v;
+    }
+}
+
+/// The engine: two replays, no arc list. `u32_limit` is the largest arc
+/// total the `u32` offset width may address (the real boundary is
+/// `u32::MAX`; tests shrink it to reach the wide path cheaply).
+fn build_raw<S: EdgeSource + ?Sized>(
+    src: &S,
+    u32_limit: usize,
+) -> io::Result<(RawCsr, BuildStats)> {
+    let t0 = Instant::now();
+    let mut peak = Peak::default();
+    peak.alloc(src.buffered_bytes());
+
+    // ---- pass 1: parallel degree count, discovering n ----------------
+    let declared = src.num_vertices();
+    let mut counts: Vec<u32> = vec![0; declared]; // zeroed pages, no init pass
+    peak.alloc(counts.capacity() * 4);
+    let mut n = declared;
+    let mut raw_edges = 0usize;
+    src.replay(&mut |chunk| {
+        raw_edges += chunk.len();
+        if let Some(mx) = chunk.iter().map(|&(u, v)| u.max(v)).max() {
+            let need = mx as usize + 1;
+            n = n.max(need);
+            if counts.len() < need {
+                grow_counts(&mut counts, need, &mut peak);
+            }
+        }
+        let counts = as_atomic_u32s(&mut counts);
+        for_each_chunk(chunk.len(), |r| {
+            for &(u, v) in &chunk[r] {
+                if u != v {
+                    counts[u as usize].fetch_add(1, Ordering::Relaxed);
+                    counts[v as usize].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+    })?;
+
+    // Geometric growth may have overshot: only `0..n` are real vertices
+    // (the tail is all-zero by construction).
+    counts.truncate(n);
+    let total = reduce_sum_u64(&counts, |&c| c as u64) as usize;
+
+    // ---- prefix sum + pass 2 at the narrowest width that fits --------
+    let (raw, mut stats) = if total < u32_limit {
+        scatter::<u32, S>(src, counts, total, u32_limit, &mut peak)?
+    } else {
+        scatter::<usize, S>(src, counts, total, u32_limit, &mut peak)?
+    };
+    stats.raw_edges = raw_edges;
+    stats.hinted_edges = src.edge_hint();
+    stats.raw_arcs = total;
+    stats.build_bytes_peak = peak.peak;
+    stats.ingest = t0.elapsed();
+    Ok((raw, stats))
+}
+
+/// Grow the count array to at least `need` entries (geometric, so
+/// id-discovering sources pay amortized O(n) for growth; accounting
+/// tracks the capacity actually reserved).
+fn grow_counts(counts: &mut Vec<u32>, need: usize, peak: &mut Peak) {
+    if counts.len() >= need {
+        return;
+    }
+    let old_cap = counts.capacity();
+    counts.resize(need.max(counts.len() * 2), 0);
+    peak.alloc((counts.capacity() - old_cap) * 4);
+}
+
+/// Pass 2 at a fixed offset width: prefix-sum the counts, replay the
+/// source scattering arcs through atomic cursors, then sort + dedup each
+/// adjacency in place (compacting only if duplicates were dropped).
+fn scatter<W: ScatterWord, S: EdgeSource + ?Sized>(
+    src: &S,
+    counts: Vec<u32>,
+    total: usize,
+    u32_limit: usize,
+    peak: &mut Peak,
+) -> io::Result<(RawCsr, BuildStats)> {
+    let n = counts.len();
+    let word = std::mem::size_of::<W>();
+
+    let (offsets, sum) = offsets_from_counts::<W>(&counts);
+    debug_assert_eq!(sum, total);
+    peak.alloc((n + 1) * word);
+    let counts_bytes = counts.capacity() * 4;
+    drop(counts);
+    peak.free(counts_bytes);
+
+    // Cursors start at each vertex's offset; neighbors come zeroed from
+    // the allocator. Both are plain words viewed as atomics only for the
+    // duration of the parallel scatter.
+    let mut cursor_words: Vec<W> = offsets[..n].to_vec();
+    peak.alloc(cursor_words.capacity() * word);
+    let mut neighbors: Vec<u32> = vec![0; total];
+    peak.alloc(neighbors.capacity() * 4);
+    let diverged = std::sync::atomic::AtomicBool::new(false);
+    {
+        let cursors = W::as_cursors(&mut cursor_words);
+        let slots = as_atomic_u32s(&mut neighbors);
+        let diverged = &diverged;
+        src.replay(&mut |chunk| {
+            for_each_chunk(chunk.len(), |r| {
+                for &(u, v) in &chunk[r] {
+                    if u == v {
+                        continue;
+                    }
+                    let (ui, vi) = (u as usize, v as usize);
+                    // A pass-2 replay that grew (file appended to between
+                    // the two scans) can present ids or arcs pass 1 never
+                    // counted; skip them and report divergence instead of
+                    // panicking on the slice bounds.
+                    if ui >= n || vi >= n {
+                        diverged.store(true, Ordering::Relaxed);
+                        continue;
+                    }
+                    let (su, sv) = (cursors[ui].bump(), cursors[vi].bump());
+                    if su >= total || sv >= total {
+                        diverged.store(true, Ordering::Relaxed);
+                        continue;
+                    }
+                    slots[su].store(v, Ordering::Relaxed);
+                    slots[sv].store(u, Ordering::Relaxed);
+                }
+            });
+        })?;
+    }
+    // A source whose second replay differs from the first (a file edited
+    // between the two scans, a non-deterministic generator) trips the
+    // flag above or leaves some cursor short of its list's end. Catch it
+    // here instead of handing back a silently corrupt graph.
+    let cursors_short = pgc_par::map_reduce_chunks(
+        n,
+        0,
+        |r| {
+            r.into_iter()
+                .any(|v| cursor_words[v].to_usize() != offsets[v + 1].to_usize())
+        },
+        |a, b| a || b,
+    )
+    .unwrap_or(false);
+    if diverged.load(Ordering::Relaxed) || cursors_short {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "EdgeSource replay diverged between the count and scatter passes",
+        ));
+    }
+    let cursor_bytes = cursor_words.capacity() * word;
+    drop(cursor_words);
+    peak.free(cursor_bytes);
+
+    // ---- per-vertex sort + in-place dedup ----------------------------
+    let mut deduped: Vec<u32> = vec![0; n];
+    peak.alloc(n * 4);
+    {
+        let nb = SharedMut(neighbors.as_mut_ptr());
+        let dd = SharedMut(deduped.as_mut_ptr());
+        let offsets = &offsets;
+        for_each_chunk(n, |range| {
+            for v in range {
+                // SAFETY: CSR ranges of distinct vertices are disjoint,
+                // and `for_each_chunk` hands out disjoint vertex ranges.
+                let list = unsafe { nb.slice(offsets[v].to_usize(), offsets[v + 1].to_usize()) };
+                // Hub adjacencies (scale-free graphs concentrate a large
+                // share of all arcs on a few vertices) would serialize
+                // the whole phase on one worker; fork their sorts too.
+                if list.len() >= PAR_SORT_MIN_LEN {
+                    list.par_sort_unstable();
+                } else {
+                    list.sort_unstable();
+                }
+                let mut w = 0usize;
+                for i in 0..list.len() {
+                    if i == 0 || list[i] != list[i - 1] {
+                        list[w] = list[i];
+                        w += 1;
+                    }
+                }
+                // SAFETY: one writer per vertex slot.
+                unsafe { dd.write(v, w as u32) };
+            }
+        });
+    }
+    let kept = reduce_sum_u64(&deduped, |&d| d as u64) as usize;
+
+    let stats = BuildStats {
+        arcs: kept,
+        ..BuildStats::default()
+    };
+
+    if kept == total {
+        // No duplicates anywhere: the scatter array is already the final
+        // neighbor array and the pass-1 offsets are exact.
+        peak.free(n * 4);
+        return Ok((W::pack(offsets, neighbors), stats));
+    }
+
+    // ---- compaction: close the gaps dedup left -----------------------
+    let raw = if kept < u32_limit {
+        compact_lists::<W, u32>(&offsets, &neighbors, &deduped, kept, peak)
+    } else {
+        compact_lists::<W, usize>(&offsets, &neighbors, &deduped, kept, peak)
+    };
+    peak.free(n * 4); // `deduped`
+    peak.free((n + 1) * word); // pass-1 offsets
+    peak.free(total * 4); // scatter array
+    Ok((raw, stats))
+}
+
+/// Copy the deduped prefixes of each adjacency into dense final arrays,
+/// re-deciding the offset width from the post-dedup arc total.
+fn compact_lists<W: ScatterWord, F: ScatterWord>(
+    offsets: &[W],
+    neighbors: &[u32],
+    deduped: &[u32],
+    kept: usize,
+    peak: &mut Peak,
+) -> RawCsr {
+    let n = deduped.len();
+    let (fin_offsets, sum) = offsets_from_counts::<F>(deduped);
+    debug_assert_eq!(sum, kept);
+    peak.alloc((n + 1) * std::mem::size_of::<F>());
+    let mut fin: Vec<u32> = vec![0; kept];
+    peak.alloc(kept * 4);
+    {
+        let fb = SharedMut(fin.as_mut_ptr());
+        let fin_offsets = &fin_offsets;
+        for_each_chunk(n, |range| {
+            for v in range {
+                let src_lo = offsets[v].to_usize();
+                let d = deduped[v] as usize;
+                let dst_lo = fin_offsets[v].to_usize();
+                // SAFETY: destination ranges of distinct vertices are
+                // disjoint.
+                unsafe { fb.slice(dst_lo, dst_lo + d) }
+                    .copy_from_slice(&neighbors[src_lo..src_lo + d]);
+            }
+        });
+    }
+    F::pack(fin_offsets, fin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal in-memory source over a pair slice.
+    struct VecSource {
+        n: usize,
+        pairs: Vec<(u32, u32)>,
+    }
+
+    impl EdgeSource for VecSource {
+        fn num_vertices(&self) -> usize {
+            self.n
+        }
+
+        fn edge_hint(&self) -> Option<usize> {
+            Some(self.pairs.len())
+        }
+
+        fn replay(&self, emit: &mut ChunkFn<'_>) -> io::Result<()> {
+            // Tiny chunks on purpose: exercise chunk-boundary handling.
+            for chunk in self.pairs.chunks(3) {
+                emit(chunk);
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn cleans_loops_and_duplicates() {
+        let src = VecSource {
+            n: 3,
+            pairs: vec![(0, 1), (1, 0), (0, 1), (2, 2), (1, 2)],
+        };
+        let g = build_compact(&src).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn grows_n_beyond_declared() {
+        let src = VecSource {
+            n: 0,
+            pairs: vec![(0, 5), (2, 3)],
+        };
+        let g = build_compact(&src).unwrap();
+        assert_eq!(g.n(), 6, "n discovered as max id + 1");
+        assert!(g.has_edge(0, 5));
+    }
+
+    #[test]
+    fn declared_isolated_tail_survives() {
+        let src = VecSource {
+            n: 9,
+            pairs: vec![(0, 1)],
+        };
+        let g = build_compact(&src).unwrap();
+        assert_eq!(g.n(), 9);
+        assert_eq!(g.degree(8), 0);
+    }
+
+    #[test]
+    fn empty_source() {
+        let src = VecSource {
+            n: 4,
+            pairs: vec![],
+        };
+        let (g, stats) = build_compact_with_stats(&src).unwrap();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 0);
+        assert_eq!(stats.raw_edges, 0);
+        assert_eq!(stats.arcs, 0);
+        let none = VecSource {
+            n: 0,
+            pairs: vec![],
+        };
+        assert_eq!(build_compact(&none).unwrap().n(), 0);
+    }
+
+    #[test]
+    fn self_loops_only() {
+        let src = VecSource {
+            n: 3,
+            pairs: vec![(0, 0), (1, 1)],
+        };
+        let g = build_compact(&src).unwrap();
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn legacy_and_compact_share_arrays() {
+        let pairs = vec![(0, 3), (3, 1), (2, 0), (1, 2), (0, 3)];
+        let src = VecSource { n: 4, pairs };
+        let c = build_compact(&src).unwrap();
+        let l = build_legacy(&src).unwrap();
+        assert_eq!(c.to_legacy(), l);
+    }
+
+    #[test]
+    fn forced_wide_matches_small() {
+        let pairs: Vec<(u32, u32)> = (0..40u32).map(|i| (i % 7, (i * 3 + 1) % 7)).collect();
+        let src = VecSource { n: 7, pairs };
+        let small = build_compact(&src).unwrap();
+        assert_eq!(small.offset_width(), 4);
+        let (wide, _) = build_compact_with_offset_limit(&src, 1).unwrap();
+        assert_eq!(wide.offset_width(), std::mem::size_of::<usize>());
+        assert_eq!(wide.to_legacy(), small.to_legacy());
+    }
+
+    #[test]
+    fn stats_track_peak_and_timing() {
+        let pairs: Vec<(u32, u32)> = (0..5_000u32).map(|i| (i % 900, (i * 7) % 900)).collect();
+        let raw = pairs.len();
+        let src = VecSource { n: 900, pairs };
+        let (g, stats) = build_compact_with_stats(&src).unwrap();
+        assert_eq!(stats.raw_edges, raw);
+        assert_eq!(stats.arcs, g.num_arcs());
+        assert!(stats.build_bytes_peak > 0);
+        assert!(
+            stats.build_bytes_peak < stats.arc_list_baseline_bytes(),
+            "streaming peak {} must beat the arc-list baseline {}",
+            stats.build_bytes_peak,
+            stats.arc_list_baseline_bytes()
+        );
+        assert!(stats.ingest_ms() >= 0.0);
+    }
+
+    #[test]
+    fn diverging_replay_is_an_error_not_a_corrupt_graph() {
+        /// Emits one fewer pair on every successive replay.
+        struct Shrinking {
+            calls: std::sync::atomic::AtomicUsize,
+        }
+
+        impl EdgeSource for Shrinking {
+            fn num_vertices(&self) -> usize {
+                6
+            }
+
+            fn replay(&self, emit: &mut ChunkFn<'_>) -> io::Result<()> {
+                let call = self.calls.fetch_add(1, Ordering::Relaxed);
+                let pairs = [(0u32, 1u32), (2, 3), (4, 5)];
+                emit(&pairs[..pairs.len() - call.min(pairs.len())]);
+                Ok(())
+            }
+        }
+
+        let src = Shrinking {
+            calls: std::sync::atomic::AtomicUsize::new(0),
+        };
+        let err = build_compact(&src).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("diverged"), "{err}");
+    }
+
+    #[test]
+    fn growing_replay_is_an_error_not_a_panic() {
+        /// Emits extra pairs — including an out-of-range id — on every
+        /// replay after the first (a file appended to between scans).
+        struct Growing {
+            calls: std::sync::atomic::AtomicUsize,
+        }
+
+        impl EdgeSource for Growing {
+            fn num_vertices(&self) -> usize {
+                3
+            }
+
+            fn replay(&self, emit: &mut ChunkFn<'_>) -> io::Result<()> {
+                let call = self.calls.fetch_add(1, Ordering::Relaxed);
+                emit(&[(0, 1), (1, 2)]);
+                if call > 0 {
+                    emit(&[(0, 2), (7, 8)]);
+                }
+                Ok(())
+            }
+        }
+
+        let src = Growing {
+            calls: std::sync::atomic::AtomicUsize::new(0),
+        };
+        let err = build_compact(&src).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("diverged"), "{err}");
+    }
+
+    #[test]
+    fn sink_flushes_on_chunk_boundary_and_drop() {
+        let mut chunks: Vec<usize> = Vec::new();
+        {
+            let mut emit = |c: &[(u32, u32)]| chunks.push(c.len());
+            let mut sink = EdgeSink::new(&mut emit);
+            for i in 0..(CHUNK_EDGES + 5) {
+                sink.push(i as u32 % 11, (i as u32 + 1) % 11);
+            }
+        }
+        assert_eq!(chunks, vec![CHUNK_EDGES, 5]);
+    }
+}

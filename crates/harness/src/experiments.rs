@@ -7,8 +7,8 @@
 use crate::profiles::performance_profiles;
 use crate::table::{ms, Table};
 use pgc_core::{best_of, run, Algorithm, Instrumentation, Params};
-use pgc_graph::gen::{generate, suite, GraphSpec, SuiteGraph};
-use pgc_graph::{CompactCsr, GraphView};
+use pgc_graph::gen::{generate_with_stats, suite, GraphSpec, SuiteGraph};
+use pgc_graph::{BuildStats, CompactCsr, GraphView};
 use pgc_order::{compute, max_back_degree, AdgOptions, OrderingKind, UpdateStyle};
 
 /// Shared experiment configuration.
@@ -81,13 +81,20 @@ fn graph_mib<G: GraphView>(g: &G) -> String {
     )
 }
 
-/// Generate every suite graph once.
-fn load_suite(cfg: &ExpConfig) -> Vec<(SuiteGraph, CompactCsr)> {
+/// Peak build-side allocation of a streaming ingestion, in MiB.
+fn build_peak_mib(stats: &BuildStats) -> String {
+    format!("{:.2}", stats.build_bytes_peak as f64 / (1024.0 * 1024.0))
+}
+
+/// Generate every suite graph once, through the streaming two-pass
+/// builder, keeping its ingest-time/peak-bytes instrumentation for the
+/// fig2-style tables.
+fn load_suite(cfg: &ExpConfig) -> Vec<(SuiteGraph, CompactCsr, BuildStats)> {
     suite(cfg.scale)
         .into_iter()
         .map(|sg| {
-            let g = generate(&sg.spec, cfg.seed);
-            (sg, g)
+            let (g, stats) = generate_with_stats(&sg.spec, cfg.seed);
+            (sg, g, stats)
         })
         .collect()
 }
@@ -124,7 +131,7 @@ pub fn fig1(cfg: &ExpConfig) -> Table {
         "rounds",
         "conflicts",
     ]);
-    for (sg, g) in load_suite(cfg) {
+    for (sg, g, _) in load_suite(cfg) {
         let jpr = best_of(cfg.reps, || run(&g, Algorithm::JpR, &params));
         for algo in Algorithm::fig1_set() {
             let r = if algo == Algorithm::JpR {
@@ -179,14 +186,30 @@ pub fn fig2_strong(cfg: &ExpConfig) -> Table {
         "speedup_vs_1t",
         "colors",
         "graph_MiB",
+        "ingest_ms",
+        "build_peak_MiB",
     ]);
-    for (sg, g) in load_suite(cfg)
+    for (sg, g, _) in load_suite(cfg)
         .into_iter()
-        .filter(|(sg, _)| sg.name == "h-bai" || sg.name == "s-pok")
+        .filter(|(sg, _, _)| sg.name == "h-bai" || sg.name == "s-pok")
     {
+        // Ingestion is part of the scaling story too: re-measure the
+        // streaming build once per pool width so each row's ingest_ms
+        // was actually produced at that row's thread count (generation
+        // is deterministic, so the graph itself is unchanged).
+        let ingest_at: Vec<(usize, pgc_graph::BuildStats)> = cfg
+            .threads
+            .iter()
+            .map(|&threads| {
+                (
+                    threads,
+                    with_threads(threads, || generate_with_stats(&sg.spec, cfg.seed)).1,
+                )
+            })
+            .collect();
         for algo in scaling_algorithms() {
             let base = with_threads(1, || best_of(cfg.reps, || run(&g, algo, &params)));
-            for &threads in &cfg.threads {
+            for &(threads, stats) in &ingest_at {
                 let r = if threads == 1 {
                     base.clone()
                 } else {
@@ -202,6 +225,8 @@ pub fn fig2_strong(cfg: &ExpConfig) -> Table {
                     format!("{speedup:.2}"),
                     r.num_colors.to_string(),
                     graph_mib(&g),
+                    format!("{:.2}", stats.ingest_ms()),
+                    build_peak_mib(&stats),
                 ]);
             }
         }
@@ -220,18 +245,25 @@ pub fn fig2_weak(cfg: &ExpConfig) -> Table {
         "n",
         "m",
         "graph_MiB",
+        "ingest_ms",
+        "build_peak_MiB",
         "algorithm",
         "total_ms",
         "colors",
     ]);
     for (ef, threads) in [(1usize, 1usize), (2, 2), (4, 4), (8, 8), (16, 16), (32, 32)] {
-        let g = generate(
-            &GraphSpec::Rmat {
-                scale,
-                edge_factor: ef,
-            },
-            cfg.seed,
-        );
+        // Ingest at the row's width too: weak scaling is about growing
+        // the workload with the threads, and the streaming build is part
+        // of the measured pipeline.
+        let (g, stats) = with_threads(threads, || {
+            generate_with_stats(
+                &GraphSpec::Rmat {
+                    scale,
+                    edge_factor: ef,
+                },
+                cfg.seed,
+            )
+        });
         for algo in scaling_algorithms() {
             let r = with_threads(threads, || best_of(cfg.reps, || run(&g, algo, &params)));
             t.row(vec![
@@ -240,6 +272,8 @@ pub fn fig2_weak(cfg: &ExpConfig) -> Table {
                 g.n().to_string(),
                 g.m().to_string(),
                 graph_mib(&g),
+                format!("{:.2}", stats.ingest_ms()),
+                build_peak_mib(&stats),
                 algo.name().to_string(),
                 ms(r.total_time()),
                 r.num_colors.to_string(),
@@ -264,9 +298,9 @@ pub fn fig3(cfg: &ExpConfig) -> Table {
         "colors",
         "adg_iterations",
     ]);
-    for (sg, g) in load_suite(cfg)
+    for (sg, g, _) in load_suite(cfg)
         .into_iter()
-        .filter(|(sg, _)| sg.name == "h-bai" || sg.name == "v-usa")
+        .filter(|(sg, _, _)| sg.name == "h-bai" || sg.name == "v-usa")
     {
         for eps in [0.01, 0.03, 0.1, 0.3, 1.0] {
             let mut params = cfg.params();
@@ -304,9 +338,9 @@ pub fn fig4(cfg: &ExpConfig) -> Table {
         "l3_miss_frac",
         "stall_frac",
     ]);
-    for (sg, g) in load_suite(cfg)
+    for (sg, g, _) in load_suite(cfg)
         .into_iter()
-        .filter(|(sg, _)| sg.name == "h-bai" || sg.name == "h-wdb")
+        .filter(|(sg, _, _)| sg.name == "h-bai" || sg.name == "h-wdb")
     {
         for algo in [
             Algorithm::Itr,
@@ -345,7 +379,7 @@ pub fn fig5(cfg: &ExpConfig) -> Table {
     let algos = Algorithm::fig1_set();
     let names: Vec<String> = algos.iter().map(|a| a.name().to_string()).collect();
     let mut values: Vec<Vec<f64>> = Vec::new();
-    for (_, g) in load_suite(cfg) {
+    for (_, g, _) in load_suite(cfg) {
         values.push(
             algos
                 .iter()
@@ -398,7 +432,7 @@ pub fn table2(cfg: &ExpConfig) -> Table {
         ),
         (OrderingKind::Adg(AdgOptions::median()), "4.00".into()),
     ];
-    for (sg, g) in load_suite(cfg).into_iter().take(4) {
+    for (sg, g, _) in load_suite(cfg).into_iter().take(4) {
         let d = pgc_graph::degeneracy::degeneracy(&g).degeneracy;
         for (kind, guarantee) in &kinds {
             let mut instr = Instrumentation::default();
@@ -459,7 +493,7 @@ pub fn table3(cfg: &ExpConfig) -> Table {
         "conflicts",
         "total_ms",
     ]);
-    for (sg, g) in load_suite(cfg).into_iter().take(4) {
+    for (sg, g, _) in load_suite(cfg).into_iter().take(4) {
         let info = pgc_graph::degeneracy::degeneracy(&g);
         let (d, delta) = (info.degeneracy, g.max_degree());
         for algo in Algorithm::all() {
@@ -544,7 +578,7 @@ pub fn ablations(cfg: &ExpConfig) -> Table {
         ));
         v
     };
-    for (sg, g) in load_suite(cfg).into_iter().take(4) {
+    for (sg, g, _) in load_suite(cfg).into_iter().take(4) {
         for (name, params) in &variants {
             let algo = if name.starts_with("JP-ADG-M") {
                 Algorithm::JpAdgM
@@ -602,7 +636,7 @@ pub fn mining(cfg: &ExpConfig) -> Table {
         "num_cliques",
     ]);
     let eps = 0.1;
-    for (sg, g) in load_suite(cfg).into_iter().take(6) {
+    for (sg, g, _) in load_suite(cfg).into_iter().take(6) {
         let info = pgc_graph::degeneracy::degeneracy(&g);
         let d = info.degeneracy;
         let dense = pgc_mining::approx_densest_subgraph(&g, eps);
@@ -635,7 +669,7 @@ pub fn mining(cfg: &ExpConfig) -> Table {
 pub fn check_guarantees(cfg: &ExpConfig) -> Table {
     let params = cfg.params();
     let mut t = Table::new(&["graph", "d", "algorithm", "colors", "bound", "ok"]);
-    for (sg, g) in load_suite(cfg) {
+    for (sg, g, _) in load_suite(cfg) {
         let d = pgc_graph::degeneracy::degeneracy(&g).degeneracy;
         for algo in [
             Algorithm::JpSl,
@@ -695,6 +729,10 @@ mod tests {
             assert!(threads == 1 || threads == 2);
             let mib: f64 = row[6].parse().unwrap();
             assert!(mib > 0.0, "graph memory column must be positive: {row:?}");
+            let ingest: f64 = row[7].parse().unwrap();
+            assert!(ingest >= 0.0, "ingest time column: {row:?}");
+            let peak: f64 = row[8].parse().unwrap();
+            assert!(peak > 0.0, "peak build bytes column: {row:?}");
         }
     }
 

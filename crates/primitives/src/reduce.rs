@@ -87,17 +87,97 @@ pub fn prefix_sum_exclusive(input: &[u64], out: &mut Vec<u64>) -> u64 {
     total
 }
 
+/// An offset word width the CSR construction engine can emit: `u32` for
+/// the compact fast path (valid while the arc total fits), `usize` for the
+/// wide fallback. Implementors promise a lossless round-trip for every
+/// value the caller feeds in (the engine checks totals before narrowing).
+pub trait OffsetWord: Copy + Default + Send + Sync + 'static {
+    /// Narrow a running total into this width.
+    fn from_usize(x: usize) -> Self;
+    /// Widen back to a machine word.
+    fn to_usize(self) -> usize;
+}
+
+impl OffsetWord for u32 {
+    #[inline]
+    fn from_usize(x: usize) -> Self {
+        debug_assert!(x <= u32::MAX as usize, "offset {x} overflows u32");
+        x as u32
+    }
+    #[inline]
+    fn to_usize(self) -> usize {
+        self as usize
+    }
+}
+
+impl OffsetWord for usize {
+    #[inline]
+    fn from_usize(x: usize) -> Self {
+        x
+    }
+    #[inline]
+    fn to_usize(self) -> usize {
+        self
+    }
+}
+
+/// Parallel exclusive prefix sum of per-vertex counts into CSR offsets:
+/// `offsets[v] = Σ_{w<v} counts[w]` with the grand total appended as
+/// `offsets[n]`. Returns `(offsets, total)`.
+///
+/// This is the single offsets-from-degrees engine behind every CSR
+/// construction path in the workspace (`CompactCsr` and the legacy
+/// `CsrGraph`, buffered and streaming alike), generic over the offset
+/// width so the `u32` fast path never materializes machine-word offsets.
+/// Same blocked scan as [`prefix_sum_exclusive`]: `O(n)` work,
+/// `O(log n)` depth.
+pub fn offsets_from_counts<W: OffsetWord>(counts: &[u32]) -> (Vec<W>, usize) {
+    let n = counts.len();
+    let mut out = vec![W::default(); n + 1];
+    if n < SEQ_THRESHOLD {
+        let mut acc = 0usize;
+        for i in 0..n {
+            out[i] = W::from_usize(acc);
+            acc += counts[i] as usize;
+        }
+        out[n] = W::from_usize(acc);
+        return (out, acc);
+    }
+    let num_blocks = rayon::current_num_threads().max(1) * 4;
+    let block = n.div_ceil(num_blocks);
+    // Pass 1: per-block sums.
+    let mut block_sums: Vec<usize> = counts
+        .par_chunks(block)
+        .map(|c| c.iter().map(|&x| x as usize).sum::<usize>())
+        .collect();
+    // Pass 2: sequential exclusive scan of the O(P) block sums.
+    let mut acc = 0usize;
+    for s in block_sums.iter_mut() {
+        let v = *s;
+        *s = acc;
+        acc += v;
+    }
+    let total = acc;
+    // Pass 3: per-block exclusive scans offset by the block prefix.
+    out[..n]
+        .par_chunks_mut(block)
+        .zip(counts.par_chunks(block))
+        .zip(block_sums.par_iter())
+        .for_each(|((o, c), &base)| {
+            let mut a = base;
+            for (oj, &cj) in o.iter_mut().zip(c) {
+                *oj = W::from_usize(a);
+                a += cj as usize;
+            }
+        });
+    out[n] = W::from_usize(total);
+    (out, total)
+}
+
 /// Convenience: exclusive prefix sum of `u32` degrees into `usize` offsets
 /// (the CSR construction path). Returns the total.
 pub fn prefix_sum_offsets(counts: &[u32]) -> (Vec<usize>, usize) {
-    let mut offsets = Vec::with_capacity(counts.len() + 1);
-    let mut acc = 0usize;
-    offsets.push(0);
-    for &c in counts {
-        acc += c as usize;
-        offsets.push(acc);
-    }
-    (offsets, acc)
+    offsets_from_counts::<usize>(counts)
 }
 
 #[cfg(test)]
@@ -161,9 +241,36 @@ mod tests {
     }
 
     #[test]
-    fn offsets_from_counts() {
+    fn offsets_from_counts_small() {
         let (offs, total) = prefix_sum_offsets(&[2, 0, 3]);
         assert_eq!(offs, vec![0, 2, 2, 5]);
         assert_eq!(total, 5);
+        let (offs32, total32) = offsets_from_counts::<u32>(&[2, 0, 3]);
+        assert_eq!(offs32, vec![0u32, 2, 2, 5]);
+        assert_eq!(total32, 5);
+    }
+
+    #[test]
+    fn offsets_from_counts_empty() {
+        let (offs, total) = offsets_from_counts::<u32>(&[]);
+        assert_eq!(offs, vec![0u32]);
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn offsets_from_counts_large_matches_sequential() {
+        let counts: Vec<u32> = (0..150_000).map(|i| (i * 13 + 5) % 7).collect();
+        let (par_u32, total_u32) = offsets_from_counts::<u32>(&counts);
+        let (par_usize, total_usize) = offsets_from_counts::<usize>(&counts);
+        let mut acc = 0usize;
+        for i in 0..counts.len() {
+            assert_eq!(par_u32[i] as usize, acc, "u32 mismatch at {i}");
+            assert_eq!(par_usize[i], acc, "usize mismatch at {i}");
+            acc += counts[i] as usize;
+        }
+        assert_eq!(total_u32, acc);
+        assert_eq!(total_usize, acc);
+        assert_eq!(*par_u32.last().unwrap() as usize, acc);
+        assert_eq!(*par_usize.last().unwrap(), acc);
     }
 }

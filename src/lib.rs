@@ -7,7 +7,9 @@
 //! This facade crate re-exports the workspace members:
 //!
 //! * [`primitives`] — work–depth compute primitives (§II-D),
-//! * [`graph`] — CSR graphs, generators, I/O, exact degeneracy (§II-A/B),
+//! * [`graph`] — CSR graphs, streaming two-pass ingestion
+//!   (`graph::stream::EdgeSource`), generators, I/O, exact degeneracy
+//!   (§II-A/B),
 //! * [`order`] — vertex orderings incl. the ADG approximate degeneracy
 //!   ordering, the paper's contribution #1 (§III),
 //! * [`color`] — the coloring algorithms: JP-X / JP-ADG (§IV-A), SIM-COL &
