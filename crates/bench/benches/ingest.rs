@@ -25,7 +25,7 @@ fn ingest(c: &mut Criterion) {
             edge_factor: 8,
         };
         let src = SpecSource::new(spec.clone(), 1);
-        let raw = src.edge_hint().expect("generator hints are exact");
+        let raw = EdgeSource::<()>::edge_hint(&src).expect("generator hints are exact");
         group.throughput(Throughput::Elements(raw as u64));
 
         group.bench_function(BenchmarkId::new("streaming", scale), |b| {
@@ -36,7 +36,7 @@ fn ingest(c: &mut Criterion) {
         // rebuild from the buffer per iteration (by reference through the
         // builder's EdgeSource impl — no per-iteration clone).
         let mut buffered = EdgeListBuilder::with_capacity(spec.n(), raw);
-        src.replay(&mut |chunk| {
+        src.replay(&mut |chunk, _: &[()]| {
             for &(u, v) in chunk {
                 buffered.add_edge(u, v);
             }
@@ -78,6 +78,40 @@ fn ingest_reader(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(text.len() as u64));
     group.bench_function("parse+build", |b| {
         b.iter(|| black_box(read_edge_list(&text[..]).unwrap().m()))
+    });
+
+    // Baseline for the PR-5 byte-level fast-path parser: the retired
+    // reader shape — `String` lines + `split_whitespace` + `str::parse`
+    // — behind the identical streaming build, so the delta is parsing
+    // alone. Run `cargo bench --bench ingest` and compare
+    // `parse+build` (fast path) against `parse+build/str-baseline`.
+    struct StrLineSource<'a>(&'a [u8]);
+
+    impl EdgeSource for StrLineSource<'_> {
+        fn num_vertices(&self) -> usize {
+            0
+        }
+
+        fn replay(&self, emit: &mut pgc_graph::stream::ChunkFn<'_>) -> std::io::Result<()> {
+            use std::io::BufRead;
+            let mut sink = pgc_graph::EdgeSink::new(emit);
+            for line in self.0.lines() {
+                let line = line?;
+                let t = line.trim();
+                if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+                    continue;
+                }
+                let mut it = t.split_whitespace();
+                let u: u32 = it.next().unwrap().parse().unwrap();
+                let v: u32 = it.next().unwrap().parse().unwrap();
+                sink.push(u, v);
+            }
+            Ok(())
+        }
+    }
+
+    group.bench_function("parse+build/str-baseline", |b| {
+        b.iter(|| black_box(build_compact(&StrLineSource(&text)).unwrap().m()))
     });
     group.finish();
 }

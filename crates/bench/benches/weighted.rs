@@ -1,0 +1,76 @@
+//! Weighted-workload benchmarks (PR 5's weighted graph layer).
+//!
+//! Three groups:
+//!
+//! * `weighted/build` — streaming weighted construction (`f32` payload)
+//!   against the unweighted build of the same seeded topology: the
+//!   struct-of-arrays surcharge of carrying weights through the two-pass
+//!   engine,
+//! * `weighted/matching` — parallel greedy weighted matching
+//!   (sort-by-weight + locally-dominant claim rounds),
+//! * `weighted/densest` — weighted-degree peel + best suffix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pgc_graph::gen::{generate_weighted, GraphSpec, SpecSource};
+use pgc_graph::stream::{build_compact, build_weighted, build_weighted_with_stats};
+use pgc_mining::{approx_weighted_densest_subgraph, greedy_weighted_matching};
+use std::hint::black_box;
+
+fn spec(scale: u32) -> GraphSpec {
+    GraphSpec::Rmat {
+        scale,
+        edge_factor: 8,
+    }
+}
+
+fn weighted_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weighted/build");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for scale in [10u32, 12] {
+        let src = SpecSource::new(spec(scale), 1);
+        let raw = (1usize << scale) * 8;
+        group.throughput(Throughput::Elements(raw as u64));
+        group.bench_function(BenchmarkId::new("unweighted", scale), |b| {
+            b.iter(|| black_box(build_compact(&src).unwrap().m()))
+        });
+        group.bench_function(BenchmarkId::new("f32-weights", scale), |b| {
+            b.iter(|| black_box(build_weighted::<f32, _>(&src).unwrap().m()))
+        });
+    }
+    group.finish();
+
+    // Sanity off the hot path: the weighted streaming build must still
+    // beat the (weighted) arc-list baseline it replaced.
+    let (_, stats) = build_weighted_with_stats::<f32, _>(&SpecSource::new(spec(12), 1)).unwrap();
+    assert!(stats.build_bytes_peak < stats.arc_list_baseline_bytes());
+    assert_eq!(stats.weight_width, 4);
+}
+
+fn weighted_workloads(c: &mut Criterion) {
+    let g = generate_weighted::<f32>(&spec(12), 1);
+
+    let mut group = c.benchmark_group("weighted/matching");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.throughput(Throughput::Elements(g.m() as u64));
+    group.bench_function("greedy-1/2-approx", |b| {
+        b.iter(|| black_box(greedy_weighted_matching(&g).total_weight))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("weighted/densest");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.throughput(Throughput::Elements(g.m() as u64));
+    group.bench_function("wdeg-peel+suffix", |b| {
+        b.iter(|| black_box(approx_weighted_densest_subgraph(&g, 0.1).density))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, weighted_build, weighted_workloads);
+criterion_main!(benches);

@@ -11,7 +11,7 @@
 //! wide (`usize`) fallback for huge graphs.
 
 use crate::csr::{degree_extremes, validate_csr_arrays, CsrGraph};
-use crate::view::{GraphMemory, GraphView};
+use crate::view::{GraphMemory, GraphView, UnitWeights, WeightedView};
 use rayon::prelude::*;
 
 /// The offset array, at the narrowest width that can address `2m`
@@ -148,7 +148,15 @@ impl CompactCsr {
     /// Sorted neighbor slice of vertex `v`.
     #[inline]
     pub fn neighbors(&self, v: u32) -> &[u32] {
-        &self.neighbors[self.offsets.get(v as usize)..self.offsets.get(v as usize + 1)]
+        &self.neighbors[self.arc_range(v)]
+    }
+
+    /// The index range of `v`'s adjacency inside the neighbor array (and
+    /// inside any neighbor-parallel payload array, e.g.
+    /// [`crate::WeightedCsr`]'s weights).
+    #[inline]
+    pub fn arc_range(&self, v: u32) -> std::ops::Range<usize> {
+        self.offsets.get(v as usize)..self.offsets.get(v as usize + 1)
     }
 
     /// True if `{u, v}` is an edge (binary search).
@@ -269,7 +277,24 @@ impl GraphView for CompactCsr {
             neighbor_width: std::mem::size_of::<u32>(),
             neighbor_count: self.neighbors.len(),
             aux_bytes: 0,
+            weight_bytes: 0,
         }
+    }
+}
+
+/// Unweighted CSR as a unit-weighted view: every edge weighs `1.0`, so
+/// weighted workloads collapse to their unweighted meanings.
+impl WeightedView for CompactCsr {
+    type Weight = ();
+    type WeightedNeighbors<'a> = UnitWeights<<Self as GraphView>::Neighbors<'a>>;
+
+    #[inline]
+    fn weighted_neighbors(&self, v: u32) -> Self::WeightedNeighbors<'_> {
+        UnitWeights(GraphView::neighbors(self, v))
+    }
+
+    fn edge_weight(&self, u: u32, v: u32) -> Option<()> {
+        self.has_edge(u, v).then_some(())
     }
 }
 

@@ -6,7 +6,7 @@
 //! paper's `1..n` shifted to 0-based); the id order is the total order `≺`
 //! used to sort neighborhoods.
 
-use crate::view::{GraphMemory, GraphView};
+use crate::view::{GraphMemory, GraphView, UnitWeights, WeightedView};
 use rayon::prelude::*;
 
 /// Cached degree extremes `(Δ, δ)` from an offsets accessor — shared by
@@ -262,7 +262,24 @@ impl GraphView for CsrGraph {
             neighbor_width: std::mem::size_of::<u32>(),
             neighbor_count: self.neighbors.len(),
             aux_bytes: 0,
+            weight_bytes: 0,
         }
+    }
+}
+
+/// Legacy CSR as a unit-weighted view (see the [`crate::CompactCsr`] impl
+/// rationale in [`crate::compact`]).
+impl WeightedView for CsrGraph {
+    type Weight = ();
+    type WeightedNeighbors<'a> = UnitWeights<<Self as GraphView>::Neighbors<'a>>;
+
+    #[inline]
+    fn weighted_neighbors(&self, v: u32) -> Self::WeightedNeighbors<'_> {
+        UnitWeights(GraphView::neighbors(self, v))
+    }
+
+    fn edge_weight(&self, u: u32, v: u32) -> Option<()> {
+        self.has_edge(u, v).then_some(())
     }
 }
 

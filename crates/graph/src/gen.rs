@@ -16,8 +16,12 @@
 //! (cheap) RNG work for ~8 bytes per raw edge of peak memory.
 
 use crate::compact::CompactCsr;
-use crate::stream::{build_compact_with_stats, BuildStats, ChunkFn, EdgeSink, EdgeSource};
-use pgc_primitives::SplitMix64;
+use crate::stream::{
+    build_compact_with_stats, build_weighted_with_stats, BuildStats, ChunkFn, EdgeSink, EdgeSource,
+};
+use crate::weight::EdgeWeight;
+use crate::weighted::WeightedCsr;
+use pgc_primitives::{hash_mix, SplitMix64};
 
 /// A recipe for a synthetic graph.
 #[derive(Clone, Debug, PartialEq)]
@@ -141,9 +145,24 @@ impl GraphSpec {
     }
 }
 
+/// Salt separating the weight stream from the topology stream, so the
+/// same master seed yields independent edge and weight randomness.
+const WEIGHT_STREAM_SALT: u64 = 0x57E1_6487_D00D_FEED;
+
+/// The `i`-th edge weight of a seeded replay, in `[1, 10)`: hashed from
+/// `(weight seed, emission index)`, so it replays exactly — the two-pass
+/// builder sees identical weights in the count and scatter passes, and
+/// regeneration is as deterministic as the topology itself.
+fn seeded_weight(wseed: u64, i: u64) -> f64 {
+    let h = hash_mix(wseed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    1.0 + 9.0 * ((h >> 11) as f64 / (1u64 << 53) as f64)
+}
+
 /// A generator as a streaming [`EdgeSource`]: every replay re-runs the
 /// seeded generator, so the edge list is never buffered. Deterministic in
-/// `(spec, seed)` by construction.
+/// `(spec, seed)` by construction — for any payload `W`: weighted replays
+/// attach the seeded weight stream to the identical edge sequence, so
+/// the weighted graph's structure is bit-identical to the unweighted one.
 #[derive(Clone, Debug)]
 pub struct SpecSource {
     spec: GraphSpec,
@@ -157,7 +176,7 @@ impl SpecSource {
     }
 }
 
-impl EdgeSource for SpecSource {
+impl<W: EdgeWeight> EdgeSource<W> for SpecSource {
     fn num_vertices(&self) -> usize {
         self.spec.n()
     }
@@ -177,9 +196,21 @@ impl EdgeSource for SpecSource {
         }
     }
 
-    fn replay(&self, emit: &mut ChunkFn<'_>) -> std::io::Result<()> {
+    fn replay(&self, emit: &mut ChunkFn<'_, W>) -> std::io::Result<()> {
         let mut sink = EdgeSink::new(emit);
-        emit_edges(&self.spec, self.seed, &mut sink);
+        if W::IS_UNIT {
+            // The unweighted fast path: no weight hashing at all.
+            emit_edges(&self.spec, self.seed, &mut |u, v| {
+                sink.push_weighted(u, v, W::default());
+            });
+        } else {
+            let wseed = hash_mix(self.seed ^ WEIGHT_STREAM_SALT);
+            let mut i = 0u64;
+            emit_edges(&self.spec, self.seed, &mut |u, v| {
+                sink.push_weighted(u, v, W::from_f64(seeded_weight(wseed, i)));
+                i += 1;
+            });
+        }
         Ok(())
     }
 }
@@ -196,28 +227,45 @@ pub fn generate_with_stats(spec: &GraphSpec, seed: u64) -> (CompactCsr, BuildSta
         .expect("generator replay cannot fail")
 }
 
-/// Run one seeded generation, pushing every raw edge into `sink`.
-fn emit_edges(spec: &GraphSpec, seed: u64, sink: &mut EdgeSink<'_>) {
+/// Generate a weighted graph: the same seeded topology as [`generate`]
+/// (bit-identical structure) plus the replay-exact seeded weight
+/// stream in `[1, 10)`, converted into `W`. Like every generator build,
+/// this streams through the two-pass engine with no edge buffering.
+pub fn generate_weighted<W: EdgeWeight>(spec: &GraphSpec, seed: u64) -> WeightedCsr<W> {
+    generate_weighted_with_stats(spec, seed).0
+}
+
+/// [`generate_weighted`], also returning the build instrumentation.
+pub fn generate_weighted_with_stats<W: EdgeWeight>(
+    spec: &GraphSpec,
+    seed: u64,
+) -> (WeightedCsr<W>, BuildStats) {
+    build_weighted_with_stats(&SpecSource::new(spec.clone(), seed))
+        .expect("generator replay cannot fail")
+}
+
+/// Run one seeded generation, pushing every raw edge into `push`.
+fn emit_edges(spec: &GraphSpec, seed: u64, push: &mut impl FnMut(u32, u32)) {
     match *spec {
-        GraphSpec::ErdosRenyi { n, m } => erdos_renyi(n, m, seed, sink),
-        GraphSpec::BarabasiAlbert { n, attach } => barabasi_albert(n, attach, seed, sink),
-        GraphSpec::Rmat { scale, edge_factor } => rmat(scale, edge_factor, seed, sink),
-        GraphSpec::Grid2d { rows, cols } => grid2d(rows, cols, sink),
+        GraphSpec::ErdosRenyi { n, m } => erdos_renyi(n, m, seed, push),
+        GraphSpec::BarabasiAlbert { n, attach } => barabasi_albert(n, attach, seed, push),
+        GraphSpec::Rmat { scale, edge_factor } => rmat(scale, edge_factor, seed, push),
+        GraphSpec::Grid2d { rows, cols } => grid2d(rows, cols, push),
         GraphSpec::RingOfCliques {
             cliques,
             clique_size,
-        } => ring_of_cliques(cliques, clique_size, sink),
-        GraphSpec::PlantedColoring { n, k, m } => planted_coloring(n, k, m, seed, sink),
-        GraphSpec::KOut { n, k } => k_out(n, k, seed, sink),
-        GraphSpec::Complete { n } => complete(n, sink),
-        GraphSpec::Path { n } => path(n, sink),
-        GraphSpec::Cycle { n } => cycle(n, sink),
-        GraphSpec::Star { n } => star(n, sink),
+        } => ring_of_cliques(cliques, clique_size, push),
+        GraphSpec::PlantedColoring { n, k, m } => planted_coloring(n, k, m, seed, push),
+        GraphSpec::KOut { n, k } => k_out(n, k, seed, push),
+        GraphSpec::Complete { n } => complete(n, push),
+        GraphSpec::Path { n } => path(n, push),
+        GraphSpec::Cycle { n } => cycle(n, push),
+        GraphSpec::Star { n } => star(n, push),
         GraphSpec::Empty { .. } => {}
     }
 }
 
-fn erdos_renyi(n: usize, m: usize, seed: u64, sink: &mut EdgeSink<'_>) {
+fn erdos_renyi(n: usize, m: usize, seed: u64, push: &mut impl FnMut(u32, u32)) {
     let mut rng = SplitMix64::new(seed ^ 0xE2D0);
     if n < 2 {
         return;
@@ -225,11 +273,11 @@ fn erdos_renyi(n: usize, m: usize, seed: u64, sink: &mut EdgeSink<'_>) {
     for _ in 0..m {
         let u = rng.below(n as u32);
         let v = rng.below(n as u32);
-        sink.push(u, v);
+        push(u, v);
     }
 }
 
-fn barabasi_albert(n: usize, attach: usize, seed: u64, sink: &mut EdgeSink<'_>) {
+fn barabasi_albert(n: usize, attach: usize, seed: u64, push: &mut impl FnMut(u32, u32)) {
     let mut rng = SplitMix64::new(seed ^ 0xBA0B);
     let attach = attach.max(1);
     if n == 0 {
@@ -244,7 +292,7 @@ fn barabasi_albert(n: usize, attach: usize, seed: u64, sink: &mut EdgeSink<'_>) 
     // well-defined.
     for u in 0..seed_core as u32 {
         for v in (u + 1)..seed_core as u32 {
-            sink.push(u, v);
+            push(u, v);
             endpoints.push(u);
             endpoints.push(v);
         }
@@ -256,14 +304,14 @@ fn barabasi_albert(n: usize, attach: usize, seed: u64, sink: &mut EdgeSink<'_>) 
             } else {
                 endpoints[rng.below(endpoints.len() as u32) as usize]
             };
-            sink.push(v, t);
+            push(v, t);
             endpoints.push(v);
             endpoints.push(t);
         }
     }
 }
 
-fn rmat(scale: u32, edge_factor: usize, seed: u64, sink: &mut EdgeSink<'_>) {
+fn rmat(scale: u32, edge_factor: usize, seed: u64, push: &mut impl FnMut(u32, u32)) {
     let n = 1usize << scale;
     let m = n * edge_factor;
     let (a, bb, c) = (0.57, 0.19, 0.19);
@@ -284,41 +332,41 @@ fn rmat(scale: u32, edge_factor: usize, seed: u64, sink: &mut EdgeSink<'_>) {
             u = (u << 1) | ubit;
             v = (v << 1) | vbit;
         }
-        sink.push(u, v);
+        push(u, v);
     }
 }
 
-fn grid2d(rows: usize, cols: usize, sink: &mut EdgeSink<'_>) {
+fn grid2d(rows: usize, cols: usize, push: &mut impl FnMut(u32, u32)) {
     let id = |r: usize, c: usize| (r * cols + c) as u32;
     for r in 0..rows {
         for c in 0..cols {
             if c + 1 < cols {
-                sink.push(id(r, c), id(r, c + 1));
+                push(id(r, c), id(r, c + 1));
             }
             if r + 1 < rows {
-                sink.push(id(r, c), id(r + 1, c));
+                push(id(r, c), id(r + 1, c));
             }
         }
     }
 }
 
-fn ring_of_cliques(cliques: usize, clique_size: usize, sink: &mut EdgeSink<'_>) {
+fn ring_of_cliques(cliques: usize, clique_size: usize, push: &mut impl FnMut(u32, u32)) {
     for q in 0..cliques {
         let base = (q * clique_size) as u32;
         for i in 0..clique_size as u32 {
             for j in (i + 1)..clique_size as u32 {
-                sink.push(base + i, base + j);
+                push(base + i, base + j);
             }
         }
         if cliques > 1 {
             // Bridge: last vertex of clique q to first vertex of clique q+1.
             let next_base = (((q + 1) % cliques) * clique_size) as u32;
-            sink.push(base + clique_size as u32 - 1, next_base);
+            push(base + clique_size as u32 - 1, next_base);
         }
     }
 }
 
-fn planted_coloring(n: usize, k: u32, m: usize, seed: u64, sink: &mut EdgeSink<'_>) {
+fn planted_coloring(n: usize, k: u32, m: usize, seed: u64, push: &mut impl FnMut(u32, u32)) {
     let k = k.max(2);
     let mut rng = SplitMix64::new(seed ^ 0x9A27);
     if n < 2 {
@@ -333,13 +381,13 @@ fn planted_coloring(n: usize, k: u32, m: usize, seed: u64, sink: &mut EdgeSink<'
         let u = rng.below(n as u32);
         let v = rng.below(n as u32);
         if u % k != v % k {
-            sink.push(u, v);
+            push(u, v);
             placed += 1;
         }
     }
 }
 
-fn k_out(n: usize, k: usize, seed: u64, sink: &mut EdgeSink<'_>) {
+fn k_out(n: usize, k: usize, seed: u64, push: &mut impl FnMut(u32, u32)) {
     let mut rng = SplitMix64::new(seed ^ 0x0C07);
     if n < 2 {
         return;
@@ -350,39 +398,39 @@ fn k_out(n: usize, k: usize, seed: u64, sink: &mut EdgeSink<'_>) {
             if u == v {
                 u = (u + 1) % n as u32;
             }
-            sink.push(v, u);
+            push(v, u);
         }
     }
 }
 
-fn complete(n: usize, sink: &mut EdgeSink<'_>) {
+fn complete(n: usize, push: &mut impl FnMut(u32, u32)) {
     for u in 0..n as u32 {
         for v in (u + 1)..n as u32 {
-            sink.push(u, v);
+            push(u, v);
         }
     }
 }
 
-fn path(n: usize, sink: &mut EdgeSink<'_>) {
+fn path(n: usize, push: &mut impl FnMut(u32, u32)) {
     for v in 1..n as u32 {
-        sink.push(v - 1, v);
+        push(v - 1, v);
     }
 }
 
-fn cycle(n: usize, sink: &mut EdgeSink<'_>) {
+fn cycle(n: usize, push: &mut impl FnMut(u32, u32)) {
     if n >= 3 {
         for v in 1..n as u32 {
-            sink.push(v - 1, v);
+            push(v - 1, v);
         }
-        sink.push(n as u32 - 1, 0);
+        push(n as u32 - 1, 0);
     } else if n == 2 {
-        sink.push(0, 1);
+        push(0, 1);
     }
 }
 
-fn star(n: usize, sink: &mut EdgeSink<'_>) {
+fn star(n: usize, push: &mut impl FnMut(u32, u32)) {
     for v in 1..n as u32 {
-        sink.push(0, v);
+        push(0, v);
     }
 }
 
@@ -567,7 +615,7 @@ mod tests {
         ] {
             let src = SpecSource::new(spec.clone(), 5);
             let mut emitted = 0usize;
-            src.replay(&mut |c| emitted += c.len()).unwrap();
+            src.replay(&mut |c, _: &[()]| emitted += c.len()).unwrap();
             assert_eq!(emitted, spec.raw_edge_hint(), "{spec:?}");
         }
     }
@@ -590,7 +638,7 @@ mod tests {
         ] {
             let src = SpecSource::new(spec.clone(), 42);
             let mut b = EdgeListBuilder::with_capacity(spec.n(), spec.raw_edge_hint());
-            src.replay(&mut |chunk| {
+            src.replay(&mut |chunk, _: &[()]| {
                 for &(u, v) in chunk {
                     b.add_edge(u, v);
                 }
@@ -598,6 +646,52 @@ mod tests {
             .unwrap();
             assert_eq!(generate(&spec, 42), b.build(), "{spec:?}");
         }
+    }
+
+    #[test]
+    fn weighted_generation_replays_exactly() {
+        let spec = GraphSpec::Rmat {
+            scale: 8,
+            edge_factor: 6,
+        };
+        // Two independent weighted builds (each internally replays twice)
+        // agree bit for bit, and match the fully buffered oracle.
+        let a = generate_weighted::<f32>(&spec, 9);
+        let b = generate_weighted::<f32>(&spec, 9);
+        assert_eq!(a, b);
+        let src = SpecSource::new(spec.clone(), 9);
+        let mut buf = EdgeListBuilder::with_capacity(spec.n(), spec.raw_edge_hint());
+        src.replay(&mut |chunk, ws: &[f32]| {
+            for (&(u, v), &w) in chunk.iter().zip(ws) {
+                buf.add_weighted_edge(u, v, w);
+            }
+        })
+        .unwrap();
+        assert_eq!(a, buf.build_weighted());
+    }
+
+    #[test]
+    fn weighted_structure_matches_unweighted_generation() {
+        for spec in [
+            GraphSpec::BarabasiAlbert { n: 250, attach: 4 },
+            GraphSpec::ErdosRenyi { n: 300, m: 900 },
+        ] {
+            let wg = generate_weighted::<f64>(&spec, 17);
+            assert_eq!(wg.structure(), &generate(&spec, 17), "{spec:?}");
+            // Generated weights land in [1, 10) and are symmetric.
+            for (u, v, w) in crate::view::WeightedView::weighted_edges(&wg) {
+                assert!((1.0..10.0).contains(&w), "weight {w} out of range");
+                assert_eq!(wg.edge_weight(v, u), Some(w));
+            }
+        }
+    }
+
+    #[test]
+    fn weight_seeds_are_independent_of_topology_seeds() {
+        let spec = GraphSpec::ErdosRenyi { n: 100, m: 300 };
+        let a = generate_weighted::<f64>(&spec, 1);
+        let b = generate_weighted::<f64>(&spec, 2);
+        assert_ne!(a, b, "different seeds give different weighted graphs");
     }
 
     #[test]

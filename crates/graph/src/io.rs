@@ -3,11 +3,12 @@
 //! Three interchange formats so users can run the paper's real datasets
 //! when they have them:
 //!
-//! * whitespace-separated **edge lists** (`u v` per line, `#` comments) —
-//!   the SNAP/KONECT distribution format,
+//! * whitespace-separated **edge lists** (`u v` per line, optional third
+//!   weight column, `#` comments) — the SNAP/KONECT distribution format,
 //! * **DIMACS `.col`** (`p edge n m` header, `e u v` lines, 1-based) — the
 //!   classic coloring-benchmark format,
-//! * **Matrix Market** coordinate files — the SuiteSparse format.
+//! * **Matrix Market** coordinate files — the SuiteSparse format, with
+//!   the value column parsed for weighted reads.
 //!
 //! Every reader is a replayable [`EdgeSource`]: parsing happens inside
 //! [`EdgeSource::replay`], so the two-pass streaming builder
@@ -19,10 +20,24 @@
 //! [`read_edge_list`]-style `BufRead` compatibility APIs (which slurp the
 //! input once, then stream over the in-memory bytes: text is the only
 //! buffer, never a decoded arc list).
+//!
+//! ## The byte-level fast path
+//!
+//! Text parsing dominates `read_*_path` ingest (each scan must decode
+//! every line), so the readers never materialize `String` lines: a single
+//! reusable buffer is filled by `read_until(b'\n')` and vertex ids are
+//! decoded by a branch-lean ASCII-decimal loop (`parse_u32_ascii`) —
+//! no per-line allocation, no UTF-8 validation, no generic
+//! `str::parse` machinery on the hot path. Only weight fields (floats
+//! are genuinely hard to parse) fall back to `str::parse` via
+//! [`EdgeWeight::parse_ascii`]. `benches/ingest.rs` measures the gain
+//! against the old `String`-lines parser.
 
 use crate::compact::CompactCsr;
-use crate::stream::{build_compact, ChunkFn, EdgeSink, EdgeSource};
-use crate::view::GraphView;
+use crate::stream::{build_compact, build_weighted, ChunkFn, EdgeSink, EdgeSource};
+use crate::view::{GraphView, WeightedView};
+use crate::weight::EdgeWeight;
+use crate::weighted::WeightedCsr;
 use std::fs::File;
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
@@ -56,11 +71,96 @@ impl<'a> Reopen for &'a [u8] {
     }
 }
 
-/// SNAP-style edge list as a streaming [`EdgeSource`]: one `u v` pair per
-/// line, `#`/`%` comment lines. Vertex ids may be sparse; the builder
-/// sizes the graph by the maximum id + 1 (so
-/// [`num_vertices`](EdgeSource::num_vertices) reports 0 — unknown until
-/// scanned).
+// ---------------------------------------------------------------------
+// Byte-level line/token machinery (the parse fast path)
+// ---------------------------------------------------------------------
+
+/// Feed every input line to `f` as a whitespace-trimmed byte slice,
+/// through one reusable buffer — no per-line `String`, no UTF-8 check.
+fn for_each_line<R: BufRead>(
+    mut reader: R,
+    mut f: impl FnMut(&[u8]) -> std::io::Result<()>,
+) -> std::io::Result<()> {
+    let mut buf: Vec<u8> = Vec::with_capacity(256);
+    loop {
+        buf.clear();
+        if reader.read_until(b'\n', &mut buf)? == 0 {
+            return Ok(());
+        }
+        f(buf.trim_ascii())?;
+    }
+}
+
+/// Split the next whitespace-separated token off the front of `s`.
+#[inline]
+fn next_token<'a>(s: &mut &'a [u8]) -> Option<&'a [u8]> {
+    let mut i = 0;
+    while i < s.len() && s[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    let start = i;
+    while i < s.len() && !s[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    let tok = &s[start..i];
+    *s = &s[i..];
+    (!tok.is_empty()).then_some(tok)
+}
+
+/// Byte-level integer fast path: ASCII decimal → `u32`, rejecting
+/// non-digits and overflow. An 11+-digit token cannot fit, so the digit
+/// loop runs at most 10 times and accumulates in `u64` without
+/// per-iteration overflow checks.
+#[inline]
+fn parse_u32_ascii(tok: &[u8]) -> Option<u32> {
+    if tok.is_empty() || tok.len() > 10 {
+        return None;
+    }
+    let mut x: u64 = 0;
+    for &b in tok {
+        let d = b.wrapping_sub(b'0');
+        if d > 9 {
+            return None;
+        }
+        x = x * 10 + d as u64;
+    }
+    (x <= u32::MAX as u64).then_some(x as u32)
+}
+
+fn lossy(line: &[u8]) -> String {
+    String::from_utf8_lossy(line).into_owned()
+}
+
+/// Take and decode one vertex-id token; `InvalidData` with the offending
+/// line if missing or malformed.
+#[inline]
+fn parse_id_field(rest: &mut &[u8], what: &str, line: &[u8]) -> std::io::Result<u32> {
+    next_token(rest)
+        .and_then(parse_u32_ascii)
+        .ok_or_else(|| bad(format!("missing or bad {what} in line {:?}", lossy(line))))
+}
+
+/// Take and decode one weight token via [`EdgeWeight::parse_ascii`].
+fn parse_weight_field<W: EdgeWeight>(rest: &mut &[u8], line: &[u8]) -> std::io::Result<W> {
+    let tok = next_token(rest).ok_or_else(|| {
+        bad(format!(
+            "missing weight column in line {:?} (weighted read of a 2-column input?)",
+            lossy(line)
+        ))
+    })?;
+    W::parse_ascii(tok).ok_or_else(|| bad(format!("bad weight in line {:?}", lossy(line))))
+}
+
+// ---------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------
+
+/// SNAP-style edge list as a streaming [`EdgeSource`]: one `u v` pair —
+/// or `u v w` triple, when read weighted — per line, `#`/`%` comment
+/// lines. Vertex ids may be sparse; the builder sizes the graph by the
+/// maximum id + 1 (so [`num_vertices`](EdgeSource::num_vertices) reports
+/// 0 — unknown until scanned). Unweighted reads ignore any trailing
+/// columns; weighted reads require the third column on every line.
 pub struct EdgeListSource<R: Reopen> {
     input: R,
 }
@@ -72,26 +172,29 @@ impl<R: Reopen> EdgeListSource<R> {
     }
 }
 
-impl<R: Reopen> EdgeSource for EdgeListSource<R> {
+impl<W: EdgeWeight, R: Reopen> EdgeSource<W> for EdgeListSource<R> {
     fn num_vertices(&self) -> usize {
         0
     }
 
-    fn replay(&self, emit: &mut ChunkFn<'_>) -> std::io::Result<()> {
+    fn replay(&self, emit: &mut ChunkFn<'_, W>) -> std::io::Result<()> {
         let reader = self.input.reopen()?;
         let mut sink = EdgeSink::new(emit);
-        for line in reader.lines() {
-            let line = line?;
-            let t = line.trim();
-            if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
-                continue;
+        for_each_line(reader, |line| {
+            if line.is_empty() || line[0] == b'#' || line[0] == b'%' {
+                return Ok(());
             }
-            let mut it = t.split_whitespace();
-            let u: u32 = parse_field(it.next(), "source", t)?;
-            let v: u32 = parse_field(it.next(), "target", t)?;
-            sink.push(u, v);
-        }
-        Ok(())
+            let mut rest = line;
+            let u = parse_id_field(&mut rest, "source", line)?;
+            let v = parse_id_field(&mut rest, "target", line)?;
+            let w = if W::IS_UNIT {
+                W::default()
+            } else {
+                parse_weight_field::<W>(&mut rest, line)?
+            };
+            sink.push_weighted(u, v, w);
+            Ok(())
+        })
     }
 }
 
@@ -149,42 +252,64 @@ impl<R: Reopen> EdgeSource for DimacsSource<R> {
     fn replay(&self, emit: &mut ChunkFn<'_>) -> std::io::Result<()> {
         let reader = self.input.reopen()?;
         let mut sink = EdgeSink::new(emit);
-        for line in reader.lines() {
-            let line = line?;
-            let t = line.trim();
-            if let Some(rest) = t.strip_prefix("e ") {
-                let mut it = rest.split_whitespace();
-                let u: u32 = parse_field(it.next(), "u", t)?;
-                let v: u32 = parse_field(it.next(), "v", t)?;
-                if u == 0 || v == 0 {
-                    return Err(bad(format!("DIMACS ids are 1-based, got line {t:?}")));
-                }
-                if u as usize > self.n || v as usize > self.n {
-                    return Err(bad(format!(
-                        "edge ({u},{v}) out of declared range n={}",
-                        self.n
-                    )));
-                }
-                sink.push(u - 1, v - 1);
+        for_each_line(reader, |line| {
+            let [b'e', sp, ..] = line else {
+                return Ok(());
+            };
+            if !sp.is_ascii_whitespace() {
+                return Ok(());
             }
-        }
-        Ok(())
+            let mut rest = &line[1..];
+            let u = parse_id_field(&mut rest, "u", line)?;
+            let v = parse_id_field(&mut rest, "v", line)?;
+            if u == 0 || v == 0 {
+                return Err(bad(format!(
+                    "DIMACS ids are 1-based, got line {:?}",
+                    lossy(line)
+                )));
+            }
+            if u as usize > self.n || v as usize > self.n {
+                return Err(bad(format!(
+                    "edge ({u},{v}) out of declared range n={}",
+                    self.n
+                )));
+            }
+            sink.push(u - 1, v - 1);
+            Ok(())
+        })
     }
 }
 
+/// The value-field kind a Matrix Market header declares.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MmField {
+    /// `pattern`: entries are `row col`, no value.
+    Pattern,
+    /// `real` / `double`: entries are `row col value`.
+    Real,
+    /// `integer`: entries are `row col value` with integral values.
+    Integer,
+}
+
 /// Matrix Market coordinate file as a streaming [`EdgeSource`]:
-/// rows/columns are vertices, entries are edges (values, if present, are
-/// ignored). The `%%MatrixMarket` header and size line are parsed eagerly
-/// by [`MatrixMarketSource::new`].
+/// rows/columns are vertices, entries are edges. The `%%MatrixMarket`
+/// header and size line are parsed eagerly by [`MatrixMarketSource::new`],
+/// which rejects `complex` files outright (a weight cannot represent the
+/// imaginary column faithfully). Entry lines are validated against the
+/// declared field kind — a `pattern` file carrying values, or a
+/// `real`/`integer` file missing them, is `InvalidData` instead of a
+/// silently wrong graph — and weighted reads parse the value column into
+/// the edge weight (max on duplicates, like every source).
 pub struct MatrixMarketSource<R: Reopen> {
     input: R,
     n: usize,
     nnz: usize,
+    field: MmField,
 }
 
 impl<R: Reopen> MatrixMarketSource<R> {
     /// Wrap a replayable input, reading ahead to the header and size
-    /// line. Errors on missing/dense/non-matrix headers.
+    /// line. Errors on missing/dense/non-matrix/`complex` headers.
     pub fn new(input: R) -> std::io::Result<Self> {
         let mut lines = input.reopen()?.lines();
         let header = loop {
@@ -201,9 +326,31 @@ impl<R: Reopen> MatrixMarketSource<R> {
             }
         };
         let lower = header.to_ascii_lowercase();
-        if !lower.contains("matrix") || !lower.contains("coordinate") {
+        let mut tokens = lower.split_whitespace().skip(1); // "%%matrixmarket"
+        if tokens.next() != Some("matrix") {
             return Err(bad(format!("unsupported Matrix Market header {header:?}")));
         }
+        if tokens.next() != Some("coordinate") {
+            return Err(bad(format!(
+                "unsupported Matrix Market format in {header:?} (only 'coordinate' is sparse)"
+            )));
+        }
+        let field = match tokens.next() {
+            Some("pattern") => MmField::Pattern,
+            Some("real") | Some("double") => MmField::Real,
+            Some("integer") => MmField::Integer,
+            Some("complex") => {
+                return Err(bad(format!(
+                    "complex Matrix Market files are unsupported (header {header:?}): \
+                     an edge weight cannot represent the imaginary column"
+                )))
+            }
+            other => {
+                return Err(bad(format!(
+                    "missing or unknown Matrix Market field {other:?} in header {header:?}"
+                )))
+            }
+        };
         // Size line: first non-comment line after the header.
         for line in lines {
             let line = line?;
@@ -219,13 +366,14 @@ impl<R: Reopen> MatrixMarketSource<R> {
                 input,
                 n: nrows.max(ncols),
                 nnz,
+                field,
             });
         }
         Err(bad("missing Matrix Market size line".into()))
     }
 }
 
-impl<R: Reopen> EdgeSource for MatrixMarketSource<R> {
+impl<W: EdgeWeight, R: Reopen> EdgeSource<W> for MatrixMarketSource<R> {
     fn num_vertices(&self) -> usize {
         self.n
     }
@@ -234,32 +382,74 @@ impl<R: Reopen> EdgeSource for MatrixMarketSource<R> {
         Some(self.nnz)
     }
 
-    fn replay(&self, emit: &mut ChunkFn<'_>) -> std::io::Result<()> {
+    fn replay(&self, emit: &mut ChunkFn<'_, W>) -> std::io::Result<()> {
+        if !W::IS_UNIT && self.field == MmField::Pattern {
+            return Err(bad(
+                "weighted read of a 'pattern' Matrix Market file: it declares no values".into(),
+            ));
+        }
         let reader = self.input.reopen()?;
         let mut sink = EdgeSink::new(emit);
         let mut past_size_line = false;
-        for line in reader.lines() {
-            let line = line?;
-            let t = line.trim();
-            if t.is_empty() || t.starts_with('%') {
-                continue;
+        for_each_line(reader, |line| {
+            if line.is_empty() || line[0] == b'%' {
+                return Ok(());
             }
             if !past_size_line {
                 past_size_line = true; // validated by `new`
-                continue;
+                return Ok(());
             }
-            let mut it = t.split_whitespace();
-            let r: u32 = parse_field(it.next(), "row", t)?;
-            let c: u32 = parse_field(it.next(), "col", t)?;
+            let mut rest = line;
+            let r = parse_id_field(&mut rest, "row", line)?;
+            let c = parse_id_field(&mut rest, "col", line)?;
             if r == 0 || c == 0 {
-                return Err(bad(format!("Matrix Market ids are 1-based: {t:?}")));
+                return Err(bad(format!(
+                    "Matrix Market ids are 1-based: {:?}",
+                    lossy(line)
+                )));
             }
             if r as usize > self.n || c as usize > self.n {
                 return Err(bad(format!("entry ({r},{c}) exceeds size {}", self.n)));
             }
-            sink.push(r - 1, c - 1); // value column (if any) is ignored
-        }
-        Ok(())
+            // Enforce the declared field kind: an entry shape that
+            // contradicts the header means the header (or file) is wrong,
+            // and silently guessing would hand back a wrong graph.
+            let w = match self.field {
+                MmField::Pattern => {
+                    if next_token(&mut rest).is_some() {
+                        return Err(bad(format!(
+                            "'pattern' Matrix Market entry carries a value: {:?}",
+                            lossy(line)
+                        )));
+                    }
+                    W::default()
+                }
+                MmField::Real | MmField::Integer => {
+                    let tok = next_token(&mut rest).ok_or_else(|| {
+                        bad(format!(
+                            "Matrix Market entry missing its declared value: {:?}",
+                            lossy(line)
+                        ))
+                    })?;
+                    if next_token(&mut rest).is_some() {
+                        return Err(bad(format!(
+                            "Matrix Market entry has extra columns (complex data \
+                             under a non-complex header?): {:?}",
+                            lossy(line)
+                        )));
+                    }
+                    if W::IS_UNIT {
+                        W::default()
+                    } else {
+                        W::parse_ascii(tok).ok_or_else(|| {
+                            bad(format!("bad Matrix Market value in {:?}", lossy(line)))
+                        })?
+                    }
+                }
+            };
+            sink.push_weighted(r - 1, c - 1, w);
+            Ok(())
+        })
     }
 }
 
@@ -273,6 +463,12 @@ pub fn read_edge_list_path(path: &Path) -> std::io::Result<CompactCsr> {
     build_compact(&EdgeListSource::new(path.to_path_buf()))
 }
 
+/// Read a weighted (`u v w` per line) edge list from a file with two
+/// sequential scans and no edge buffering.
+pub fn read_weighted_edge_list_path<W: EdgeWeight>(path: &Path) -> std::io::Result<WeightedCsr<W>> {
+    build_weighted(&EdgeListSource::new(path.to_path_buf()))
+}
+
 /// Read DIMACS `.col` from a file with two sequential scans and no edge
 /// buffering.
 pub fn read_dimacs_col_path(path: &Path) -> std::io::Result<CompactCsr> {
@@ -283,6 +479,15 @@ pub fn read_dimacs_col_path(path: &Path) -> std::io::Result<CompactCsr> {
 /// edge buffering.
 pub fn read_matrix_market_path(path: &Path) -> std::io::Result<CompactCsr> {
     build_compact(&MatrixMarketSource::new(path.to_path_buf())?)
+}
+
+/// Read a Matrix Market coordinate file as a weighted graph (the value
+/// column becomes the edge weight; `pattern`/`complex` files are
+/// rejected) with two sequential scans and no edge buffering.
+pub fn read_weighted_matrix_market_path<W: EdgeWeight>(
+    path: &Path,
+) -> std::io::Result<WeightedCsr<W>> {
+    build_weighted(&MatrixMarketSource::new(path.to_path_buf())?)
 }
 
 // ---------------------------------------------------------------------
@@ -310,6 +515,15 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> std::io::Result<CompactCsr> {
     build_compact(&EdgeListSource::new(&bytes[..]))
 }
 
+/// Parse a weighted (`u v w` per line) edge list. Prefer
+/// [`read_weighted_edge_list_path`] for files.
+pub fn read_weighted_edge_list<W: EdgeWeight, R: BufRead>(
+    reader: R,
+) -> std::io::Result<WeightedCsr<W>> {
+    let bytes = slurp(reader)?;
+    build_weighted(&EdgeListSource::new(&bytes[..]))
+}
+
 /// Parse DIMACS `.col`: `c` comments, one `p edge <n> <m>` line, `e u v`
 /// edges with **1-based** vertex ids. Prefer [`read_dimacs_col_path`] for
 /// files.
@@ -326,6 +540,15 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> std::io::Result<CompactCsr> 
     build_compact(&MatrixMarketSource::new(&bytes[..])?)
 }
 
+/// Parse a Matrix Market coordinate file as a weighted graph. Prefer
+/// [`read_weighted_matrix_market_path`] for files.
+pub fn read_weighted_matrix_market<W: EdgeWeight, R: BufRead>(
+    reader: R,
+) -> std::io::Result<WeightedCsr<W>> {
+    let bytes = slurp(reader)?;
+    build_weighted(&MatrixMarketSource::new(&bytes[..])?)
+}
+
 // ---------------------------------------------------------------------
 // Writers
 // ---------------------------------------------------------------------
@@ -335,6 +558,17 @@ pub fn write_edge_list<G: GraphView, W: Write>(g: &G, mut w: W) -> std::io::Resu
     writeln!(w, "# n={} m={}", g.n(), g.m())?;
     for (u, v) in g.edges() {
         writeln!(w, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Write a weighted edge list (`u v w` per line, each undirected edge
+/// once; the weight prints through [`EdgeWeight::to_f64`], which
+/// round-trips `f32`/`f64`/`u32` exactly).
+pub fn write_weighted_edge_list<G: WeightedView, W: Write>(g: &G, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "# n={} m={} weighted", g.n(), g.m())?;
+    for (u, v, wt) in g.weighted_edges() {
+        writeln!(w, "{u} {v} {}", wt.to_f64())?;
     }
     Ok(())
 }
@@ -363,7 +597,38 @@ fn bad(msg: String) -> std::io::Error {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gen::{generate, GraphSpec};
+    use crate::gen::{generate, generate_weighted, GraphSpec};
+
+    #[test]
+    fn fast_u32_parser_agrees_with_std() {
+        for s in ["0", "1", "42", "4294967295", "999999999", "10"] {
+            assert_eq!(
+                parse_u32_ascii(s.as_bytes()),
+                s.parse::<u32>().ok(),
+                "{s:?}"
+            );
+        }
+        for s in [
+            "",
+            "-1",
+            "+1",
+            "4294967296",
+            "99999999999",
+            "1 2",
+            "x",
+            "1.5",
+        ] {
+            assert_eq!(parse_u32_ascii(s.as_bytes()), None, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn tokenizer_splits_on_any_whitespace() {
+        let mut s: &[u8] = b"  12\t34  \r";
+        assert_eq!(next_token(&mut s), Some(&b"12"[..]));
+        assert_eq!(next_token(&mut s), Some(&b"34"[..]));
+        assert_eq!(next_token(&mut s), None);
+    }
 
     #[test]
     fn edge_list_roundtrip() {
@@ -378,6 +643,26 @@ mod tests {
     }
 
     #[test]
+    fn weighted_edge_list_roundtrip() {
+        let g = generate_weighted::<f64>(&GraphSpec::ErdosRenyi { n: 80, m: 240 }, 4);
+        let mut buf = Vec::new();
+        write_weighted_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_weighted_edge_list::<f64, _>(&buf[..]).unwrap();
+        let e1: Vec<_> = g.weighted_edges().collect();
+        let e2: Vec<_> = g2.weighted_edges().collect();
+        assert_eq!(e1, e2, "weights survive the text round-trip");
+    }
+
+    #[test]
+    fn weighted_edge_list_requires_third_column() {
+        assert!(read_weighted_edge_list::<f32, _>("0 1 2.5\n1 2\n".as_bytes()).is_err());
+        assert!(read_weighted_edge_list::<f32, _>("0 1 x\n".as_bytes()).is_err());
+        // The same text reads fine unweighted (third column ignored).
+        let g = read_edge_list("0 1 2.5\n1 2\n".as_bytes()).unwrap();
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
     fn edge_list_comments_and_blanks() {
         let text = "# comment\n\n% other\n0 1\n1 2\n";
         let g = read_edge_list(text.as_bytes()).unwrap();
@@ -389,6 +674,11 @@ mod tests {
     fn edge_list_bad_input_errors() {
         assert!(read_edge_list("0 x\n".as_bytes()).is_err());
         assert!(read_edge_list("17\n".as_bytes()).is_err());
+        assert!(read_edge_list("-1 2\n".as_bytes()).is_err());
+        assert!(
+            read_edge_list("4294967296 0\n".as_bytes()).is_err(),
+            "overflow"
+        );
     }
 
     #[test]
@@ -461,6 +751,42 @@ mod tests {
         let g = read_matrix_market(text.as_bytes()).unwrap();
         assert_eq!(g.m(), 2);
         assert!(g.has_edge(0, 2));
+        // The same file read weighted keeps the values.
+        let wg = read_weighted_matrix_market::<f64, _>(text.as_bytes()).unwrap();
+        assert_eq!(wg.structure(), &g);
+        assert_eq!(wg.edge_weight(0, 1), Some(0.5));
+        assert_eq!(wg.edge_weight(2, 0), Some(-2e3));
+    }
+
+    #[test]
+    fn matrix_market_integer_values_and_duplicate_max() {
+        let text = "%%MatrixMarket matrix coordinate integer general\n\
+                    3 3 3\n1 2 4\n2 1 9\n2 3 1\n";
+        let wg = read_weighted_matrix_market::<u32, _>(text.as_bytes()).unwrap();
+        assert_eq!(wg.edge_weight(0, 1), Some(9), "duplicate entry keeps max");
+        assert_eq!(wg.edge_weight(1, 2), Some(1));
+    }
+
+    #[test]
+    fn matrix_market_rejects_complex_and_mismatched_fields() {
+        // `complex` is rejected at header parse, even unweighted.
+        let complex = "%%MatrixMarket matrix coordinate complex general\n2 2 1\n1 2 0.5 1.5\n";
+        assert!(read_matrix_market(complex.as_bytes()).is_err());
+        assert!(read_weighted_matrix_market::<f64, _>(complex.as_bytes()).is_err());
+        // Declared `real` but a value is missing: InvalidData, not a
+        // silently wrong graph.
+        let missing = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 2 0.5\n2 1\n";
+        assert!(read_matrix_market(missing.as_bytes()).is_err());
+        // Declared `pattern` but values present.
+        let extra = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 2 0.5\n";
+        assert!(read_matrix_market(extra.as_bytes()).is_err());
+        // Complex-shaped data under a real header.
+        let wide = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 0.5 1.5\n";
+        assert!(read_matrix_market(wide.as_bytes()).is_err());
+        // Weighted read of a pattern file: no values to read.
+        let pattern = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 2\n";
+        assert!(read_weighted_matrix_market::<f32, _>(pattern.as_bytes()).is_err());
+        assert!(read_matrix_market(pattern.as_bytes()).is_ok());
     }
 
     #[test]
@@ -492,8 +818,8 @@ mod tests {
         let src = DimacsSource::new(text).unwrap();
         let mut a: Vec<(u32, u32)> = Vec::new();
         let mut b: Vec<(u32, u32)> = Vec::new();
-        src.replay(&mut |c| a.extend_from_slice(c)).unwrap();
-        src.replay(&mut |c| b.extend_from_slice(c)).unwrap();
+        src.replay(&mut |c, _| a.extend_from_slice(c)).unwrap();
+        src.replay(&mut |c, _| b.extend_from_slice(c)).unwrap();
         assert_eq!(a, b);
         assert_eq!(a, vec![(0, 1), (3, 4), (1, 2)]);
         assert_eq!(src.declared_n(), 5);

@@ -5,9 +5,17 @@
 //! * [`view`] — the representation-generic [`GraphView`] trait every
 //!   algorithm crate is written against, plus the [`GraphMemory`]
 //!   footprint record,
+//! * [`weight`] — the [`EdgeWeight`] payload trait behind the
+//!   payload-generic ingestion stack (`()` is the zero-cost unweighted
+//!   instantiation; `u32`/`f32`/`f64` carry real weights), and the
+//!   [`WeightedView`] trait extending [`GraphView`] with
+//!   weighted-neighbor iteration,
 //! * [`compact`] — [`CompactCsr`], the default representation: the paper's
 //!   CSR (§II-A) with `u32` offsets whenever `2m < u32::MAX` (half the
 //!   offset memory of the legacy layout) and a transparent wide fallback,
+//! * [`weighted`] — [`WeightedCsr`], the weights-augmented default:
+//!   struct-of-arrays (a `CompactCsr` plus one neighbor-parallel weights
+//!   array), so unweighted traversals never touch weight bytes,
 //! * [`csr`] — the legacy machine-word-offset [`CsrGraph`], kept as the
 //!   equivalence-test baseline,
 //! * [`induced`] — [`InducedView`], a zero-copy induced-subgraph view
@@ -37,6 +45,8 @@ pub mod io;
 pub mod stream;
 pub mod transform;
 pub mod view;
+pub mod weight;
+pub mod weighted;
 
 pub use builder::EdgeListBuilder;
 pub use compact::CompactCsr;
@@ -44,4 +54,6 @@ pub use csr::CsrGraph;
 pub use degeneracy::{degeneracy, DegeneracyInfo};
 pub use induced::InducedView;
 pub use stream::{BuildStats, EdgeSink, EdgeSource};
-pub use view::{GraphMemory, GraphView};
+pub use view::{GraphMemory, GraphView, WeightedView};
+pub use weight::EdgeWeight;
+pub use weighted::WeightedCsr;

@@ -1,7 +1,7 @@
 //! Streaming two-pass CSR construction: the [`EdgeSource`] trait and the
 //! parallel builder that turns any re-playable arc stream into a
-//! [`CompactCsr`] (or legacy [`CsrGraph`]) **without materializing an arc
-//! list**.
+//! [`CompactCsr`], a [`WeightedCsr`], or a legacy [`CsrGraph`] **without
+//! materializing an arc list**.
 //!
 //! The paper targets graphs where memory, not compute, binds (§II-A's
 //! word-budget accounting). The old build path buffered every input edge
@@ -21,33 +21,50 @@
 //!                  u32 offsets while the arc total fits)
 //!                              │
 //!            ┌───────────── pass 2 (scatter) ───────────┐
-//!  EdgeSource ──chunks──▶ atomic per-vertex cursors scatter each arc
-//!                         directly into the neighbor array
+//!  EdgeSource ──chunks──▶ atomic per-vertex cursors scatter each arc —
+//!                         and, for weighted payloads, its weight into a
+//!                         neighbor-parallel weights array — directly
+//!                         into place
 //!                              │
 //!                              ▼
 //!                 per-vertex parallel sort + in-place dedup
-//!                 (compaction pass only if duplicates existed)
+//!                 (weights co-permuted, duplicates keep the max;
+//!                  compaction pass only if duplicates existed)
 //! ```
 //!
-//! Peak transient memory is the scatter array (4 bytes per raw,
-//! pre-dedup arc — duplicate-heavy inputs pay for their duplicates until
-//! the compaction pass) plus `O(n)` counters — roughly half the old
-//! path's peak, tracked exactly in [`BuildStats::build_bytes_peak`] and
-//! surfaced by the harness's `fig2_*` tables.
+//! The whole engine is generic over an edge payload `W:`
+//! [`EdgeWeight`]: sources replay `(u, v)` chunks *plus* a parallel
+//! weights chunk, pass 2 scatters weights through the same cursors, and
+//! the per-vertex sort co-permutes them
+//! ([`pgc_primitives::co_sort_by_key`]), merging duplicate arcs by max.
+//! `W = ()` is the zero-cost unweighted instantiation: unit weights
+//! arrays never allocate (`()` is zero-sized), the weight branches erase
+//! at compile time, and the produced arrays are bit-identical to the
+//! pre-generic engine.
+//!
+//! Peak transient memory is the scatter array (4 + `size_of::<W>()` bytes
+//! per raw, pre-dedup arc — duplicate-heavy inputs pay for their
+//! duplicates until the compaction pass) plus `O(n)` counters — roughly
+//! half the old path's peak, tracked exactly in
+//! [`BuildStats::build_bytes_peak`] and surfaced by the harness's
+//! `fig2_*` tables.
 //!
 //! Every producer in the workspace builds through this engine: the
-//! generators replay by seeded regeneration ([`crate::gen::SpecSource`]),
-//! the readers by re-scanning their file ([`crate::io::EdgeListSource`]
-//! and friends), and [`EdgeListBuilder`](crate::EdgeListBuilder) acts as
-//! the trivial buffered source for API compatibility.
+//! generators replay by seeded regeneration ([`crate::gen::SpecSource`],
+//! including replay-exact seeded weights), the readers by re-scanning
+//! their file ([`crate::io::EdgeListSource`] and friends), and
+//! [`EdgeListBuilder`](crate::EdgeListBuilder) acts as the trivial
+//! buffered source for API compatibility.
 
 use crate::compact::{CompactCsr, Offsets};
 use crate::csr::CsrGraph;
+use crate::weight::EdgeWeight;
+use crate::weighted::WeightedCsr;
 use pgc_par::for_each_chunk;
-use pgc_primitives::{offsets_from_counts, reduce_sum_u64, OffsetWord};
+use pgc_primitives::{co_sort_by_key, offsets_from_counts, reduce_sum_u64, OffsetWord};
 use rayon::prelude::*;
 use std::io;
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Adjacency lists at least this long are sorted with the parallel sort
@@ -61,19 +78,25 @@ const PAR_SORT_MIN_LEN: usize = 1 << 14;
 pub const CHUNK_EDGES: usize = 1 << 16;
 
 /// The chunk callback a builder hands to [`EdgeSource::replay`]: called
-/// once per consecutive chunk of raw `(u, v)` pairs.
-pub type ChunkFn<'a> = dyn FnMut(&[(u32, u32)]) + 'a;
+/// once per consecutive chunk of raw `(u, v)` pairs, together with the
+/// parallel chunk of their payloads. When `W::IS_UNIT` the weights slice
+/// is ignored and may be empty; otherwise it must be exactly as long as
+/// the pair chunk (the builder rejects mismatches with `InvalidData`).
+pub type ChunkFn<'a, W = ()> = dyn FnMut(&[(u32, u32)], &[W]) + 'a;
 
 /// A re-playable, chunked stream of raw undirected edges — how graphs
-/// enter the system.
+/// enter the system — generic over the edge payload `W` (`()` for
+/// unweighted sources; see [`EdgeWeight`]).
 ///
-/// A source describes a multiset of `(u, v)` pairs (self-loops and
-/// duplicates permitted; both get cleaned by the builder, which also
-/// materializes the reverse direction of every arc). The builder consumes
-/// it with **two sequential replays** — one to count degrees, one to
-/// scatter neighbors — so implementations must yield the *identical* pair
-/// sequence on every [`replay`](Self::replay) call: buffered slices, a
-/// seeded generator re-run, or a second scan of a file all qualify.
+/// A source describes a multiset of `(u, v, w)` triples (self-loops and
+/// duplicates permitted; loops are dropped and duplicates merged by
+/// [`EdgeWeight::merge_parallel`] — the max — while the builder also
+/// materializes the reverse direction of every arc, carrying the same
+/// weight both ways). The builder consumes it with **two sequential
+/// replays** — one to count degrees, one to scatter neighbors and
+/// weights — so implementations must yield the *identical* sequence on
+/// every [`replay`](Self::replay) call: buffered slices, a seeded
+/// generator re-run, or a second scan of a file all qualify.
 ///
 /// One documented limit: raw (pre-dedup) incident pairs are counted per
 /// vertex in `u32`, so a single vertex appearing in ≥ 2³² raw pairs
@@ -89,11 +112,11 @@ pub type ChunkFn<'a> = dyn FnMut(&[(u32, u32)]) + 'a;
 /// // A SNAP-style `u v` edge list, replayed by reopening the file: the
 /// // graph is built in two sequential scans with no edge buffering.
 /// let src = EdgeListSource::new(std::path::PathBuf::from("web-graph.txt"));
-/// assert_eq!(src.num_vertices(), 0); // unknown up front: grown while counting
+/// assert_eq!(EdgeSource::<()>::num_vertices(&src), 0); // unknown up front
 /// let g = build_compact(&src)?;
 /// # Ok::<(), std::io::Error>(())
 /// ```
-pub trait EdgeSource: Sync {
+pub trait EdgeSource<W: EdgeWeight = ()>: Sync {
     /// Vertex count known *a priori* (a declared header `n`, a generator
     /// parameter, …). Return 0 when unknown: the builder sizes the graph
     /// as `max(num_vertices(), max id seen + 1)`, so declared isolated
@@ -115,50 +138,63 @@ pub trait EdgeSource: Sync {
         0
     }
 
-    /// Stream the pairs, invoking `emit` with consecutive chunks.
-    /// Must be deterministic: every call yields the same sequence.
-    /// Implementations that produce pairs one at a time can wrap `emit`
-    /// in an [`EdgeSink`] to get the chunking for free.
-    fn replay(&self, emit: &mut ChunkFn<'_>) -> io::Result<()>;
+    /// Stream the pairs (and their weights), invoking `emit` with
+    /// consecutive chunks. Must be deterministic: every call yields the
+    /// same sequence. Implementations that produce edges one at a time
+    /// can wrap `emit` in an [`EdgeSink`] to get the chunking for free.
+    fn replay(&self, emit: &mut ChunkFn<'_, W>) -> io::Result<()>;
 }
 
-/// Chunking adapter for [`EdgeSource::replay`] implementations: push pairs
-/// one at a time, and they are flushed to the underlying callback in
-/// [`CHUNK_EDGES`]-sized chunks (plus a final partial chunk on drop).
-pub struct EdgeSink<'a> {
-    buf: Vec<(u32, u32)>,
-    emit: &'a mut ChunkFn<'a>,
+/// Chunking adapter for [`EdgeSource::replay`] implementations: push
+/// edges one at a time, and they are flushed to the underlying callback
+/// in [`CHUNK_EDGES`]-sized chunks (plus a final partial chunk on drop),
+/// pairs and weights kept in lock-step.
+pub struct EdgeSink<'a, W: EdgeWeight = ()> {
+    pairs: Vec<(u32, u32)>,
+    weights: Vec<W>,
+    emit: &'a mut ChunkFn<'a, W>,
 }
 
-impl<'a> EdgeSink<'a> {
-    /// Wrap a chunk callback in a pair-at-a-time interface.
-    pub fn new(emit: &'a mut ChunkFn<'a>) -> Self {
+impl<'a, W: EdgeWeight> EdgeSink<'a, W> {
+    /// Wrap a chunk callback in an edge-at-a-time interface.
+    pub fn new(emit: &'a mut ChunkFn<'a, W>) -> Self {
         Self {
-            buf: Vec::with_capacity(CHUNK_EDGES),
+            pairs: Vec::with_capacity(CHUNK_EDGES),
+            weights: Vec::with_capacity(if W::IS_UNIT { 0 } else { CHUNK_EDGES }),
             emit,
         }
     }
 
-    /// Add one raw pair (self-loops and duplicates are fine — the builder
-    /// cleans them).
+    /// Add one raw weighted edge (self-loops and duplicates are fine —
+    /// the builder cleans them).
     #[inline]
-    pub fn push(&mut self, u: u32, v: u32) {
-        self.buf.push((u, v));
-        if self.buf.len() == CHUNK_EDGES {
+    pub fn push_weighted(&mut self, u: u32, v: u32, w: W) {
+        self.pairs.push((u, v));
+        self.weights.push(w);
+        if self.pairs.len() == CHUNK_EDGES {
             self.flush();
         }
     }
 
-    /// Flush any buffered pairs to the callback.
+    /// Flush any buffered edges to the callback.
     pub fn flush(&mut self) {
-        if !self.buf.is_empty() {
-            (self.emit)(&self.buf);
-            self.buf.clear();
+        if !self.pairs.is_empty() {
+            (self.emit)(&self.pairs, &self.weights);
+            self.pairs.clear();
+            self.weights.clear();
         }
     }
 }
 
-impl Drop for EdgeSink<'_> {
+impl EdgeSink<'_, ()> {
+    /// Add one raw unweighted pair.
+    #[inline]
+    pub fn push(&mut self, u: u32, v: u32) {
+        self.push_weighted(u, v, ());
+    }
+}
+
+impl<W: EdgeWeight> Drop for EdgeSink<'_, W> {
     fn drop(&mut self) {
         self.flush();
     }
@@ -171,7 +207,8 @@ pub struct BuildStats {
     /// Wall-clock time of the whole ingestion (both passes + finalize).
     pub ingest: Duration,
     /// Peak bytes of build-side allocations (count/cursor/offset arrays,
-    /// the scatter array, compaction scratch) plus the source's
+    /// the scatter arrays — neighbor and, when weighted, weight —
+    /// compaction scratch) plus the source's
     /// [`buffered_bytes`](EdgeSource::buffered_bytes).
     pub build_bytes_peak: usize,
     /// Raw pairs streamed per replay (before de-loop/dedup).
@@ -185,6 +222,10 @@ pub struct BuildStats {
     pub raw_arcs: usize,
     /// Directed arcs in the finished graph (`2m`).
     pub arcs: usize,
+    /// Bytes per edge payload (`size_of::<W>()`; 0 for unweighted
+    /// builds) — folded into the arc-list baseline so weighted builds are
+    /// compared against what a weighted arc list would have cost.
+    pub weight_width: usize,
 }
 
 impl BuildStats {
@@ -196,14 +237,15 @@ impl BuildStats {
     /// What the retired arc-list path would have allocated transiently for
     /// the same input: an 8-byte buffered pair per raw edge plus an
     /// 8-byte `u64` entry per symmetrized arc (self-loops were buffered
-    /// but never expanded into arcs). Lower bound on its peak — useful as
-    /// the baseline the streaming build must beat.
+    /// but never expanded into arcs), each widened by the payload when
+    /// the build is weighted. Lower bound on its peak — useful as the
+    /// baseline the streaming build must beat.
     pub fn arc_list_baseline_bytes(&self) -> usize {
-        self.raw_edges * 8 + self.raw_arcs * 8
+        self.raw_edges * (8 + self.weight_width) + self.raw_arcs * (8 + self.weight_width)
     }
 }
 
-/// Build the default [`CompactCsr`] from a source.
+/// Build the default [`CompactCsr`] from an unweighted source.
 pub fn build_compact<S: EdgeSource + ?Sized>(src: &S) -> io::Result<CompactCsr> {
     build_compact_with_stats(src).map(|(g, _)| g)
 }
@@ -212,8 +254,27 @@ pub fn build_compact<S: EdgeSource + ?Sized>(src: &S) -> io::Result<CompactCsr> 
 pub fn build_compact_with_stats<S: EdgeSource + ?Sized>(
     src: &S,
 ) -> io::Result<(CompactCsr, BuildStats)> {
-    let (raw, stats) = build_raw(src, u32::MAX as usize)?;
+    let (raw, _unit_weights, stats) = build_raw::<(), S>(src, u32::MAX as usize)?;
     Ok((raw.into_compact(), stats))
+}
+
+/// Build a [`WeightedCsr`] from a weighted source through the same
+/// two-pass engine: weights are scattered in pass 2 through the shared
+/// per-vertex cursors, co-permuted by the per-vertex sort, and duplicate
+/// arcs keep the max weight. The structural arrays are bit-identical to
+/// the unweighted build of the same pair stream.
+pub fn build_weighted<W: EdgeWeight, S: EdgeSource<W> + ?Sized>(
+    src: &S,
+) -> io::Result<WeightedCsr<W>> {
+    build_weighted_with_stats(src).map(|(g, _)| g)
+}
+
+/// [`build_weighted`] returning the [`BuildStats`] instrumentation too.
+pub fn build_weighted_with_stats<W: EdgeWeight, S: EdgeSource<W> + ?Sized>(
+    src: &S,
+) -> io::Result<(WeightedCsr<W>, BuildStats)> {
+    let (raw, weights, stats) = build_raw::<W, S>(src, u32::MAX as usize)?;
+    Ok((WeightedCsr::from_parts(raw.into_compact(), weights), stats))
 }
 
 /// Build the legacy machine-word-offset [`CsrGraph`] through the same
@@ -227,7 +288,7 @@ pub fn build_legacy<S: EdgeSource + ?Sized>(src: &S) -> io::Result<CsrGraph> {
 pub fn build_legacy_with_stats<S: EdgeSource + ?Sized>(
     src: &S,
 ) -> io::Result<(CsrGraph, BuildStats)> {
-    let (raw, stats) = build_raw(src, u32::MAX as usize)?;
+    let (raw, _unit_weights, stats) = build_raw::<(), S>(src, u32::MAX as usize)?;
     Ok((raw.into_legacy(), stats))
 }
 
@@ -239,8 +300,18 @@ pub fn build_compact_with_offset_limit<S: EdgeSource + ?Sized>(
     src: &S,
     u32_limit: usize,
 ) -> io::Result<(CompactCsr, BuildStats)> {
-    let (raw, stats) = build_raw(src, u32_limit)?;
+    let (raw, _unit_weights, stats) = build_raw::<(), S>(src, u32_limit)?;
     Ok((raw.into_compact(), stats))
+}
+
+/// Weighted sibling of [`build_compact_with_offset_limit`].
+#[doc(hidden)]
+pub fn build_weighted_with_offset_limit<W: EdgeWeight, S: EdgeSource<W> + ?Sized>(
+    src: &S,
+    u32_limit: usize,
+) -> io::Result<(WeightedCsr<W>, BuildStats)> {
+    let (raw, weights, stats) = build_raw::<W, S>(src, u32_limit)?;
+    Ok((WeightedCsr::from_parts(raw.into_compact(), weights), stats))
 }
 
 // ---------------------------------------------------------------------
@@ -369,7 +440,8 @@ fn as_atomic_u32s(v: &mut [u32]) -> &[AtomicU32] {
 
 /// Raw-pointer view over a mutable buffer for parallel writes to
 /// *disjoint* ranges. Every use below hands different workers
-/// vertex-aligned CSR ranges, which never overlap.
+/// vertex-aligned CSR ranges — or slot indices claimed by a unique
+/// cursor bump — which never overlap.
 struct SharedMut<T>(*mut T);
 
 unsafe impl<T: Send> Send for SharedMut<T> {}
@@ -391,11 +463,13 @@ impl<T> SharedMut<T> {
 
 /// The engine: two replays, no arc list. `u32_limit` is the largest arc
 /// total the `u32` offset width may address (the real boundary is
-/// `u32::MAX`; tests shrink it to reach the wide path cheaply).
-fn build_raw<S: EdgeSource + ?Sized>(
+/// `u32::MAX`; tests shrink it to reach the wide path cheaply). Returns
+/// the structural arrays plus the neighbor-parallel weights array (empty
+/// logical content for `W = ()`, which allocates nothing).
+fn build_raw<W: EdgeWeight, S: EdgeSource<W> + ?Sized>(
     src: &S,
     u32_limit: usize,
-) -> io::Result<(RawCsr, BuildStats)> {
+) -> io::Result<(RawCsr, Vec<W>, BuildStats)> {
     let t0 = Instant::now();
     let mut peak = Peak::default();
     peak.alloc(src.buffered_bytes());
@@ -406,8 +480,13 @@ fn build_raw<S: EdgeSource + ?Sized>(
     peak.alloc(counts.capacity() * 4);
     let mut n = declared;
     let mut raw_edges = 0usize;
-    src.replay(&mut |chunk| {
+    let mut malformed = false;
+    src.replay(&mut |chunk, wchunk| {
         raw_edges += chunk.len();
+        if !W::IS_UNIT && wchunk.len() != chunk.len() {
+            malformed = true;
+            return;
+        }
         if let Some(mx) = chunk.iter().map(|&(u, v)| u.max(v)).max() {
             let need = mx as usize + 1;
             n = n.max(need);
@@ -425,6 +504,12 @@ fn build_raw<S: EdgeSource + ?Sized>(
             }
         });
     })?;
+    if malformed {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "weighted EdgeSource emitted a weights chunk shorter or longer than its pair chunk",
+        ));
+    }
 
     // Geometric growth may have overshot: only `0..n` are real vertices
     // (the tail is all-zero by construction).
@@ -432,17 +517,18 @@ fn build_raw<S: EdgeSource + ?Sized>(
     let total = reduce_sum_u64(&counts, |&c| c as u64) as usize;
 
     // ---- prefix sum + pass 2 at the narrowest width that fits --------
-    let (raw, mut stats) = if total < u32_limit {
-        scatter::<u32, S>(src, counts, total, u32_limit, &mut peak)?
+    let (raw, weights, mut stats) = if total < u32_limit {
+        scatter::<u32, W, S>(src, counts, total, u32_limit, &mut peak)?
     } else {
-        scatter::<usize, S>(src, counts, total, u32_limit, &mut peak)?
+        scatter::<usize, W, S>(src, counts, total, u32_limit, &mut peak)?
     };
     stats.raw_edges = raw_edges;
     stats.hinted_edges = src.edge_hint();
     stats.raw_arcs = total;
+    stats.weight_width = std::mem::size_of::<W>();
     stats.build_bytes_peak = peak.peak;
     stats.ingest = t0.elapsed();
-    Ok((raw, stats))
+    Ok((raw, weights, stats))
 }
 
 /// Grow the count array to at least `need` entries (geometric, so
@@ -458,19 +544,22 @@ fn grow_counts(counts: &mut Vec<u32>, need: usize, peak: &mut Peak) {
 }
 
 /// Pass 2 at a fixed offset width: prefix-sum the counts, replay the
-/// source scattering arcs through atomic cursors, then sort + dedup each
-/// adjacency in place (compacting only if duplicates were dropped).
-fn scatter<W: ScatterWord, S: EdgeSource + ?Sized>(
+/// source scattering arcs (and weights) through atomic cursors, then
+/// sort + dedup each adjacency in place — weights co-permuted, duplicate
+/// arcs folded by [`EdgeWeight::merge_parallel`] — compacting only if
+/// duplicates were dropped.
+fn scatter<O: ScatterWord, W: EdgeWeight, S: EdgeSource<W> + ?Sized>(
     src: &S,
     counts: Vec<u32>,
     total: usize,
     u32_limit: usize,
     peak: &mut Peak,
-) -> io::Result<(RawCsr, BuildStats)> {
+) -> io::Result<(RawCsr, Vec<W>, BuildStats)> {
     let n = counts.len();
-    let word = std::mem::size_of::<W>();
+    let word = std::mem::size_of::<O>();
+    let wweight = std::mem::size_of::<W>();
 
-    let (offsets, sum) = offsets_from_counts::<W>(&counts);
+    let (offsets, sum) = offsets_from_counts::<O>(&counts);
     debug_assert_eq!(sum, total);
     peak.alloc((n + 1) * word);
     let counts_bytes = counts.capacity() * 4;
@@ -478,20 +567,32 @@ fn scatter<W: ScatterWord, S: EdgeSource + ?Sized>(
     peak.free(counts_bytes);
 
     // Cursors start at each vertex's offset; neighbors come zeroed from
-    // the allocator. Both are plain words viewed as atomics only for the
-    // duration of the parallel scatter.
-    let mut cursor_words: Vec<W> = offsets[..n].to_vec();
+    // the allocator, the weights array default-initialized (for `W = ()`
+    // it is a zero-sized no-allocation vector). Neighbor slots are plain
+    // words viewed as atomics only for the duration of the parallel
+    // scatter; weight slots are written raw — every slot index comes from
+    // a unique cursor bump, so writers never overlap.
+    let mut cursor_words: Vec<O> = offsets[..n].to_vec();
     peak.alloc(cursor_words.capacity() * word);
     let mut neighbors: Vec<u32> = vec![0; total];
     peak.alloc(neighbors.capacity() * 4);
-    let diverged = std::sync::atomic::AtomicBool::new(false);
+    let mut weights: Vec<W> = vec![W::default(); total];
+    peak.alloc(weights.capacity() * wweight);
+    let diverged = AtomicBool::new(false);
     {
-        let cursors = W::as_cursors(&mut cursor_words);
+        let cursors = O::as_cursors(&mut cursor_words);
         let slots = as_atomic_u32s(&mut neighbors);
+        let wslots = SharedMut(weights.as_mut_ptr());
         let diverged = &diverged;
-        src.replay(&mut |chunk| {
+        src.replay(&mut |chunk, wchunk| {
+            if !W::IS_UNIT && wchunk.len() != chunk.len() {
+                diverged.store(true, Ordering::Relaxed);
+                return;
+            }
+            let wslots = &wslots;
             for_each_chunk(chunk.len(), |r| {
-                for &(u, v) in &chunk[r] {
+                for i in r {
+                    let (u, v) = chunk[i];
                     if u == v {
                         continue;
                     }
@@ -511,6 +612,15 @@ fn scatter<W: ScatterWord, S: EdgeSource + ?Sized>(
                     }
                     slots[su].store(v, Ordering::Relaxed);
                     slots[sv].store(u, Ordering::Relaxed);
+                    if !W::IS_UNIT {
+                        // SAFETY: `su`/`sv` were claimed by exactly this
+                        // iteration's cursor bumps; no other writer can
+                        // hold the same slot.
+                        unsafe {
+                            wslots.write(su, wchunk[i]);
+                            wslots.write(sv, wchunk[i]);
+                        }
+                    }
                 }
             });
         })?;
@@ -542,35 +652,91 @@ fn scatter<W: ScatterWord, S: EdgeSource + ?Sized>(
     // ---- per-vertex sort + in-place dedup ----------------------------
     let mut deduped: Vec<u32> = vec![0; n];
     peak.alloc(n * 4);
+    // Weighted builds use one co-sort scratch buffer per worker range;
+    // their summed final capacities are exactly the scratch bytes that
+    // coexisted at this phase's peak (capacities only grow), so they are
+    // charged into the accounting below rather than hidden.
+    let scratch_bytes = AtomicUsize::new(0);
     {
         let nb = SharedMut(neighbors.as_mut_ptr());
+        let ws = SharedMut(weights.as_mut_ptr());
         let dd = SharedMut(deduped.as_mut_ptr());
         let offsets = &offsets;
+        let scratch_bytes = &scratch_bytes;
         for_each_chunk(n, |range| {
+            // One reusable co-sort scratch per worker range (weighted
+            // builds only; never filled on the unit path).
+            let mut scratch: Vec<(u32, W)> = Vec::new();
             for v in range {
+                let lo = offsets[v].to_usize();
+                let hi = offsets[v + 1].to_usize();
                 // SAFETY: CSR ranges of distinct vertices are disjoint,
                 // and `for_each_chunk` hands out disjoint vertex ranges.
-                let list = unsafe { nb.slice(offsets[v].to_usize(), offsets[v + 1].to_usize()) };
-                // Hub adjacencies (scale-free graphs concentrate a large
-                // share of all arcs on a few vertices) would serialize
-                // the whole phase on one worker; fork their sorts too.
-                if list.len() >= PAR_SORT_MIN_LEN {
-                    list.par_sort_unstable();
-                } else {
-                    list.sort_unstable();
-                }
-                let mut w = 0usize;
-                for i in 0..list.len() {
-                    if i == 0 || list[i] != list[i - 1] {
-                        list[w] = list[i];
-                        w += 1;
+                let list = unsafe { nb.slice(lo, hi) };
+                if W::IS_UNIT {
+                    // The pre-generic unweighted path, bit for bit.
+                    // Hub adjacencies (scale-free graphs concentrate a
+                    // large share of all arcs on a few vertices) would
+                    // serialize the whole phase on one worker; fork their
+                    // sorts too.
+                    if list.len() >= PAR_SORT_MIN_LEN {
+                        list.par_sort_unstable();
+                    } else {
+                        list.sort_unstable();
                     }
+                    let mut out = 0usize;
+                    for i in 0..list.len() {
+                        if i == 0 || list[i] != list[i - 1] {
+                            list[out] = list[i];
+                            out += 1;
+                        }
+                    }
+                    // SAFETY: one writer per vertex slot.
+                    unsafe { dd.write(v, out as u32) };
+                } else {
+                    // SAFETY: same disjoint vertex range as `list`.
+                    let wl = unsafe { ws.slice(lo, hi) };
+                    if list.len() >= PAR_SORT_MIN_LEN {
+                        scratch.clear();
+                        scratch.extend(list.iter().copied().zip(wl.iter().copied()));
+                        scratch.par_sort_unstable_by_key(|&(k, _)| k);
+                        for (i, &(k, p)) in scratch.iter().enumerate() {
+                            list[i] = k;
+                            wl[i] = p;
+                        }
+                    } else {
+                        co_sort_by_key(list, wl, &mut scratch);
+                    }
+                    // Dedup keeping the max weight of each duplicate
+                    // group (order-insensitive, so the scatter's thread
+                    // schedule cannot leak into the result).
+                    let mut out = 0usize;
+                    for i in 0..list.len() {
+                        if out == 0 || list[i] != list[out - 1] {
+                            list[out] = list[i];
+                            wl[out] = wl[i];
+                            out += 1;
+                        } else {
+                            wl[out - 1] = wl[out - 1].merge_parallel(wl[i]);
+                        }
+                    }
+                    // SAFETY: one writer per vertex slot.
+                    unsafe { dd.write(v, out as u32) };
                 }
-                // SAFETY: one writer per vertex slot.
-                unsafe { dd.write(v, w as u32) };
+            }
+            if !W::IS_UNIT {
+                scratch_bytes.fetch_add(
+                    scratch.capacity() * std::mem::size_of::<(u32, W)>(),
+                    Ordering::Relaxed,
+                );
             }
         });
     }
+    // Record the sort-phase scratch high-water (0 for unit payloads),
+    // then release it: the buffers died with their workers.
+    let sort_scratch = scratch_bytes.load(Ordering::Relaxed);
+    peak.alloc(sort_scratch);
+    peak.free(sort_scratch);
     let kept = reduce_sum_u64(&deduped, |&d| d as u64) as usize;
 
     let stats = BuildStats {
@@ -579,41 +745,47 @@ fn scatter<W: ScatterWord, S: EdgeSource + ?Sized>(
     };
 
     if kept == total {
-        // No duplicates anywhere: the scatter array is already the final
-        // neighbor array and the pass-1 offsets are exact.
+        // No duplicates anywhere: the scatter arrays are already the
+        // final neighbor/weight arrays and the pass-1 offsets are exact.
         peak.free(n * 4);
-        return Ok((W::pack(offsets, neighbors), stats));
+        return Ok((O::pack(offsets, neighbors), weights, stats));
     }
 
     // ---- compaction: close the gaps dedup left -----------------------
-    let raw = if kept < u32_limit {
-        compact_lists::<W, u32>(&offsets, &neighbors, &deduped, kept, peak)
+    let (raw, fin_weights) = if kept < u32_limit {
+        compact_lists::<O, u32, W>(&offsets, &neighbors, &weights, &deduped, kept, peak)
     } else {
-        compact_lists::<W, usize>(&offsets, &neighbors, &deduped, kept, peak)
+        compact_lists::<O, usize, W>(&offsets, &neighbors, &weights, &deduped, kept, peak)
     };
     peak.free(n * 4); // `deduped`
     peak.free((n + 1) * word); // pass-1 offsets
-    peak.free(total * 4); // scatter array
-    Ok((raw, stats))
+    peak.free(total * 4); // neighbor scatter array
+    peak.free(total * wweight); // weight scatter array
+    Ok((raw, fin_weights, stats))
 }
 
-/// Copy the deduped prefixes of each adjacency into dense final arrays,
-/// re-deciding the offset width from the post-dedup arc total.
-fn compact_lists<W: ScatterWord, F: ScatterWord>(
-    offsets: &[W],
+/// Copy the deduped prefixes of each adjacency (and its weights) into
+/// dense final arrays, re-deciding the offset width from the post-dedup
+/// arc total.
+fn compact_lists<O: ScatterWord, F: ScatterWord, W: EdgeWeight>(
+    offsets: &[O],
     neighbors: &[u32],
+    weights: &[W],
     deduped: &[u32],
     kept: usize,
     peak: &mut Peak,
-) -> RawCsr {
+) -> (RawCsr, Vec<W>) {
     let n = deduped.len();
     let (fin_offsets, sum) = offsets_from_counts::<F>(deduped);
     debug_assert_eq!(sum, kept);
     peak.alloc((n + 1) * std::mem::size_of::<F>());
     let mut fin: Vec<u32> = vec![0; kept];
     peak.alloc(kept * 4);
+    let mut fin_weights: Vec<W> = vec![W::default(); kept];
+    peak.alloc(kept * std::mem::size_of::<W>());
     {
         let fb = SharedMut(fin.as_mut_ptr());
+        let fw = SharedMut(fin_weights.as_mut_ptr());
         let fin_offsets = &fin_offsets;
         for_each_chunk(n, |range| {
             for v in range {
@@ -624,10 +796,15 @@ fn compact_lists<W: ScatterWord, F: ScatterWord>(
                 // disjoint.
                 unsafe { fb.slice(dst_lo, dst_lo + d) }
                     .copy_from_slice(&neighbors[src_lo..src_lo + d]);
+                if !W::IS_UNIT {
+                    // SAFETY: same disjoint destination ranges.
+                    unsafe { fw.slice(dst_lo, dst_lo + d) }
+                        .copy_from_slice(&weights[src_lo..src_lo + d]);
+                }
             }
         });
     }
-    F::pack(fin_offsets, fin)
+    (F::pack(fin_offsets, fin), fin_weights)
 }
 
 #[cfg(test)]
@@ -652,7 +829,27 @@ mod tests {
         fn replay(&self, emit: &mut ChunkFn<'_>) -> io::Result<()> {
             // Tiny chunks on purpose: exercise chunk-boundary handling.
             for chunk in self.pairs.chunks(3) {
-                emit(chunk);
+                emit(chunk, &[]);
+            }
+            Ok(())
+        }
+    }
+
+    /// Weighted in-memory source over a triple slice.
+    struct WVecSource {
+        n: usize,
+        edges: Vec<(u32, u32, f32)>,
+    }
+
+    impl EdgeSource<f32> for WVecSource {
+        fn num_vertices(&self) -> usize {
+            self.n
+        }
+
+        fn replay(&self, emit: &mut ChunkFn<'_, f32>) -> io::Result<()> {
+            let mut sink = EdgeSink::new(emit);
+            for &(u, v, w) in &self.edges {
+                sink.push_weighted(u, v, w);
             }
             Ok(())
         }
@@ -750,6 +947,7 @@ mod tests {
         let (g, stats) = build_compact_with_stats(&src).unwrap();
         assert_eq!(stats.raw_edges, raw);
         assert_eq!(stats.arcs, g.num_arcs());
+        assert_eq!(stats.weight_width, 0, "unit payload is zero-sized");
         assert!(stats.build_bytes_peak > 0);
         assert!(
             stats.build_bytes_peak < stats.arc_list_baseline_bytes(),
@@ -758,6 +956,120 @@ mod tests {
             stats.arc_list_baseline_bytes()
         );
         assert!(stats.ingest_ms() >= 0.0);
+    }
+
+    #[test]
+    fn weighted_build_symmetrizes_and_keeps_max_on_duplicates() {
+        let src = WVecSource {
+            n: 4,
+            edges: vec![
+                (0, 1, 2.0),
+                (1, 0, 5.0), // duplicate of {0,1}: max wins
+                (2, 3, 1.5),
+                (3, 3, 9.0), // self-loop: dropped, weight and all
+                (0, 1, 3.0),
+            ],
+        };
+        let g = build_weighted(&src).unwrap();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.edge_weight(0, 1), Some(5.0));
+        assert_eq!(g.edge_weight(1, 0), Some(5.0), "weights are symmetric");
+        assert_eq!(g.edge_weight(2, 3), Some(1.5));
+        assert_eq!(g.edge_weight(3, 3), None);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn weighted_structure_is_bit_identical_to_unweighted() {
+        let edges: Vec<(u32, u32, f32)> = (0..600u32)
+            .map(|i| (i % 37, (i * 11 + 3) % 37, (i % 13) as f32))
+            .collect();
+        let wsrc = WVecSource {
+            n: 37,
+            edges: edges.clone(),
+        };
+        let usrc = VecSource {
+            n: 37,
+            pairs: edges.iter().map(|&(u, v, _)| (u, v)).collect(),
+        };
+        let (wg, wstats) = build_weighted_with_stats(&wsrc).unwrap();
+        let ug = build_compact(&usrc).unwrap();
+        assert_eq!(wg.structure(), &ug);
+        assert_eq!(wstats.weight_width, 4);
+        assert!(
+            wstats.build_bytes_peak < wstats.arc_list_baseline_bytes(),
+            "weighted streaming peak {} must beat the weighted arc-list baseline {}",
+            wstats.build_bytes_peak,
+            wstats.arc_list_baseline_bytes()
+        );
+    }
+
+    #[test]
+    fn weighted_forced_wide_matches_small() {
+        let edges: Vec<(u32, u32, f32)> = (0..50u32)
+            .map(|i| (i % 9, (i * 5 + 2) % 9, i as f32 * 0.5))
+            .collect();
+        let src = WVecSource { n: 9, edges };
+        let small = build_weighted(&src).unwrap();
+        let (wide, _) = build_weighted_with_offset_limit(&src, 1).unwrap();
+        assert_eq!(
+            wide.structure().offset_width(),
+            std::mem::size_of::<usize>()
+        );
+        assert_eq!(wide.structure().to_legacy(), small.structure().to_legacy());
+        for v in 0..9u32 {
+            assert_eq!(wide.neighbor_weights(v), small.neighbor_weights(v));
+        }
+    }
+
+    #[test]
+    fn weighted_peak_charges_weights_and_hub_sort_scratch() {
+        // A star: the hub's adjacency is one huge list, so the weighted
+        // sort scratch is ~8 bytes per arc — it must show up in the
+        // "exact peak" accounting, not vanish as hidden worker scratch.
+        let n = 4_000u32;
+        let edges: Vec<(u32, u32, f32)> = (1..n).map(|v| (0, v, v as f32)).collect();
+        let wsrc = WVecSource {
+            n: n as usize,
+            edges,
+        };
+        let usrc = VecSource {
+            n: n as usize,
+            pairs: (1..n).map(|v| (0, v)).collect(),
+        };
+        let (_, wstats) = build_weighted_with_stats(&wsrc).unwrap();
+        let (_, ustats) = build_compact_with_stats(&usrc).unwrap();
+        let arcs = 2 * (n as usize - 1);
+        // Weighted peak exceeds the unweighted peak by at least the
+        // weights scatter array (4 B/arc) plus the hub's co-sort scratch
+        // ((4+4) B per hub arc; more if several workers carried scratch).
+        assert!(
+            wstats.build_bytes_peak >= ustats.build_bytes_peak + arcs * 4 + (n as usize - 1) * 8,
+            "weighted peak {} vs unweighted {} misses weights/scratch",
+            wstats.build_bytes_peak,
+            ustats.build_bytes_peak
+        );
+    }
+
+    #[test]
+    fn malformed_weights_chunk_is_an_error() {
+        struct Lying;
+
+        impl EdgeSource<f32> for Lying {
+            fn num_vertices(&self) -> usize {
+                3
+            }
+
+            fn replay(&self, emit: &mut ChunkFn<'_, f32>) -> io::Result<()> {
+                emit(&[(0, 1), (1, 2)], &[1.0]); // one weight short
+                Ok(())
+            }
+        }
+
+        let err = build_weighted(&Lying).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("weights chunk"), "{err}");
     }
 
     #[test]
@@ -775,7 +1087,7 @@ mod tests {
             fn replay(&self, emit: &mut ChunkFn<'_>) -> io::Result<()> {
                 let call = self.calls.fetch_add(1, Ordering::Relaxed);
                 let pairs = [(0u32, 1u32), (2, 3), (4, 5)];
-                emit(&pairs[..pairs.len() - call.min(pairs.len())]);
+                emit(&pairs[..pairs.len() - call.min(pairs.len())], &[]);
                 Ok(())
             }
         }
@@ -803,9 +1115,9 @@ mod tests {
 
             fn replay(&self, emit: &mut ChunkFn<'_>) -> io::Result<()> {
                 let call = self.calls.fetch_add(1, Ordering::Relaxed);
-                emit(&[(0, 1), (1, 2)]);
+                emit(&[(0, 1), (1, 2)], &[]);
                 if call > 0 {
-                    emit(&[(0, 2), (7, 8)]);
+                    emit(&[(0, 2), (7, 8)], &[]);
                 }
                 Ok(())
             }
@@ -823,7 +1135,10 @@ mod tests {
     fn sink_flushes_on_chunk_boundary_and_drop() {
         let mut chunks: Vec<usize> = Vec::new();
         {
-            let mut emit = |c: &[(u32, u32)]| chunks.push(c.len());
+            let mut emit = |c: &[(u32, u32)], w: &[()]| {
+                assert_eq!(c.len(), w.len(), "sink keeps pairs and weights aligned");
+                chunks.push(c.len());
+            };
             let mut sink = EdgeSink::new(&mut emit);
             for i in 0..(CHUNK_EDGES + 5) {
                 sink.push(i as u32 % 11, (i as u32 + 1) % 11);

@@ -1,0 +1,314 @@
+//! [`WeightedCsr`]: the weights-augmented default representation.
+//!
+//! Struct-of-arrays on purpose: the structural arrays are exactly a
+//! [`CompactCsr`] (so every unweighted algorithm runs on a weighted graph
+//! through [`GraphView`] without streaming a single weight byte through
+//! the cache), and the weights live in one separate neighbor-parallel
+//! array — `weights[i]` belongs to the arc stored at `neighbors[i]`.
+//! Symmetry of the builder guarantees `w(u→v) == w(v→u)`.
+
+use crate::compact::CompactCsr;
+use crate::view::{GraphMemory, GraphView, WeightedView};
+use crate::weight::EdgeWeight;
+
+/// An immutable, undirected, simple graph with one payload per edge,
+/// stored as a [`CompactCsr`] plus a neighbor-parallel weights array —
+/// the workspace's default [`WeightedView`] implementation, built by
+/// [`build_weighted`](crate::stream::build_weighted), the weighted
+/// readers, and [`generate_weighted`](crate::gen::generate_weighted).
+///
+/// Invariants: those of [`CompactCsr`], plus `weights.len() == 2m` and
+/// weight symmetry (`w(u→v) == w(v→u)`), checked by [`validate`].
+///
+/// ```
+/// use pgc_graph::{builder::from_weighted_edges, GraphView, WeightedView};
+/// let g = from_weighted_edges(3, &[(0, 1, 2.5f64), (1, 2, 4.0)]);
+/// assert_eq!(g.m(), 2);
+/// assert_eq!(g.edge_weight(2, 1), Some(4.0));
+/// assert_eq!(g.weighted_degree(1), 6.5);
+/// // The structure is a plain CompactCsr: unweighted algorithms see the
+/// // projection for free.
+/// assert_eq!(g.structure().neighbors(1), &[0, 2]);
+/// ```
+///
+/// [`validate`]: WeightedCsr::validate
+#[derive(Clone, Debug, PartialEq)]
+pub struct WeightedCsr<W: EdgeWeight> {
+    csr: CompactCsr,
+    weights: Vec<W>,
+}
+
+impl<W: EdgeWeight> WeightedCsr<W> {
+    /// Assemble from a structure and its neighbor-parallel weights array.
+    ///
+    /// # Panics
+    ///
+    /// If `weights.len() != csr.num_arcs()`. (Weight symmetry is the
+    /// builder's contract; [`Self::validate`] checks it on demand, and
+    /// debug builds check it here.)
+    pub fn from_parts(csr: CompactCsr, weights: Vec<W>) -> Self {
+        assert_eq!(
+            weights.len(),
+            csr.num_arcs(),
+            "weights array must parallel the neighbor array"
+        );
+        let g = Self { csr, weights };
+        #[cfg(debug_assertions)]
+        if let Err(e) = g.validate() {
+            panic!("invalid weighted CSR: {e}");
+        }
+        g
+    }
+
+    /// The unweighted structural projection (shared arrays, zero copy).
+    #[inline]
+    pub fn structure(&self) -> &CompactCsr {
+        &self.csr
+    }
+
+    /// Number of vertices `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.csr.n()
+    }
+
+    /// Number of undirected edges `m`.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.csr.m()
+    }
+
+    /// Number of stored directed arcs (`2m`).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.csr.num_arcs()
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> u32 {
+        self.csr.degree(v)
+    }
+
+    /// Take the structure, dropping the weights.
+    pub fn into_structure(self) -> CompactCsr {
+        self.csr
+    }
+
+    /// Split into structure and weights array.
+    pub fn into_parts(self) -> (CompactCsr, Vec<W>) {
+        (self.csr, self.weights)
+    }
+
+    /// Sorted neighbor slice of vertex `v` (structural).
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        self.csr.neighbors(v)
+    }
+
+    /// The weights of `v`'s adjacency, parallel to
+    /// [`neighbors`](Self::neighbors).
+    #[inline]
+    pub fn neighbor_weights(&self, v: u32) -> &[W] {
+        &self.weights[self.csr.arc_range(v)]
+    }
+
+    /// The whole neighbor-parallel weights array.
+    #[inline]
+    pub fn raw_weights(&self) -> &[W] {
+        &self.weights
+    }
+
+    /// Weight of edge `{u, v}` (binary search), `None` if absent.
+    pub fn edge_weight(&self, u: u32, v: u32) -> Option<W> {
+        let nbrs = self.csr.neighbors(u);
+        let i = nbrs.binary_search(&v).ok()?;
+        Some(self.neighbor_weights(u)[i])
+    }
+
+    /// Check structural invariants plus weights-array length and weight
+    /// symmetry; returns the first violation, if any.
+    pub fn validate(&self) -> Result<(), String> {
+        self.csr.validate()?;
+        if self.weights.len() != self.csr.num_arcs() {
+            return Err(format!(
+                "weights length {} != num arcs {}",
+                self.weights.len(),
+                self.csr.num_arcs()
+            ));
+        }
+        if W::IS_UNIT {
+            return Ok(());
+        }
+        for v in self.csr.vertices() {
+            let nbrs = self.csr.neighbors(v);
+            let ws = self.neighbor_weights(v);
+            for (&u, &w) in nbrs.iter().zip(ws) {
+                if v < u {
+                    match self.edge_weight(u, v) {
+                        Some(back) if back == w => {}
+                        other => {
+                            return Err(format!(
+                                "asymmetric weight on edge ({v}, {u}): {w:?} vs {other:?}"
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<W: EdgeWeight> GraphView for WeightedCsr<W> {
+    type Neighbors<'a> = std::iter::Copied<std::slice::Iter<'a, u32>>;
+
+    #[inline]
+    fn n(&self) -> usize {
+        self.csr.n()
+    }
+
+    #[inline]
+    fn num_arcs(&self) -> usize {
+        self.csr.num_arcs()
+    }
+
+    #[inline]
+    fn degree(&self, v: u32) -> u32 {
+        self.csr.degree(v)
+    }
+
+    #[inline]
+    fn neighbors(&self, v: u32) -> Self::Neighbors<'_> {
+        self.csr.neighbors(v).iter().copied()
+    }
+
+    #[inline]
+    fn max_degree(&self) -> u32 {
+        self.csr.max_degree()
+    }
+
+    #[inline]
+    fn min_degree(&self) -> u32 {
+        self.csr.min_degree()
+    }
+
+    fn degree_array(&self) -> Vec<u32> {
+        self.csr.degree_array()
+    }
+
+    fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.csr.has_edge(u, v)
+    }
+
+    fn memory_footprint(&self) -> GraphMemory {
+        GraphMemory {
+            weight_bytes: self.weights.len() * std::mem::size_of::<W>(),
+            ..self.csr.memory_footprint()
+        }
+    }
+}
+
+/// Iterator over one vertex's `(neighbor, weight)` pairs — two parallel
+/// slice cursors, so the unweighted neighbor stream stays contiguous.
+pub struct SliceWeightedNeighbors<'a, W> {
+    nbrs: std::slice::Iter<'a, u32>,
+    weights: std::slice::Iter<'a, W>,
+}
+
+impl<'a, W: EdgeWeight> Iterator for SliceWeightedNeighbors<'a, W> {
+    type Item = (u32, W);
+
+    #[inline]
+    fn next(&mut self) -> Option<(u32, W)> {
+        Some((*self.nbrs.next()?, *self.weights.next()?))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.nbrs.size_hint()
+    }
+}
+
+impl<W: EdgeWeight> WeightedView for WeightedCsr<W> {
+    type Weight = W;
+    type WeightedNeighbors<'a> = SliceWeightedNeighbors<'a, W>;
+
+    #[inline]
+    fn weighted_neighbors(&self, v: u32) -> SliceWeightedNeighbors<'_, W> {
+        SliceWeightedNeighbors {
+            nbrs: self.csr.neighbors(v).iter(),
+            weights: self.neighbor_weights(v).iter(),
+        }
+    }
+
+    fn edge_weight(&self, u: u32, v: u32) -> Option<W> {
+        WeightedCsr::edge_weight(self, u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{from_edges, from_weighted_edges};
+
+    #[test]
+    fn weights_ride_next_to_sorted_neighbors() {
+        let g = from_weighted_edges(4, &[(0u32, 3u32, 7.0f32), (0, 1, 1.0), (2, 0, 4.0)]);
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+        assert_eq!(g.neighbor_weights(0), &[1.0, 4.0, 7.0]);
+        assert_eq!(g.edge_weight(3, 0), Some(7.0));
+        assert_eq!(g.edge_weight(1, 2), None);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn weighted_view_defaults() {
+        let g = from_weighted_edges(3, &[(0u32, 1u32, 2.0f64), (1, 2, 3.0)]);
+        assert_eq!(g.weighted_degree(1), 5.0);
+        assert_eq!(g.total_weight(), 5.0);
+        assert_eq!(
+            g.weighted_neighbors(1).collect::<Vec<_>>(),
+            vec![(0, 2.0), (2, 3.0)]
+        );
+        assert_eq!(
+            g.weighted_edges().collect::<Vec<_>>(),
+            vec![(0, 1, 2.0), (1, 2, 3.0)]
+        );
+    }
+
+    #[test]
+    fn footprint_charges_weights_separately() {
+        let g = from_weighted_edges(3, &[(0u32, 1u32, 2.0f64), (1, 2, 3.0)]);
+        let fp = g.memory_footprint();
+        assert_eq!(fp.weight_bytes, 4 * 8, "2m = 4 arcs × 8-byte f64");
+        let structural = g.structure().memory_footprint();
+        assert_eq!(fp.total_bytes(), structural.total_bytes() + fp.weight_bytes);
+        // A unit-weighted graph charges nothing.
+        let unit = crate::stream::build_weighted::<(), _>(&{
+            let mut b = crate::builder::EdgeListBuilder::new(3);
+            b.add_edge(0, 1);
+            b
+        })
+        .unwrap();
+        assert_eq!(unit.memory_footprint().weight_bytes, 0);
+    }
+
+    #[test]
+    fn structure_matches_plain_build() {
+        let edges = [(0u32, 1u32), (1, 2), (2, 3), (3, 0)];
+        let weighted: Vec<(u32, u32, u32)> =
+            edges.iter().map(|&(u, v)| (u, v, u + 10 * v)).collect();
+        let wg = from_weighted_edges(4, &weighted);
+        assert_eq!(wg.structure(), &from_edges(4, &edges));
+        let (csr, weights) = wg.clone().into_parts();
+        assert_eq!(weights.len(), csr.num_arcs());
+        assert_eq!(wg.clone().into_structure(), csr);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn mismatched_weights_length_panics() {
+        let csr = from_edges(3, &[(0, 1)]);
+        WeightedCsr::from_parts(csr, vec![1.0f32; 5]);
+    }
+}

@@ -14,6 +14,7 @@
 //!   table3       algorithm comparison with quality bounds
 //!   ablations    design-choice ablations (sorting, push/pull, batching)
 //!   mining       ADG beyond coloring: densest subgraph, coreness, cliques
+//!   weighted     weighted workloads: greedy matching + weighted densest
 //!   check        verify every proven color bound on the whole suite
 //!   all          everything above, in order
 //! ```
@@ -29,7 +30,7 @@ use pgc_harness::table::Table;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pgc <fig1|fig2-strong|fig2-weak|fig3|fig4|fig5|table2|table3|ablations|mining|check|all> \
+        "usage: pgc <fig1|fig2-strong|fig2-weak|fig3|fig4|fig5|table2|table3|ablations|mining|weighted|check|all> \
          [--scale 0|1|2] [--seed N] [--reps R] [--threads T[,T..]] [--csv]"
     );
     std::process::exit(2);
@@ -112,6 +113,10 @@ fn main() {
             "ADG beyond coloring (densest/coreness/cliques)",
             &exp::mining(&cfg),
         ),
+        "weighted" => emit(
+            "Weighted workloads (matching + weighted densest)",
+            &exp::weighted(&cfg),
+        ),
         "check" => {
             let t = exp::check_guarantees(&cfg);
             emit("Quality-bound check", &t);
@@ -143,6 +148,10 @@ fn main() {
             emit(
                 "ADG beyond coloring (densest/coreness/cliques)",
                 &exp::mining(&cfg),
+            );
+            emit(
+                "Weighted workloads (matching + weighted densest)",
+                &exp::weighted(&cfg),
             );
             emit("Quality-bound check", &exp::check_guarantees(&cfg));
         }

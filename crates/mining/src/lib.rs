@@ -16,12 +16,25 @@
 //! * [`cliques`] — **maximal clique enumeration** (Bron–Kerbosch with
 //!   pivoting) driven by a degeneracy-style order \[50\], where the order's
 //!   quality (max back-degree, exactly what ADG bounds by 2(1+ε)d) caps
-//!   the recursion's candidate-set size.
+//!   the recursion's candidate-set size,
+//! * [`matching`] — parallel greedy **weighted matching**
+//!   (locally-dominant rounds over a sort-by-weight rank; deterministic
+//!   ½-approximation) over any
+//!   [`WeightedView`](pgc_graph::WeightedView),
+//! * [`densest`] also hosts the **weighted densest subgraph**: a
+//!   weighted-degree batched peel (ADG's loop with weighted degrees)
+//!   whose best suffix is `2(1+ε)`-approximate for non-negative weights,
+//!   returned as a zero-copy weighted suffix view.
 
 pub mod cliques;
 pub mod coreness;
 pub mod densest;
+pub mod matching;
 
 pub use cliques::{count_maximal_cliques, max_clique_size, maximal_cliques};
 pub use coreness::{approx_coreness, kcore_view};
-pub use densest::{approx_densest_subgraph, densest_view, DensestResult};
+pub use densest::{
+    approx_densest_subgraph, approx_weighted_densest_subgraph, densest_view, weighted_best_suffix,
+    weighted_densest_view, weighted_peel_levels, DensestResult, WeightedDensestResult,
+};
+pub use matching::{greedy_weighted_matching, verify_matching, Matching, UNMATCHED};

@@ -32,4 +32,4 @@ pub use reduce::{
     count, offsets_from_counts, prefix_sum_exclusive, reduce_max, reduce_sum_u64, OffsetWord,
 };
 pub use rng::{hash_mix, random_permutation, Rng, SplitMix64};
-pub use sort::{counting_sort_by_key, radix_sort_pairs};
+pub use sort::{co_sort_by_key, counting_sort_by_key, radix_sort_pairs};

@@ -7,8 +7,10 @@
 //! This facade crate re-exports the workspace members:
 //!
 //! * [`primitives`] — work–depth compute primitives (§II-D),
-//! * [`graph`] — CSR graphs, streaming two-pass ingestion
-//!   (`graph::stream::EdgeSource`), generators, I/O, exact degeneracy
+//! * [`graph`] — CSR graphs, payload-generic streaming two-pass ingestion
+//!   (`graph::stream::EdgeSource<W>` with `W = ()` as the zero-cost
+//!   unweighted case), weighted graphs (`graph::WeightedCsr` behind
+//!   `graph::WeightedView`), generators, I/O, exact degeneracy
 //!   (§II-A/B),
 //! * [`order`] — vertex orderings incl. the ADG approximate degeneracy
 //!   ordering, the paper's contribution #1 (§III),
@@ -21,7 +23,8 @@
 //! * [`cachesim`] — the software cache simulator substituting for the
 //!   paper's PAPI hardware-counter measurements (Fig. 4),
 //! * [`mining`] — "ADG beyond coloring" (§VIII): approximate densest
-//!   subgraph, coreness estimation, maximal cliques.
+//!   subgraph (unweighted and weighted-degree peel), coreness estimation,
+//!   maximal cliques, parallel greedy weighted matching.
 //!
 //! ## Quickstart
 //!

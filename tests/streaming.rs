@@ -123,7 +123,7 @@ proptest! {
         let streamed = generate(&spec, seed);
         let src = SpecSource::new(spec.clone(), seed);
         let mut b = EdgeListBuilder::with_capacity(spec.n(), spec.raw_edge_hint());
-        src.replay(&mut |chunk| {
+        src.replay(&mut |chunk, _: &[()]| {
             for &(u, v) in chunk {
                 b.add_edge(u, v);
             }
@@ -155,7 +155,7 @@ fn all_algorithms_identical_on_streaming_vs_buffered_builds() {
         let streamed = generate(spec, i as u64);
         let src = SpecSource::new(spec.clone(), i as u64);
         let mut b = EdgeListBuilder::with_capacity(spec.n(), spec.raw_edge_hint());
-        src.replay(&mut |chunk| {
+        src.replay(&mut |chunk, _: &[()]| {
             for &(u, v) in chunk {
                 b.add_edge(u, v);
             }
@@ -198,7 +198,7 @@ fn generator_build_peak_beats_arc_list_baseline() {
     // resident 8-byte-per-edge buffer the streaming source never holds.
     let src = SpecSource::new(spec.clone(), 1);
     let mut b = EdgeListBuilder::with_capacity(spec.n(), spec.raw_edge_hint());
-    src.replay(&mut |chunk| {
+    src.replay(&mut |chunk, _: &[()]| {
         for &(u, v) in chunk {
             b.add_edge(u, v);
         }
