@@ -5,13 +5,15 @@
 //! is the source side — seeded regeneration ([`SpecSource`]) against a
 //! fully buffered edge list ([`EdgeListBuilder`]) — i.e. the CPU price
 //! paid for halving peak ingestion memory. A second group measures the
-//! file-reader path end to end over in-memory bytes.
+//! file-reader path end to end over in-memory bytes, and a third pits
+//! the binary snapshot loaders against the text parse on a ≥1M-edge
+//! graph (with an in-bench ≥10× regression assertion).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pgc_graph::gen::{GraphSpec, SpecSource};
 use pgc_graph::io::{read_edge_list, write_edge_list};
 use pgc_graph::stream::{build_compact, build_compact_with_stats, EdgeSource};
-use pgc_graph::EdgeListBuilder;
+use pgc_graph::{EdgeListBuilder, GraphView as _};
 use std::hint::black_box;
 
 fn ingest(c: &mut Criterion) {
@@ -116,5 +118,82 @@ fn ingest_reader(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, ingest, ingest_reader);
+/// Binary snapshot load vs text parse on a ≥1M-edge graph — the raw-speed
+/// claim of the snapshot format, pinned by a min-of-reps ≥10× assertion
+/// (min over several runs, so scheduler noise only ever helps the slower
+/// side).
+fn ingest_snapshot(c: &mut Criterion) {
+    let g = pgc_graph::gen::generate(
+        &GraphSpec::Rmat {
+            scale: 17,
+            edge_factor: 16,
+        },
+        1,
+    );
+    assert!(
+        g.m() >= 1_000_000,
+        "snapshot bench wants a >=1M-edge graph, got m={}",
+        g.m()
+    );
+    let mut text = Vec::new();
+    write_edge_list(&g, &mut text).unwrap();
+    let mut snap = Vec::new();
+    pgc_graph::snapshot::write_snapshot_to(&g, &mut snap).unwrap();
+    let path = std::env::temp_dir().join(format!(
+        "pgc-bench-{}.{}",
+        std::process::id(),
+        pgc_graph::snapshot::SNAPSHOT_EXT
+    ));
+    std::fs::write(&path, &snap).unwrap();
+
+    let mut group = c.benchmark_group("ingest/snapshot");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.throughput(Throughput::Bytes(snap.len() as u64));
+    group.bench_function("text-parse+build", |b| {
+        b.iter(|| black_box(read_edge_list(&text[..]).unwrap().m()))
+    });
+    group.bench_function("snapshot-load", |b| {
+        b.iter(|| black_box(pgc_graph::snapshot::load_snapshot_bytes(&snap).unwrap().m()))
+    });
+    group.bench_function("snapshot-mmap-open", |b| {
+        b.iter(|| {
+            black_box(
+                pgc_graph::snapshot::MappedSnapshot::<()>::open(&path)
+                    .unwrap()
+                    .num_arcs(),
+            )
+        })
+    });
+    group.finish();
+
+    // Regression gate: snapshot load must stay >=10x faster than the text
+    // parse it replaces.
+    let min_secs = |f: &mut dyn FnMut()| -> f64 {
+        (0..5)
+            .map(|_| {
+                let t0 = std::time::Instant::now();
+                f();
+                t0.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let t_text = min_secs(&mut || {
+        black_box(read_edge_list(&text[..]).unwrap().m());
+    });
+    let t_snap = min_secs(&mut || {
+        black_box(pgc_graph::snapshot::load_snapshot_bytes(&snap).unwrap().m());
+    });
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        t_text >= 10.0 * t_snap,
+        "snapshot load regressed: text parse {:.1} ms vs snapshot load {:.1} ms ({:.1}x < 10x)",
+        t_text * 1e3,
+        t_snap * 1e3,
+        t_text / t_snap
+    );
+}
+
+criterion_group!(benches, ingest, ingest_reader, ingest_snapshot);
 criterion_main!(benches);

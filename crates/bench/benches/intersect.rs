@@ -1,0 +1,130 @@
+//! Microbench for the shared sorted-set intersection kernel
+//! (`pgc_primitives::intersect`): branch-lean merge on balanced inputs,
+//! galloping on skewed ones, and the `MarkSet` membership oracle — the
+//! primitives behind clique pivoting, distance-2 scans, and triangle
+//! counting.
+//!
+//! Carries an in-bench regression assertion: on a heavily skewed size
+//! ratio the adaptive kernel (which picks galloping) must stay ≥2× ahead
+//! of a plain two-pointer merge.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pgc_primitives::{intersect_count, intersect_sorted_into, MarkSet, SplitMix64};
+use std::hint::black_box;
+
+/// Sorted, duplicate-free random u32 set of the given size inside
+/// `0..universe`.
+fn sorted_set(len: usize, universe: u32, seed: u64) -> Vec<u32> {
+    let mut rng = SplitMix64::new(seed);
+    let mut v: Vec<u32> = (0..len.max(1) * 2)
+        .map(|_| (rng.next_u64() % universe as u64) as u32)
+        .collect();
+    v.sort_unstable();
+    v.dedup();
+    v.truncate(len);
+    v
+}
+
+/// The straight two-pointer merge — the baseline the adaptive kernel must
+/// beat on skewed inputs (same output contract as `intersect_sorted_into`).
+fn merge_baseline(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    out.clear();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+fn intersect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intersect/ratio");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let universe = 8_000_000u32;
+    for ratio in [1usize, 16, 256] {
+        let small = sorted_set(2_000, universe, 7);
+        let large = sorted_set(2_000 * ratio, universe, 11);
+        group.throughput(Throughput::Elements((small.len() + large.len()) as u64));
+        group.bench_function(BenchmarkId::new("adaptive", ratio), |b| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                intersect_sorted_into(&small, &large, &mut out);
+                black_box(out.len())
+            })
+        });
+        group.bench_function(BenchmarkId::new("merge-baseline", ratio), |b| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                merge_baseline(&small, &large, &mut out);
+                black_box(out.len())
+            })
+        });
+        group.bench_function(BenchmarkId::new("count", ratio), |b| {
+            b.iter(|| black_box(intersect_count(&small, &large)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("intersect/markset");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let marked = sorted_set(10_000, 1_000_000, 3);
+    let probes = sorted_set(100_000, 1_000_000, 5);
+    group.bench_function("mark+count", |b| {
+        let mut marks = MarkSet::new();
+        b.iter(|| {
+            marks.clear(1_000_000);
+            marks.mark_all(&marked);
+            black_box(marks.count_marked(probes.iter().copied()))
+        })
+    });
+    group.finish();
+
+    // Regression gate: on a 256:1 size ratio the adaptive kernel gallops
+    // and must stay >=2x ahead of the two-pointer merge (min-of-reps on
+    // both sides, so noise can only narrow by slowing the fast path's
+    // best run — which is exactly what the gate is for).
+    let small = sorted_set(2_000, universe, 7);
+    let large = sorted_set(2_000 * 256, universe, 11);
+    let mut a_out = Vec::new();
+    let mut m_out = Vec::new();
+    merge_baseline(&small, &large, &mut m_out);
+    intersect_sorted_into(&small, &large, &mut a_out);
+    assert_eq!(a_out, m_out, "kernel disagrees with the merge oracle");
+    let min_secs = |f: &mut dyn FnMut()| -> f64 {
+        (0..20)
+            .map(|_| {
+                let t0 = std::time::Instant::now();
+                f();
+                t0.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let t_adaptive = min_secs(&mut || {
+        intersect_sorted_into(&small, &large, &mut a_out);
+        black_box(a_out.len());
+    });
+    let t_merge = min_secs(&mut || {
+        merge_baseline(&small, &large, &mut m_out);
+        black_box(m_out.len());
+    });
+    assert!(
+        t_merge >= 2.0 * t_adaptive,
+        "galloping regressed on skewed input: merge {:.1} us vs adaptive {:.1} us ({:.1}x < 2x)",
+        t_merge * 1e6,
+        t_adaptive * 1e6,
+        t_merge / t_adaptive
+    );
+}
+
+criterion_group!(benches, intersect);
+criterion_main!(benches);

@@ -386,6 +386,56 @@ mod tests {
     }
 
     #[test]
+    fn bucketed_round_order_does_not_miss_more() {
+        // The cache-aware round schedule (pgc_core::schedule): replay one
+        // coloring round over every vertex in (a) a hash-shuffled order —
+        // the arbitrary order a parallel collect produces — and (b) the
+        // degree-bucketed, id-ascending order the engines now use. The
+        // bucketed schedule's monotone sweeps through the offset/color
+        // arrays must not lose to the shuffle.
+        let g = generate(
+            &GraphSpec::Rmat {
+                scale: 12,
+                edge_factor: 8,
+            },
+            3,
+        );
+        let small = CacheConfig {
+            line_size: 64,
+            sets: 64,
+            ways: 16,
+        };
+        let layout = Layout::of(&g);
+        let replay = |order: &[u32]| -> u64 {
+            let mut cache = Cache::new(small);
+            let mut mem = Mem {
+                cache: &mut cache,
+                layout: &layout,
+            };
+            for &v in order {
+                mem.color_vertex(&g, v, false);
+            }
+            cache.stats().misses
+        };
+        let mut shuffled: Vec<u32> = (0..g.n() as u32).collect();
+        shuffled.sort_unstable_by_key(|&v| {
+            // splitmix64 round: a deterministic stand-in for the arbitrary
+            // order of a parallel frontier collect.
+            let mut z = v as u64 ^ 0x9E3779B97F4A7C15;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        });
+        let mut bucketed = shuffled.clone();
+        pgc_core::schedule::bucket_by_degree(&g, &mut bucketed);
+        let (m_shuffled, m_bucketed) = (replay(&shuffled), replay(&bucketed));
+        assert!(
+            m_bucketed <= m_shuffled,
+            "bucketed order misses more: {m_bucketed} > {m_shuffled}"
+        );
+    }
+
+    #[test]
     fn small_graph_fits_in_cache() {
         let g = generate(&GraphSpec::Cycle { n: 500 }, 0);
         let r = simulate_algorithm(&g, Algorithm::GreedyFf, &Params::default());

@@ -10,7 +10,7 @@
 
 use crate::UNCOLORED;
 use pgc_graph::GraphView;
-use pgc_primitives::{random_permutation, FixedBitmap};
+use pgc_primitives::{random_permutation, FixedBitmap, MarkSet};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering as AtOrd};
 
@@ -39,21 +39,40 @@ pub fn is_proper_d2<G: GraphView>(g: &G, colors: &[u32]) -> bool {
 }
 
 /// The set of colors forbidden for `v`: everything within distance 2.
-fn forbid_d2<G: GraphView>(g: &G, v: u32, colors: &[u32], scratch: &mut FixedBitmap, cap: usize) {
+///
+/// `seen` (an epoch-stamped [`MarkSet`]) deduplicates the two-hop scan:
+/// in dense neighborhoods a second-hop vertex `w` is reachable through
+/// many first-hop vertices `u`, and without the mark array each path
+/// re-reads `colors[w]` — the mark turns the scan from
+/// O(Σ_{u∈N(v)} deg(u)) reads into one read per distinct vertex.
+fn forbid_d2<G: GraphView>(
+    g: &G,
+    v: u32,
+    colors: &[u32],
+    scratch: &mut FixedBitmap,
+    seen: &mut MarkSet,
+    cap: usize,
+) {
     scratch.clear_all();
     scratch.ensure_len(cap);
-    for u in g.neighbors(v) {
-        let c = colors[u as usize];
-        if c != UNCOLORED {
-            scratch.set_saturating(c as usize);
-        }
-        for w in g.neighbors(u) {
-            if w != v {
-                let c = colors[w as usize];
-                if c != UNCOLORED {
-                    scratch.set_saturating(c as usize);
-                }
+    seen.clear(g.n());
+    seen.mark(v);
+    let mut record = |x: u32, seen: &mut MarkSet| {
+        if !seen.is_marked(x) {
+            seen.mark(x);
+            let c = colors[x as usize];
+            if c != UNCOLORED {
+                scratch.set_saturating(c as usize);
             }
+        }
+    };
+    for u in g.neighbors(v) {
+        g.prefetch_neighbors(u);
+        record(u, seen);
+    }
+    for u in g.neighbors(v) {
+        for w in g.neighbors(u) {
+            record(w, seen);
         }
     }
 }
@@ -63,10 +82,11 @@ fn forbid_d2<G: GraphView>(g: &G, v: u32, colors: &[u32], scratch: &mut FixedBit
 pub fn greedy_d2<G: GraphView>(g: &G, seq: impl IntoIterator<Item = u32>) -> Vec<u32> {
     let mut colors = vec![UNCOLORED; g.n()];
     let mut scratch = FixedBitmap::new(0);
+    let mut seen = MarkSet::new();
     let delta = g.max_degree() as usize;
     let cap = delta * delta + 2;
     for v in seq {
-        forbid_d2(g, v, &colors, &mut scratch, cap);
+        forbid_d2(g, v, &colors, &mut scratch, &mut seen, cap);
         colors[v as usize] = scratch.first_zero_from(0) as u32;
     }
     colors
@@ -101,25 +121,32 @@ pub fn speculative_d2<G: GraphView>(g: &G, seed: u64) -> D2Outcome {
     while !active.is_empty() {
         rounds += 1;
         // Phase 1: tentative first-fit against *fixed* colors (distance 2).
+        // Each worker carries a forbidden-color bitmap plus a MarkSet that
+        // dedups the two-hop scan, so a second-hop vertex reachable along
+        // many paths costs one atomic load instead of one per path.
         active.par_iter().for_each_init(
-            || FixedBitmap::new(0),
-            |scratch, &v| {
-                let snapshot: Vec<u32> = Vec::new(); // colors read through atomics below
-                let _ = snapshot;
+            || (FixedBitmap::new(0), MarkSet::new()),
+            |(scratch, seen), &v| {
                 scratch.clear_all();
                 scratch.ensure_len(cap);
-                for u in g.neighbors(v) {
-                    let c = colors_at[u as usize].load(AtOrd::Relaxed);
-                    if c != UNCOLORED {
-                        scratch.set_saturating(c as usize);
-                    }
-                    for w in g.neighbors(u) {
-                        if w != v {
-                            let c = colors_at[w as usize].load(AtOrd::Relaxed);
-                            if c != UNCOLORED {
-                                scratch.set_saturating(c as usize);
-                            }
+                seen.clear(n);
+                seen.mark(v);
+                let mut record = |x: u32, seen: &mut MarkSet| {
+                    if !seen.is_marked(x) {
+                        seen.mark(x);
+                        let c = colors_at[x as usize].load(AtOrd::Relaxed);
+                        if c != UNCOLORED {
+                            scratch.set_saturating(c as usize);
                         }
+                    }
+                };
+                for u in g.neighbors(v) {
+                    g.prefetch_neighbors(u);
+                    record(u, seen);
+                }
+                for u in g.neighbors(v) {
+                    for w in g.neighbors(u) {
+                        record(w, seen);
                     }
                 }
                 tent[v as usize].store(scratch.first_zero_from(0) as u32, AtOrd::Relaxed);

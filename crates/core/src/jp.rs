@@ -210,10 +210,17 @@ pub fn jp_color_levels<G: GraphView>(g: &G, rho: &[u64]) -> (Vec<u32>, u32) {
     while !frontier.is_empty() {
         rounds += 1;
         // Color the whole frontier in parallel (its predecessors are all in
-        // earlier levels).
-        frontier.par_iter().for_each_init(
+        // earlier levels, so any order within the round gives the same
+        // coloring). The cache-aware schedule sorts the round into degree
+        // buckets / ascending ids and prefetches the adjacency a few slots
+        // ahead of the one being colored.
+        crate::schedule::bucket_by_degree(g, &mut frontier);
+        let round = &frontier[..];
+        (0..round.len()).into_par_iter().for_each_init(
             || FixedBitmap::new(0),
-            |scratch, &v| {
+            |scratch, i| {
+                crate::schedule::prefetch_ahead(g, round, i);
+                let v = round[i];
                 let c = get_color(g, rho, &colors, v, scratch);
                 colors[v as usize].store(c, AtOrd::Relaxed);
             },

@@ -28,6 +28,7 @@ pub mod distance2;
 pub mod greedy;
 pub mod jp;
 pub mod refine;
+pub mod schedule;
 pub mod simcol;
 pub mod speculative;
 pub mod verify;

@@ -98,6 +98,14 @@ pub fn itr<G: GraphView>(g: &G, priority: &[u64], batch: usize, _seed: u64) -> I
 
     while !active.is_empty() {
         rounds += 1;
+        if batch == 0 {
+            // Plain ITR processes the whole active set each round and its
+            // conflict rule is symmetric over that set, so the processing
+            // order is free — spend it on the cache-aware schedule. (ITRB
+            // must keep the priority-descending order: it decides batch
+            // membership.)
+            crate::schedule::bucket_by_degree(g, &mut active);
+        }
         let batch_len = if batch == 0 {
             active.len()
         } else {
@@ -106,9 +114,11 @@ pub fn itr<G: GraphView>(g: &G, priority: &[u64], batch: usize, _seed: u64) -> I
         let (cur, rest) = active.split_at(batch_len);
 
         // Phase 1: tentative first-fit against *fixed* neighbor colors.
-        cur.par_iter().for_each_init(
+        (0..cur.len()).into_par_iter().for_each_init(
             || FixedBitmap::new(0),
-            |scratch, &v| {
+            |scratch, i| {
+                crate::schedule::prefetch_ahead(g, cur, i);
+                let v = cur[i];
                 let cap = g.degree(v) as usize + 1;
                 scratch.clear_all();
                 scratch.ensure_len(cap);

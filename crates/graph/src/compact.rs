@@ -26,14 +26,14 @@ pub(crate) enum Offsets {
 
 impl Offsets {
     #[inline]
-    fn get(&self, i: usize) -> usize {
+    pub(crate) fn get(&self, i: usize) -> usize {
         match self {
             Offsets::Small(o) => o[i] as usize,
             Offsets::Wide(o) => o[i],
         }
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         match self {
             Offsets::Small(o) => o.len(),
             Offsets::Wide(o) => o.len(),
@@ -222,6 +222,13 @@ impl CompactCsr {
         &self.neighbors
     }
 
+    /// The width-resolved offset array — the snapshot writer serializes
+    /// it verbatim.
+    #[inline]
+    pub(crate) fn raw_offsets(&self) -> &Offsets {
+        &self.offsets
+    }
+
     /// Check all CSR invariants without copying the graph; returns the
     /// first violation, if any.
     pub fn validate(&self) -> Result<(), String> {
@@ -268,6 +275,14 @@ impl GraphView for CompactCsr {
 
     fn has_edge(&self, u: u32, v: u32) -> bool {
         CompactCsr::has_edge(self, u, v)
+    }
+
+    #[inline]
+    fn prefetch_neighbors(&self, v: u32) {
+        let start = self.offsets.get(v as usize);
+        if start < self.neighbors.len() {
+            crate::view::prefetch_read(&self.neighbors[start]);
+        }
     }
 
     fn memory_footprint(&self) -> GraphMemory {

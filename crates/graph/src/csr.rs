@@ -19,11 +19,13 @@ pub(crate) fn degree_extremes(n: usize, offset: impl Fn(usize) -> usize) -> (u32
     (max_deg, if n == 0 { 0 } else { min_deg })
 }
 
-/// Check the CSR invariants of `(offsets, neighbors)` arrays behind an
-/// accessor, without copying anything: offsets non-decreasing from 0 to
-/// `neighbors.len()`, adjacencies strictly ascending, in range, loop-free,
-/// and symmetric. Returns the first violation, if any.
-pub(crate) fn validate_csr_arrays(
+/// The linear-time part of the CSR invariants of `(offsets, neighbors)`
+/// arrays behind an accessor: offsets non-decreasing from 0 to
+/// `neighbors.len()`, adjacencies strictly ascending, in range, and
+/// loop-free — one O(n + m) sweep, no symmetry cross-checks. Returns the
+/// first violation, if any. The snapshot loader runs this on every load;
+/// [`validate_csr_arrays`] adds the O(m log Δ) symmetry check on top.
+pub(crate) fn validate_csr_shape(
     offsets_len: usize,
     offset: impl Fn(usize) -> usize,
     neighbors: &[u32],
@@ -38,7 +40,6 @@ pub(crate) fn validate_csr_arrays(
         return Err("offsets must end at neighbors.len()".into());
     }
     let n = (offsets_len - 1) as u32;
-    let adjacency = |v: u32| &neighbors[offset(v as usize)..offset(v as usize + 1)];
     for v in 0..n {
         let (lo, hi) = (offset(v as usize), offset(v as usize + 1));
         if lo > hi {
@@ -50,13 +51,32 @@ pub(crate) fn validate_csr_arrays(
                 return Err(format!("neighbors of {v} not strictly increasing"));
             }
         }
-        for &u in nbrs {
-            if u >= n {
-                return Err(format!("neighbor {u} of {v} out of range"));
+        if let Some(&last) = nbrs.last() {
+            if last >= n {
+                return Err(format!("neighbor {last} of {v} out of range"));
             }
-            if u == v {
-                return Err(format!("self-loop at {v}"));
-            }
+        }
+        if nbrs.binary_search(&v).is_ok() {
+            return Err(format!("self-loop at {v}"));
+        }
+    }
+    Ok(())
+}
+
+/// Check the full CSR invariants of `(offsets, neighbors)` arrays behind
+/// an accessor, without copying anything: everything
+/// [`validate_csr_shape`] covers plus adjacency symmetry. Returns the
+/// first violation, if any.
+pub(crate) fn validate_csr_arrays(
+    offsets_len: usize,
+    offset: impl Fn(usize) -> usize,
+    neighbors: &[u32],
+) -> Result<(), String> {
+    validate_csr_shape(offsets_len, &offset, neighbors)?;
+    let n = (offsets_len - 1) as u32;
+    let adjacency = |v: u32| &neighbors[offset(v as usize)..offset(v as usize + 1)];
+    for v in 0..n {
+        for &u in adjacency(v) {
             if adjacency(u).binary_search(&v).is_err() {
                 return Err(format!("asymmetric edge ({v},{u})"));
             }
@@ -253,6 +273,14 @@ impl GraphView for CsrGraph {
 
     fn has_edge(&self, u: u32, v: u32) -> bool {
         CsrGraph::has_edge(self, u, v)
+    }
+
+    #[inline]
+    fn prefetch_neighbors(&self, v: u32) {
+        let nbrs = CsrGraph::neighbors(self, v);
+        if let Some(first) = nbrs.first() {
+            crate::view::prefetch_read(first);
+        }
     }
 
     fn memory_footprint(&self) -> GraphMemory {

@@ -39,7 +39,7 @@ use crate::view::{GraphView, WeightedView};
 use crate::weight::EdgeWeight;
 use crate::weighted::WeightedCsr;
 use std::fs::File;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::path::{Path, PathBuf};
 
 /// Input that can be opened for reading any number of times, yielding the
@@ -457,36 +457,70 @@ impl<W: EdgeWeight, R: Reopen> EdgeSource<W> for MatrixMarketSource<R> {
 // Streaming entry points (two sequential file scans, no buffering)
 // ---------------------------------------------------------------------
 
+/// Sniff the first bytes of `path` for the binary-snapshot magic
+/// ([`crate::snapshot`]). `Ok(true)` means the file is a snapshot and
+/// every `read_*_path` entry point takes the fast binary path; a short
+/// or unreadable prefix is simply "not a snapshot" (text parsing will
+/// produce its own error if the file is truly unreadable).
+fn sniff_snapshot(path: &Path) -> bool {
+    let mut prefix = [0u8; 8];
+    match File::open(path).and_then(|mut f| f.read_exact(&mut prefix)) {
+        Ok(()) => crate::snapshot::is_snapshot(&prefix),
+        Err(_) => false,
+    }
+}
+
 /// Read a SNAP-style edge list from a file with two sequential scans and
-/// no edge buffering.
+/// no edge buffering. A binary snapshot (sniffed by magic) loads on the
+/// fast path instead, regardless of extension.
 pub fn read_edge_list_path(path: &Path) -> std::io::Result<CompactCsr> {
+    if sniff_snapshot(path) {
+        return crate::snapshot::load_snapshot(path);
+    }
     build_compact(&EdgeListSource::new(path.to_path_buf()))
 }
 
 /// Read a weighted (`u v w` per line) edge list from a file with two
-/// sequential scans and no edge buffering.
+/// sequential scans and no edge buffering. A binary snapshot (sniffed by
+/// magic) loads on the fast path instead; its stored weight kind must
+/// match `W`.
 pub fn read_weighted_edge_list_path<W: EdgeWeight>(path: &Path) -> std::io::Result<WeightedCsr<W>> {
+    if sniff_snapshot(path) {
+        return crate::snapshot::load_weighted_snapshot::<W>(path);
+    }
     build_weighted(&EdgeListSource::new(path.to_path_buf()))
 }
 
 /// Read DIMACS `.col` from a file with two sequential scans and no edge
-/// buffering.
+/// buffering. A binary snapshot (sniffed by magic) loads on the fast
+/// path instead.
 pub fn read_dimacs_col_path(path: &Path) -> std::io::Result<CompactCsr> {
+    if sniff_snapshot(path) {
+        return crate::snapshot::load_snapshot(path);
+    }
     build_compact(&DimacsSource::new(path.to_path_buf())?)
 }
 
 /// Read a Matrix Market coordinate file with two sequential scans and no
-/// edge buffering.
+/// edge buffering. A binary snapshot (sniffed by magic) loads on the
+/// fast path instead.
 pub fn read_matrix_market_path(path: &Path) -> std::io::Result<CompactCsr> {
+    if sniff_snapshot(path) {
+        return crate::snapshot::load_snapshot(path);
+    }
     build_compact(&MatrixMarketSource::new(path.to_path_buf())?)
 }
 
 /// Read a Matrix Market coordinate file as a weighted graph (the value
 /// column becomes the edge weight; `pattern`/`complex` files are
-/// rejected) with two sequential scans and no edge buffering.
+/// rejected) with two sequential scans and no edge buffering. A binary
+/// snapshot (sniffed by magic) loads on the fast path instead.
 pub fn read_weighted_matrix_market_path<W: EdgeWeight>(
     path: &Path,
 ) -> std::io::Result<WeightedCsr<W>> {
+    if sniff_snapshot(path) {
+        return crate::snapshot::load_weighted_snapshot::<W>(path);
+    }
     build_weighted(&MatrixMarketSource::new(path.to_path_buf())?)
 }
 

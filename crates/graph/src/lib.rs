@@ -31,6 +31,10 @@
 //!   workloads (§VI-F); see DESIGN.md §5 for the substitution argument,
 //! * [`io`] — plain edge-list and DIMACS `.col` readers/writers so real
 //!   datasets can be used when available,
+//! * [`snapshot`] — the versioned, checksummed binary snapshot format
+//!   (arrays verbatim behind a 64-byte header) with buffered and
+//!   mmap-backed zero-copy loaders ([`MappedSnapshot`]); the text readers
+//!   sniff its magic so snapshots transparently take the fast path,
 //! * [`degeneracy`](mod@degeneracy) — exact degeneracy, coreness, and the smallest-degree-
 //!   last (SL) removal order via linear-time bucket peeling (Matula–Beck),
 //!   the ground truth against which ADG's approximation is validated.
@@ -42,6 +46,7 @@ pub mod degeneracy;
 pub mod gen;
 pub mod induced;
 pub mod io;
+pub mod snapshot;
 pub mod stream;
 pub mod transform;
 pub mod view;
@@ -53,7 +58,10 @@ pub use compact::CompactCsr;
 pub use csr::CsrGraph;
 pub use degeneracy::{degeneracy, DegeneracyInfo};
 pub use induced::InducedView;
+pub use snapshot::{
+    load_snapshot, load_weighted_snapshot, write_snapshot, write_weighted_snapshot, MappedSnapshot,
+};
 pub use stream::{BuildStats, EdgeSink, EdgeSource};
-pub use view::{GraphMemory, GraphView, WeightedView};
+pub use view::{prefetch_read, GraphMemory, GraphView, WeightedView};
 pub use weight::EdgeWeight;
 pub use weighted::WeightedCsr;

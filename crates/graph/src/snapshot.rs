@@ -1,0 +1,1009 @@
+//! Versioned binary snapshots of [`CompactCsr`] / [`WeightedCsr`].
+//!
+//! Text ingestion is parse-bound (~100 MiB/s through the byte-level
+//! reader; see `benches/ingest.rs`), which makes every experiment re-pay
+//! the full decode cost of its input. A snapshot stores the CSR arrays
+//! **verbatim** behind a checksummed 64-byte header, so loading is a
+//! sequential read plus one checksum pass — memory-bandwidth-bound, an
+//! order of magnitude faster than parsing — and [`MappedSnapshot`] skips
+//! even the copy by `mmap`ing the file and serving [`GraphView`] /
+//! [`WeightedView`] straight from the page cache.
+//!
+//! ## On-disk layout (version 1)
+//!
+//! All fields and arrays are **native-endian**; the header carries an
+//! endianness marker so a foreign-endian file is rejected instead of
+//! decoded wrong. Every section is zero-padded to an 8-byte boundary so
+//! the mmap path can cast `u64` offsets and `f64` weights in place.
+//!
+//! ```text
+//! byte  0  ┌────────────────────────────────────────────────┐
+//!          │ magic  "PGCSNAP\0"                      (8 B)  │
+//!          │ version u16 = 1 · endian u16 = 0xFEFF   (4 B)  │
+//!          │ offset_width u8 · weight_kind u8               │
+//!          │ weight_width u8 · reserved u8           (4 B)  │
+//!          │ n u64 · num_arcs u64                   (16 B)  │
+//!          │ max_deg u32 · min_deg u32               (8 B)  │
+//!          │ payload_checksum u64                    (8 B)  │
+//!          │ reserved u64                            (8 B)  │
+//!          │ header_checksum u64 (over bytes 0..56)  (8 B)  │
+//! byte 64  ├────────────────────────────────────────────────┤
+//!          │ offsets  (n+1) × offset_width, pad → 8         │
+//!          ├────────────────────────────────────────────────┤
+//!          │ neighbors  num_arcs × 4, pad → 8               │
+//!          ├────────────────────────────────────────────────┤
+//!          │ weights  num_arcs × weight_width (absent if 0) │
+//!          └────────────────────────────────────────────────┘
+//! ```
+//!
+//! `weight_kind` is [`EdgeWeight::SNAPSHOT_KIND`] (0 = unit, 1 = `u32`,
+//! 2 = `f32`, 3 = `f64`). An unweighted load accepts any kind (it skips
+//! the weights section); a weighted load of a different non-unit kind is
+//! `InvalidData`. Both checksums are FNV-1a over 8-byte words, so a
+//! truncated, bit-flipped, or foreign file fails loudly — never a
+//! silently wrong graph.
+//!
+//! The text readers ([`crate::io`]) sniff the magic, so a `.pgcs` file
+//! can be handed to any `read_*_path` entry point and transparently
+//! takes the fast path.
+
+use crate::compact::{CompactCsr, Offsets};
+#[cfg(debug_assertions)]
+use crate::csr::validate_csr_arrays;
+use crate::csr::validate_csr_shape;
+use crate::view::{prefetch_read, GraphMemory, GraphView, WeightedView};
+use crate::weight::EdgeWeight;
+use crate::weighted::{SliceWeightedNeighbors, WeightedCsr};
+use std::fs::File;
+use std::io::{Read, Write};
+use std::marker::PhantomData;
+use std::path::Path;
+
+/// The 8-byte magic every snapshot starts with.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"PGCSNAP\0";
+
+/// Current format version.
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+/// Conventional file extension (`graph.pgcs`); nothing depends on it —
+/// loaders sniff the magic, not the name.
+pub const SNAPSHOT_EXT: &str = "pgcs";
+
+const HEADER_LEN: usize = 64;
+const ENDIAN_MARK: u16 = 0xFEFF;
+
+/// True if `prefix` begins with the snapshot magic (give it the first 8+
+/// bytes of a file).
+pub fn is_snapshot(prefix: &[u8]) -> bool {
+    prefix.len() >= SNAPSHOT_MAGIC.len() && prefix[..SNAPSHOT_MAGIC.len()] == SNAPSHOT_MAGIC
+}
+
+fn bad(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+// ---------------------------------------------------------------------
+// Checksum: FNV-1a over 8-byte words
+// ---------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn mix(h: u64, word: u64) -> u64 {
+    (h ^ word).wrapping_mul(FNV_PRIME)
+}
+
+/// Fold `bytes` into `h` one native-endian word at a time; a partial
+/// tail word is zero-extended — exactly the zero padding the writer
+/// emits, so hashing the unpadded arrays equals hashing the padded file
+/// sections.
+fn hash_section(mut h: u64, bytes: &[u8]) -> u64 {
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h = mix(h, u64::from_ne_bytes(c.try_into().unwrap()));
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        h = mix(h, u64::from_ne_bytes(tail));
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Header
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug)]
+struct Header {
+    offset_width: u8,
+    weight_kind: u8,
+    weight_width: u8,
+    n: u64,
+    num_arcs: u64,
+    max_deg: u32,
+    min_deg: u32,
+    payload_checksum: u64,
+}
+
+impl Header {
+    fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut h = [0u8; HEADER_LEN];
+        h[0..8].copy_from_slice(&SNAPSHOT_MAGIC);
+        h[8..10].copy_from_slice(&SNAPSHOT_VERSION.to_ne_bytes());
+        h[10..12].copy_from_slice(&ENDIAN_MARK.to_ne_bytes());
+        h[12] = self.offset_width;
+        h[13] = self.weight_kind;
+        h[14] = self.weight_width;
+        h[16..24].copy_from_slice(&self.n.to_ne_bytes());
+        h[24..32].copy_from_slice(&self.num_arcs.to_ne_bytes());
+        h[32..36].copy_from_slice(&self.max_deg.to_ne_bytes());
+        h[36..40].copy_from_slice(&self.min_deg.to_ne_bytes());
+        h[40..48].copy_from_slice(&self.payload_checksum.to_ne_bytes());
+        let ck = hash_section(FNV_OFFSET, &h[..56]);
+        h[56..64].copy_from_slice(&ck.to_ne_bytes());
+        h
+    }
+
+    fn decode(bytes: &[u8]) -> std::io::Result<Self> {
+        if bytes.len() < HEADER_LEN {
+            return Err(bad(format!(
+                "snapshot truncated: {} bytes, header needs {HEADER_LEN}",
+                bytes.len()
+            )));
+        }
+        if !is_snapshot(bytes) {
+            return Err(bad("not a snapshot: bad magic".into()));
+        }
+        let u16_at = |i: usize| u16::from_ne_bytes(bytes[i..i + 2].try_into().unwrap());
+        let u32_at = |i: usize| u32::from_ne_bytes(bytes[i..i + 4].try_into().unwrap());
+        let u64_at = |i: usize| u64::from_ne_bytes(bytes[i..i + 8].try_into().unwrap());
+        let stored = u64_at(56);
+        let computed = hash_section(FNV_OFFSET, &bytes[..56]);
+        if stored != computed {
+            return Err(bad(format!(
+                "snapshot header checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            )));
+        }
+        let version = u16_at(8);
+        if version != SNAPSHOT_VERSION {
+            return Err(bad(format!(
+                "unsupported snapshot version {version} (this build reads {SNAPSHOT_VERSION})"
+            )));
+        }
+        if u16_at(10) != ENDIAN_MARK {
+            return Err(bad(
+                "snapshot endianness mismatch: written on a foreign-endian machine".into(),
+            ));
+        }
+        let h = Self {
+            offset_width: bytes[12],
+            weight_kind: bytes[13],
+            weight_width: bytes[14],
+            n: u64_at(16),
+            num_arcs: u64_at(24),
+            max_deg: u32_at(32),
+            min_deg: u32_at(36),
+            payload_checksum: u64_at(40),
+        };
+        if !matches!(h.offset_width, 4 | 8) {
+            return Err(bad(format!("bad snapshot offset width {}", h.offset_width)));
+        }
+        let expect_width = match h.weight_kind {
+            0 => 0u8,
+            1 | 2 => 4,
+            3 => 8,
+            k => return Err(bad(format!("unknown snapshot weight kind {k}"))),
+        };
+        if h.weight_width != expect_width {
+            return Err(bad(format!(
+                "snapshot weight width {} inconsistent with kind {}",
+                h.weight_width, h.weight_kind
+            )));
+        }
+        Ok(h)
+    }
+
+    /// Byte ranges of the three (padded) sections and the expected file
+    /// length.
+    fn layout(&self) -> std::io::Result<SectionLayout> {
+        let n =
+            usize::try_from(self.n).map_err(|_| bad("snapshot n exceeds address space".into()))?;
+        let arcs = usize::try_from(self.num_arcs)
+            .map_err(|_| bad("snapshot num_arcs exceeds address space".into()))?;
+        let pad8 = |x: usize| x.div_ceil(8) * 8;
+        let off_len = (n + 1)
+            .checked_mul(self.offset_width as usize)
+            .ok_or_else(|| bad("snapshot offsets section overflows".into()))?;
+        let nbr_len = arcs
+            .checked_mul(4)
+            .ok_or_else(|| bad("snapshot neighbors section overflows".into()))?;
+        let w_len = arcs
+            .checked_mul(self.weight_width as usize)
+            .ok_or_else(|| bad("snapshot weights section overflows".into()))?;
+        let off_start = HEADER_LEN;
+        let nbr_start = off_start + pad8(off_len);
+        let w_start = nbr_start + pad8(nbr_len);
+        Ok(SectionLayout {
+            off_start,
+            off_len,
+            nbr_start,
+            nbr_len,
+            w_start,
+            w_len,
+            total: w_start + pad8(w_len),
+        })
+    }
+}
+
+struct SectionLayout {
+    off_start: usize,
+    off_len: usize,
+    nbr_start: usize,
+    nbr_len: usize,
+    w_start: usize,
+    w_len: usize,
+    total: usize,
+}
+
+impl SectionLayout {
+    /// Padded section slices of `bytes` (whose length is `total`).
+    fn sections<'a>(&self, bytes: &'a [u8]) -> (&'a [u8], &'a [u8], &'a [u8]) {
+        (
+            &bytes[self.off_start..self.nbr_start],
+            &bytes[self.nbr_start..self.w_start],
+            &bytes[self.w_start..self.total],
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Byte <-> typed-array helpers (plain-old-data only)
+// ---------------------------------------------------------------------
+
+/// Raw bytes of a POD slice (`u32`/`usize`/`f32`/`f64`; `()` is empty).
+fn as_bytes<T: Copy>(v: &[T]) -> &[u8] {
+    // SAFETY: T is plain-old-data with no padding; reading its object
+    // representation is defined.
+    unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, std::mem::size_of_val(v)) }
+}
+
+/// Copy `count` `T`s out of `bytes` (alignment-free byte copy).
+fn vec_from_bytes<T: Copy + Default>(bytes: &[u8], count: usize) -> Vec<T> {
+    let size = std::mem::size_of::<T>();
+    debug_assert!(bytes.len() >= count * size);
+    let mut v = vec![T::default(); count];
+    // SAFETY: every bit pattern is a valid u32/usize/f32/f64, and the
+    // source range is in bounds by the layout checks.
+    unsafe {
+        std::ptr::copy_nonoverlapping(bytes.as_ptr(), v.as_mut_ptr() as *mut u8, count * size);
+    }
+    v
+}
+
+// ---------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------
+
+fn write_parts<Wr: Write>(
+    offsets: &Offsets,
+    neighbors: &[u32],
+    weight_kind: u8,
+    weight_bytes: &[u8],
+    max_deg: u32,
+    min_deg: u32,
+    w: &mut Wr,
+) -> std::io::Result<u64> {
+    let wide_tmp: Vec<u64>;
+    let (offset_width, off_bytes): (u8, &[u8]) = match offsets {
+        Offsets::Small(v) => (4, as_bytes(v)),
+        Offsets::Wide(v) => {
+            if std::mem::size_of::<usize>() == 8 {
+                (8, as_bytes(v))
+            } else {
+                wide_tmp = v.iter().map(|&x| x as u64).collect();
+                (8, as_bytes(&wide_tmp))
+            }
+        }
+    };
+    let nbr_bytes = as_bytes(neighbors);
+    let n = offsets.len() as u64 - 1;
+    let weight_width = if neighbors.is_empty() {
+        // kind still recorded; width follows the kind table
+        match weight_kind {
+            0 => 0,
+            1 | 2 => 4,
+            _ => 8,
+        }
+    } else {
+        (weight_bytes.len() / neighbors.len()) as u8
+    };
+    let mut payload = FNV_OFFSET;
+    payload = hash_section(payload, off_bytes);
+    payload = hash_section(payload, nbr_bytes);
+    payload = hash_section(payload, weight_bytes);
+    let header = Header {
+        offset_width,
+        weight_kind,
+        weight_width,
+        n,
+        num_arcs: neighbors.len() as u64,
+        max_deg,
+        min_deg,
+        payload_checksum: payload,
+    };
+    w.write_all(&header.encode())?;
+    let mut written = HEADER_LEN as u64;
+    const PAD: [u8; 8] = [0; 8];
+    for section in [off_bytes, nbr_bytes, weight_bytes] {
+        w.write_all(section)?;
+        let pad = (8 - section.len() % 8) % 8;
+        w.write_all(&PAD[..pad])?;
+        written += (section.len() + pad) as u64;
+    }
+    Ok(written)
+}
+
+/// Serialize an unweighted graph to `w`. Returns the bytes written.
+pub fn write_snapshot_to<Wr: Write>(g: &CompactCsr, w: &mut Wr) -> std::io::Result<u64> {
+    write_parts(
+        g.raw_offsets(),
+        g.raw_neighbors(),
+        0,
+        &[],
+        g.max_degree(),
+        g.min_degree(),
+        w,
+    )
+}
+
+/// Serialize an unweighted graph to a file (buffered). Returns the bytes
+/// written.
+pub fn write_snapshot(g: &CompactCsr, path: &Path) -> std::io::Result<u64> {
+    let mut w = std::io::BufWriter::new(File::create(path)?);
+    let bytes = write_snapshot_to(g, &mut w)?;
+    w.flush()?;
+    Ok(bytes)
+}
+
+/// Serialize a weighted graph to `w`. Returns the bytes written. With the
+/// unit payload this writes exactly an unweighted snapshot.
+pub fn write_weighted_snapshot_to<W: EdgeWeight, Wr: Write>(
+    g: &WeightedCsr<W>,
+    w: &mut Wr,
+) -> std::io::Result<u64> {
+    let s = g.structure();
+    write_parts(
+        s.raw_offsets(),
+        s.raw_neighbors(),
+        W::SNAPSHOT_KIND,
+        as_bytes(g.raw_weights()),
+        s.max_degree(),
+        s.min_degree(),
+        w,
+    )
+}
+
+/// Serialize a weighted graph to a file (buffered). Returns the bytes
+/// written.
+pub fn write_weighted_snapshot<W: EdgeWeight>(
+    g: &WeightedCsr<W>,
+    path: &Path,
+) -> std::io::Result<u64> {
+    let mut w = std::io::BufWriter::new(File::create(path)?);
+    let bytes = write_weighted_snapshot_to(g, &mut w)?;
+    w.flush()?;
+    Ok(bytes)
+}
+
+// ---------------------------------------------------------------------
+// Loading (buffered, fully verified)
+// ---------------------------------------------------------------------
+
+/// Decode the header, check both checksums and the exact file length,
+/// and hand back `(header, layout)`.
+fn verify(bytes: &[u8]) -> std::io::Result<(Header, SectionLayout)> {
+    let header = Header::decode(bytes)?;
+    let layout = header.layout()?;
+    if bytes.len() != layout.total {
+        return Err(bad(format!(
+            "snapshot length {} does not match header ({} expected): truncated or trailing bytes",
+            bytes.len(),
+            layout.total
+        )));
+    }
+    let (off, nbr, wts) = layout.sections(bytes);
+    let mut payload = FNV_OFFSET;
+    payload = hash_section(payload, off);
+    payload = hash_section(payload, nbr);
+    payload = hash_section(payload, wts);
+    if payload != header.payload_checksum {
+        return Err(bad(format!(
+            "snapshot payload checksum mismatch: stored {:#018x}, computed {payload:#018x} \
+             (corrupt or bit-flipped file)",
+            header.payload_checksum
+        )));
+    }
+    Ok((header, layout))
+}
+
+fn materialize(
+    bytes: &[u8],
+    header: &Header,
+    layout: &SectionLayout,
+) -> std::io::Result<CompactCsr> {
+    let n = header.n as usize;
+    let arcs = header.num_arcs as usize;
+    let off_bytes = &bytes[layout.off_start..layout.off_start + layout.off_len];
+    let offsets =
+        if header.offset_width == 4 {
+            Offsets::Small(vec_from_bytes::<u32>(off_bytes, n + 1))
+        } else {
+            let wide: Vec<u64> = vec_from_bytes(off_bytes, n + 1);
+            let mut out = Vec::with_capacity(n + 1);
+            for x in wide {
+                out.push(usize::try_from(x).map_err(|_| {
+                    bad("wide snapshot offset exceeds this platform's usize".into())
+                })?);
+            }
+            Offsets::Wide(out)
+        };
+    let neighbors: Vec<u32> = vec_from_bytes(
+        &bytes[layout.nbr_start..layout.nbr_start + layout.nbr_len],
+        arcs,
+    );
+    let get = |i: usize| match &offsets {
+        Offsets::Small(o) => o[i] as usize,
+        Offsets::Wide(o) => o[i],
+    };
+    // Always: the O(n + m) shape sweep (monotone offsets, sorted in-range
+    // loop-free adjacencies). Debug builds add the O(m log Δ) symmetry
+    // cross-check; in release the payload checksum vouches for the writer,
+    // which only serializes already-validated graphs.
+    validate_csr_shape(n + 1, get, &neighbors)
+        .map_err(|e| bad(format!("snapshot holds an invalid CSR: {e}")))?;
+    #[cfg(debug_assertions)]
+    validate_csr_arrays(n + 1, get, &neighbors)
+        .map_err(|e| bad(format!("snapshot holds an invalid CSR: {e}")))?;
+    let g = CompactCsr::from_offsets(offsets, neighbors);
+    if g.max_degree() != header.max_deg || g.min_degree() != header.min_deg {
+        return Err(bad(format!(
+            "snapshot degree extremes (Δ={}, δ={}) disagree with arrays (Δ={}, δ={})",
+            header.max_deg,
+            header.min_deg,
+            g.max_degree(),
+            g.min_degree()
+        )));
+    }
+    Ok(g)
+}
+
+/// Load an unweighted graph from in-memory snapshot bytes, verifying
+/// both checksums and all CSR invariants. Weighted snapshots load their
+/// structure (the weights section is skipped).
+pub fn load_snapshot_bytes(bytes: &[u8]) -> std::io::Result<CompactCsr> {
+    let (header, layout) = verify(bytes)?;
+    materialize(bytes, &header, &layout)
+}
+
+/// Load a weighted graph from in-memory snapshot bytes. The payload type
+/// must match the stored kind ([`EdgeWeight::SNAPSHOT_KIND`]); the unit
+/// payload accepts any snapshot and carries no weight bytes.
+pub fn load_weighted_snapshot_bytes<W: EdgeWeight>(
+    bytes: &[u8],
+) -> std::io::Result<WeightedCsr<W>> {
+    let (header, layout) = verify(bytes)?;
+    if !W::IS_UNIT && header.weight_kind != W::SNAPSHOT_KIND {
+        return Err(bad(format!(
+            "snapshot weight kind {} does not match the requested payload (kind {})",
+            header.weight_kind,
+            W::SNAPSHOT_KIND
+        )));
+    }
+    let arcs = header.num_arcs as usize;
+    let csr = materialize(bytes, &header, &layout)?;
+    let weights: Vec<W> = if W::IS_UNIT {
+        vec![W::default(); arcs]
+    } else {
+        vec_from_bytes(&bytes[layout.w_start..layout.w_start + layout.w_len], arcs)
+    };
+    Ok(WeightedCsr::from_parts(csr, weights))
+}
+
+fn read_file(path: &Path) -> std::io::Result<Vec<u8>> {
+    let mut f = File::open(path)?;
+    let mut bytes = Vec::with_capacity(f.metadata().map(|m| m.len() as usize).unwrap_or(0) + 1);
+    f.read_to_end(&mut bytes)?;
+    Ok(bytes)
+}
+
+/// Load an unweighted graph from a snapshot file (one sequential read,
+/// fully verified).
+pub fn load_snapshot(path: &Path) -> std::io::Result<CompactCsr> {
+    load_snapshot_bytes(&read_file(path)?)
+}
+
+/// Load a weighted graph from a snapshot file (one sequential read,
+/// fully verified).
+pub fn load_weighted_snapshot<W: EdgeWeight>(path: &Path) -> std::io::Result<WeightedCsr<W>> {
+    load_weighted_snapshot_bytes::<W>(&read_file(path)?)
+}
+
+// ---------------------------------------------------------------------
+// mmap-backed zero-copy load
+// ---------------------------------------------------------------------
+
+#[cfg(unix)]
+mod mm {
+    use std::fs::File;
+    use std::os::unix::io::AsRawFd;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut core::ffi::c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut core::ffi::c_void;
+        fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+    }
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    /// A read-only private file mapping (raw `mmap`, unmapped on drop).
+    pub struct Mapping {
+        ptr: *const u8,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is PROT_READ and never mutated.
+    unsafe impl Send for Mapping {}
+    unsafe impl Sync for Mapping {}
+
+    impl Mapping {
+        pub fn map(file: &File, len: usize) -> std::io::Result<Self> {
+            if len == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "cannot map an empty file",
+                ));
+            }
+            // SAFETY: a fresh PROT_READ/MAP_PRIVATE mapping of a file we
+            // hold open; failure is reported via MAP_FAILED.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(std::io::Error::last_os_error());
+            }
+            Ok(Self {
+                ptr: ptr as *const u8,
+                len,
+            })
+        }
+
+        pub fn bytes(&self) -> &[u8] {
+            // SAFETY: the mapping covers len bytes for self's lifetime.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for Mapping {
+        fn drop(&mut self) {
+            // SAFETY: exactly the region returned by mmap.
+            unsafe { munmap(self.ptr as *mut core::ffi::c_void, self.len) };
+        }
+    }
+}
+
+/// 8-byte-aligned owned byte buffer — the non-unix (or mmap-failure)
+/// fallback backing store, aligned so the in-place casts stay valid.
+struct AlignedBytes {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl AlignedBytes {
+    fn read_from(path: &Path) -> std::io::Result<Self> {
+        let mut f = File::open(path)?;
+        let len = f.metadata()?.len() as usize;
+        let mut words = vec![0u64; len.div_ceil(8)];
+        // SAFETY: the Vec<u64> owns at least `len` writable bytes.
+        let buf = unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr() as *mut u8, len) };
+        f.read_exact(buf)?;
+        Ok(Self { words, len })
+    }
+
+    fn bytes(&self) -> &[u8] {
+        // SAFETY: words owns >= len bytes.
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr() as *const u8, self.len) }
+    }
+}
+
+enum Backing {
+    #[cfg(unix)]
+    Mapped(mm::Mapping),
+    Owned(AlignedBytes),
+}
+
+impl Backing {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            #[cfg(unix)]
+            Backing::Mapped(m) => m.bytes(),
+            Backing::Owned(b) => b.bytes(),
+        }
+    }
+}
+
+/// A snapshot served **in place**: the offsets, neighbors, and weights
+/// arrays are borrowed straight from an `mmap`ed file (page-cache-backed,
+/// zero copy) and exposed through [`GraphView`] / [`WeightedView`], so
+/// every algorithm in the workspace runs on it unchanged.
+///
+/// `open` verifies both checksums and the CSR invariants before handing
+/// the view out — one sequential pass over the mapping, after which
+/// traversal is as fast as an owned [`CompactCsr`]. On non-unix hosts
+/// (or if `mmap` fails) it transparently falls back to an owned aligned
+/// buffer with identical semantics.
+///
+/// The type parameter picks the weight payload; `MappedSnapshot<()>` (the
+/// default) reads any snapshot and serves unit weights.
+pub struct MappedSnapshot<W: EdgeWeight = ()> {
+    backing: Backing,
+    small_offsets: bool,
+    off_start: usize,
+    nbr_start: usize,
+    w_start: usize,
+    n: usize,
+    num_arcs: usize,
+    max_deg: u32,
+    min_deg: u32,
+    _payload: PhantomData<W>,
+}
+
+impl<W: EdgeWeight> MappedSnapshot<W> {
+    /// Map `path` and verify it end to end (checksums + CSR invariants +
+    /// weight-kind match for non-unit `W`).
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let backing = {
+            #[cfg(unix)]
+            {
+                let file = File::open(path)?;
+                let len = file.metadata()?.len() as usize;
+                match mm::Mapping::map(&file, len) {
+                    Ok(m) => Backing::Mapped(m),
+                    Err(_) => Backing::Owned(AlignedBytes::read_from(path)?),
+                }
+            }
+            #[cfg(not(unix))]
+            {
+                Backing::Owned(AlignedBytes::read_from(path)?)
+            }
+        };
+        Self::from_backing(backing)
+    }
+
+    fn from_backing(backing: Backing) -> std::io::Result<Self> {
+        let (header, layout) = verify(backing.bytes())?;
+        if !W::IS_UNIT && header.weight_kind != W::SNAPSHOT_KIND {
+            return Err(bad(format!(
+                "snapshot weight kind {} does not match the requested payload (kind {})",
+                header.weight_kind,
+                W::SNAPSHOT_KIND
+            )));
+        }
+        let s = Self {
+            small_offsets: header.offset_width == 4,
+            off_start: layout.off_start,
+            nbr_start: layout.nbr_start,
+            w_start: layout.w_start,
+            n: header.n as usize,
+            num_arcs: header.num_arcs as usize,
+            max_deg: header.max_deg,
+            min_deg: header.min_deg,
+            _payload: PhantomData,
+            backing,
+        };
+        // Same validation policy as the owned loader: linear shape sweep
+        // always, symmetry cross-check in debug builds.
+        validate_csr_shape(s.n + 1, |i| s.offset(i), s.neighbor_array())
+            .map_err(|e| bad(format!("snapshot holds an invalid CSR: {e}")))?;
+        #[cfg(debug_assertions)]
+        validate_csr_arrays(s.n + 1, |i| s.offset(i), s.neighbor_array())
+            .map_err(|e| bad(format!("snapshot holds an invalid CSR: {e}")))?;
+        Ok(s)
+    }
+
+    #[inline]
+    fn offset(&self, i: usize) -> usize {
+        let bytes = self.backing.bytes();
+        if self.small_offsets {
+            // SAFETY: section bounds checked at open; base is 8-aligned.
+            let o = unsafe {
+                std::slice::from_raw_parts(
+                    bytes.as_ptr().add(self.off_start) as *const u32,
+                    self.n + 1,
+                )
+            };
+            o[i] as usize
+        } else {
+            let o = unsafe {
+                std::slice::from_raw_parts(
+                    bytes.as_ptr().add(self.off_start) as *const u64,
+                    self.n + 1,
+                )
+            };
+            o[i] as usize
+        }
+    }
+
+    /// The whole neighbor array, borrowed from the mapping.
+    #[inline]
+    pub fn neighbor_array(&self) -> &[u32] {
+        let bytes = self.backing.bytes();
+        // SAFETY: section bounds checked at open; 4-aligned by layout.
+        unsafe {
+            std::slice::from_raw_parts(
+                bytes.as_ptr().add(self.nbr_start) as *const u32,
+                self.num_arcs,
+            )
+        }
+    }
+
+    fn weight_array(&self) -> &[W] {
+        if W::IS_UNIT {
+            // A ZST slice needs no storage.
+            return unsafe {
+                std::slice::from_raw_parts(std::ptr::NonNull::dangling().as_ptr(), self.num_arcs)
+            };
+        }
+        let bytes = self.backing.bytes();
+        // SAFETY: kind checked at open, section 8-aligned by layout.
+        unsafe {
+            std::slice::from_raw_parts(bytes.as_ptr().add(self.w_start) as *const W, self.num_arcs)
+        }
+    }
+
+    /// Sorted neighbor slice of `v`, borrowed from the mapping.
+    #[inline]
+    pub fn neighbor_slice(&self, v: u32) -> &[u32] {
+        &self.neighbor_array()[self.offset(v as usize)..self.offset(v as usize + 1)]
+    }
+
+    /// Copy into an owned [`CompactCsr`] (e.g. to outlive the file).
+    pub fn to_compact(&self) -> CompactCsr {
+        let offsets: Vec<usize> = (0..=self.n).map(|i| self.offset(i)).collect();
+        CompactCsr::from_raw(offsets, self.neighbor_array().to_vec())
+    }
+}
+
+impl<W: EdgeWeight> GraphView for MappedSnapshot<W> {
+    type Neighbors<'a> = std::iter::Copied<std::slice::Iter<'a, u32>>;
+
+    #[inline]
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn num_arcs(&self) -> usize {
+        self.num_arcs
+    }
+
+    #[inline]
+    fn degree(&self, v: u32) -> u32 {
+        (self.offset(v as usize + 1) - self.offset(v as usize)) as u32
+    }
+
+    #[inline]
+    fn neighbors(&self, v: u32) -> Self::Neighbors<'_> {
+        self.neighbor_slice(v).iter().copied()
+    }
+
+    #[inline]
+    fn max_degree(&self) -> u32 {
+        self.max_deg
+    }
+
+    #[inline]
+    fn min_degree(&self) -> u32 {
+        self.min_deg
+    }
+
+    fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.neighbor_slice(u).binary_search(&v).is_ok()
+    }
+
+    #[inline]
+    fn prefetch_neighbors(&self, v: u32) {
+        let r = self.offset(v as usize);
+        if r < self.num_arcs {
+            prefetch_read(&self.neighbor_array()[r]);
+        }
+    }
+
+    fn memory_footprint(&self) -> GraphMemory {
+        GraphMemory {
+            offset_width: if self.small_offsets { 4 } else { 8 },
+            offset_count: self.n + 1,
+            neighbor_width: 4,
+            neighbor_count: self.num_arcs,
+            aux_bytes: 0,
+            weight_bytes: self.num_arcs * std::mem::size_of::<W>(),
+        }
+    }
+}
+
+impl<W: EdgeWeight> WeightedView for MappedSnapshot<W> {
+    type Weight = W;
+    type WeightedNeighbors<'a> = SliceWeightedNeighbors<'a, W>;
+
+    #[inline]
+    fn weighted_neighbors(&self, v: u32) -> SliceWeightedNeighbors<'_, W> {
+        let r = self.offset(v as usize)..self.offset(v as usize + 1);
+        SliceWeightedNeighbors::new(&self.neighbor_array()[r.clone()], &self.weight_array()[r])
+    }
+
+    fn edge_weight(&self, u: u32, v: u32) -> Option<W> {
+        let r = self.offset(u as usize)..self.offset(u as usize + 1);
+        let i = self.neighbor_array()[r.clone()].binary_search(&v).ok()?;
+        Some(self.weight_array()[r][i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{from_edges, from_weighted_edges};
+    use crate::gen::{generate, GraphSpec};
+
+    fn snap_bytes(g: &CompactCsr) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_snapshot_to(g, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn round_trip_unweighted() {
+        let g = generate(&GraphSpec::ErdosRenyi { n: 500, m: 2000 }, 7);
+        let back = load_snapshot_bytes(&snap_bytes(&g)).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn round_trip_weighted() {
+        let g = from_weighted_edges(5, &[(0u32, 1u32, 2.5f64), (1, 2, -4.0), (3, 4, 0.25)]);
+        let mut buf = Vec::new();
+        write_weighted_snapshot_to(&g, &mut buf).unwrap();
+        let back = load_weighted_snapshot_bytes::<f64>(&buf).unwrap();
+        assert_eq!(back, g);
+        // Structure-only load of a weighted snapshot works too.
+        assert_eq!(&load_snapshot_bytes(&buf).unwrap(), g.structure());
+    }
+
+    #[test]
+    fn weight_kind_mismatch_rejected() {
+        let g = from_weighted_edges(3, &[(0u32, 1u32, 2.5f32), (1, 2, 1.0)]);
+        let mut buf = Vec::new();
+        write_weighted_snapshot_to(&g, &mut buf).unwrap();
+        let err = load_weighted_snapshot_bytes::<f64>(&buf).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("kind"), "{err}");
+        // Unit payload accepts anything.
+        assert!(load_weighted_snapshot_bytes::<()>(&buf).is_ok());
+    }
+
+    #[test]
+    fn truncated_and_flipped_rejected() {
+        let g = generate(&GraphSpec::ErdosRenyi { n: 200, m: 800 }, 3);
+        let buf = snap_bytes(&g);
+        for cut in [0, 7, HEADER_LEN - 1, HEADER_LEN, buf.len() - 1] {
+            let err = load_snapshot_bytes(&buf[..cut]).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "cut {cut}");
+        }
+        // Flip one bit in every region: magic, header fields, payload.
+        for pos in [0usize, 9, 13, 20, 40, 60, HEADER_LEN + 3, buf.len() - 2] {
+            let mut bad = buf.clone();
+            bad[pos] ^= 0x10;
+            assert!(
+                load_snapshot_bytes(&bad).is_err(),
+                "bit flip at {pos} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let g = from_edges(3, &[(0, 1), (1, 2)]);
+        let mut buf = snap_bytes(&g);
+        buf.extend_from_slice(&[0u8; 8]);
+        assert!(load_snapshot_bytes(&buf).is_err());
+    }
+
+    #[test]
+    fn magic_sniffing() {
+        assert!(is_snapshot(&snap_bytes(&CompactCsr::empty(1))));
+        assert!(!is_snapshot(b"p edge 4 3"));
+        assert!(!is_snapshot(b"PGC"));
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        for n in [0usize, 1, 17] {
+            let g = CompactCsr::empty(n);
+            let back = load_snapshot_bytes(&snap_bytes(&g)).unwrap();
+            assert_eq!(back, g, "n={n}");
+        }
+    }
+
+    #[test]
+    fn mapped_view_agrees_with_owned() {
+        let g = generate(
+            &GraphSpec::Rmat {
+                scale: 8,
+                edge_factor: 8,
+            },
+            11,
+        );
+        let dir = std::env::temp_dir().join(format!("pgc-snap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.pgcs");
+        write_snapshot(&g, &path).unwrap();
+        let m = MappedSnapshot::<()>::open(&path).unwrap();
+        assert_eq!(m.n(), g.n());
+        assert_eq!(m.num_arcs(), g.num_arcs());
+        assert_eq!(GraphView::max_degree(&m), g.max_degree());
+        assert_eq!(GraphView::min_degree(&m), g.min_degree());
+        for v in g.vertices() {
+            assert_eq!(m.neighbor_slice(v), g.neighbors(v));
+        }
+        assert_eq!(m.to_compact(), g);
+        assert!(m.has_edge(g.edges().next().unwrap().0, g.edges().next().unwrap().1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mapped_weighted_view() {
+        let g = from_weighted_edges(4, &[(0u32, 1u32, 2.5f64), (1, 2, 4.0), (2, 3, -1.0)]);
+        let dir = std::env::temp_dir().join(format!("pgc-snapw-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.pgcs");
+        write_weighted_snapshot(&g, &path).unwrap();
+        let m = MappedSnapshot::<f64>::open(&path).unwrap();
+        assert_eq!(m.edge_weight(2, 1), Some(4.0));
+        assert_eq!(
+            m.weighted_neighbors(1).collect::<Vec<_>>(),
+            vec![(0, 2.5), (2, 4.0)]
+        );
+        assert_eq!(m.total_weight(), 5.5);
+        assert!(MappedSnapshot::<u32>::open(&path).is_err(), "kind mismatch");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hash_section_matches_padded_equivalent() {
+        let data = [1u8, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11];
+        let padded = {
+            let mut p = data.to_vec();
+            p.resize(16, 0);
+            p
+        };
+        assert_eq!(
+            hash_section(FNV_OFFSET, &data),
+            hash_section(FNV_OFFSET, &padded)
+        );
+    }
+}

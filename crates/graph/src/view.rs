@@ -16,6 +16,26 @@
 use crate::weight::EdgeWeight;
 use std::ops::Range;
 
+/// Issue a best-effort read-prefetch hint for the cache line holding
+/// `*p`. A no-op on architectures without a prefetch instruction — purely
+/// a performance hint, never a semantic one.
+#[inline(always)]
+pub fn prefetch_read<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch never faults, even on invalid addresses.
+    unsafe {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        _mm_prefetch::<_MM_HINT_T0>(p as *const i8);
+    }
+    #[cfg(target_arch = "aarch64")]
+    // SAFETY: prfm never faults, even on invalid addresses.
+    unsafe {
+        std::arch::asm!("prfm pldl1keep, [{0}]", in(reg) p as *const u8, options(nostack, preserves_flags));
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    let _ = p;
+}
+
 /// Storage footprint of a graph representation, split the way the paper
 /// budgets CSR memory: `n` offset words plus `2m` neighbor words (§II-A).
 ///
@@ -142,6 +162,17 @@ pub trait GraphView: Sync {
     /// slice-backed implementations override with a binary search.
     fn has_edge(&self, u: u32, v: u32) -> bool {
         self.neighbors(u).any(|w| w == v)
+    }
+
+    /// Hint the CPU to start fetching `v`'s adjacency into cache, ahead
+    /// of a [`neighbors`](Self::neighbors) call a few iterations from
+    /// now. A no-op by default (and on views without contiguous
+    /// storage); slice-backed CSR types override it with [`prefetch_read`]
+    /// of the adjacency's first cache line. Purely a performance hint —
+    /// correctness never depends on it.
+    #[inline]
+    fn prefetch_neighbors(&self, v: u32) {
+        let _ = v;
     }
 
     /// Iterate undirected edges `(u, v)` with `u < v`.

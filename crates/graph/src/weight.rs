@@ -37,6 +37,12 @@ pub trait EdgeWeight: Copy + Default + PartialEq + Send + Sync + std::fmt::Debug
     /// zero-cost).
     const IS_UNIT: bool = false;
 
+    /// Identifier of this payload type in the binary snapshot header
+    /// ([`crate::snapshot`]): `0` = unit, `1` = `u32`, `2` = `f32`,
+    /// `3` = `f64`. A snapshot written with one payload type refuses to
+    /// load as a different non-unit one.
+    const SNAPSHOT_KIND: u8;
+
     /// Combine the payloads of duplicate (parallel) arcs. Must be
     /// commutative and associative — the builder folds duplicates in a
     /// thread-schedule-dependent order. All provided impls keep the
@@ -63,6 +69,7 @@ pub trait EdgeWeight: Copy + Default + PartialEq + Send + Sync + std::fmt::Debug
 
 impl EdgeWeight for () {
     const IS_UNIT: bool = true;
+    const SNAPSHOT_KIND: u8 = 0;
 
     #[inline]
     fn merge_parallel(self, _other: Self) -> Self {}
@@ -87,6 +94,8 @@ impl EdgeWeight for () {
 }
 
 impl EdgeWeight for u32 {
+    const SNAPSHOT_KIND: u8 = 1;
+
     #[inline]
     fn merge_parallel(self, other: Self) -> Self {
         self.max(other)
@@ -126,6 +135,8 @@ impl EdgeWeight for u32 {
 }
 
 impl EdgeWeight for f32 {
+    const SNAPSHOT_KIND: u8 = 2;
+
     #[inline]
     fn merge_parallel(self, other: Self) -> Self {
         if other.total_cmp(&self) == Ordering::Greater {
@@ -158,6 +169,8 @@ impl EdgeWeight for f32 {
 }
 
 impl EdgeWeight for f64 {
+    const SNAPSHOT_KIND: u8 = 3;
+
     #[inline]
     fn merge_parallel(self, other: Self) -> Self {
         if other.total_cmp(&self) == Ordering::Greater {

@@ -201,6 +201,11 @@ impl<W: EdgeWeight> GraphView for WeightedCsr<W> {
         self.csr.has_edge(u, v)
     }
 
+    #[inline]
+    fn prefetch_neighbors(&self, v: u32) {
+        self.csr.prefetch_neighbors(v)
+    }
+
     fn memory_footprint(&self) -> GraphMemory {
         GraphMemory {
             weight_bytes: self.weights.len() * std::mem::size_of::<W>(),
@@ -214,6 +219,18 @@ impl<W: EdgeWeight> GraphView for WeightedCsr<W> {
 pub struct SliceWeightedNeighbors<'a, W> {
     nbrs: std::slice::Iter<'a, u32>,
     weights: std::slice::Iter<'a, W>,
+}
+
+impl<'a, W: EdgeWeight> SliceWeightedNeighbors<'a, W> {
+    /// Pair a neighbor slice with its parallel weights slice (used by the
+    /// slice-backed weighted views, including the mmap snapshot).
+    pub(crate) fn new(nbrs: &'a [u32], weights: &'a [W]) -> Self {
+        debug_assert_eq!(nbrs.len(), weights.len());
+        Self {
+            nbrs: nbrs.iter(),
+            weights: weights.iter(),
+        }
+    }
 }
 
 impl<'a, W: EdgeWeight> Iterator for SliceWeightedNeighbors<'a, W> {

@@ -86,6 +86,28 @@ fn build_peak_mib(stats: &BuildStats) -> String {
     format!("{:.2}", stats.build_bytes_peak as f64 / (1024.0 * 1024.0))
 }
 
+/// Time a binary-snapshot load of `g` — the `load_ms` companion to
+/// `ingest_ms` in the fig2 tables: what re-opening this graph from its
+/// `.pgcs` snapshot costs instead of re-running the streaming ingest.
+/// The snapshot is written to a temp file and removed afterwards.
+fn snapshot_load_ms(g: &CompactCsr, tag: &str) -> f64 {
+    let path = std::env::temp_dir().join(format!(
+        "pgc-fig2-{}-{tag}.{}",
+        std::process::id(),
+        pgc_graph::snapshot::SNAPSHOT_EXT
+    ));
+    let timed = (|| -> std::io::Result<f64> {
+        pgc_graph::write_snapshot(g, &path)?;
+        let t0 = std::time::Instant::now();
+        let loaded = pgc_graph::load_snapshot(&path)?;
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(loaded.n(), g.n(), "snapshot load mismatch");
+        Ok(dt)
+    })();
+    let _ = std::fs::remove_file(&path);
+    timed.expect("snapshot round-trip in harness")
+}
+
 /// Generate every suite graph once, through the streaming two-pass
 /// builder, keeping its ingest-time/peak-bytes instrumentation for the
 /// fig2-style tables.
@@ -187,12 +209,14 @@ pub fn fig2_strong(cfg: &ExpConfig) -> Table {
         "colors",
         "graph_MiB",
         "ingest_ms",
+        "load_ms",
         "build_peak_MiB",
     ]);
     for (sg, g, _) in load_suite(cfg)
         .into_iter()
         .filter(|(sg, _, _)| sg.name == "h-bai" || sg.name == "s-pok")
     {
+        let load_ms = snapshot_load_ms(&g, sg.name);
         // Ingestion is part of the scaling story too: re-measure the
         // streaming build once per pool width so each row's ingest_ms
         // was actually produced at that row's thread count (generation
@@ -226,6 +250,7 @@ pub fn fig2_strong(cfg: &ExpConfig) -> Table {
                     r.num_colors.to_string(),
                     graph_mib(&g),
                     format!("{:.2}", stats.ingest_ms()),
+                    format!("{load_ms:.2}"),
                     build_peak_mib(&stats),
                 ]);
             }
@@ -246,6 +271,7 @@ pub fn fig2_weak(cfg: &ExpConfig) -> Table {
         "m",
         "graph_MiB",
         "ingest_ms",
+        "load_ms",
         "build_peak_MiB",
         "algorithm",
         "total_ms",
@@ -264,6 +290,7 @@ pub fn fig2_weak(cfg: &ExpConfig) -> Table {
                 cfg.seed,
             )
         });
+        let load_ms = snapshot_load_ms(&g, &format!("weak-ef{ef}"));
         for algo in scaling_algorithms() {
             let r = with_threads(threads, || best_of(cfg.reps, || run(&g, algo, &params)));
             t.row(vec![
@@ -273,6 +300,7 @@ pub fn fig2_weak(cfg: &ExpConfig) -> Table {
                 g.m().to_string(),
                 graph_mib(&g),
                 format!("{:.2}", stats.ingest_ms()),
+                format!("{load_ms:.2}"),
                 build_peak_mib(&stats),
                 algo.name().to_string(),
                 ms(r.total_time()),
@@ -791,7 +819,9 @@ mod tests {
             assert!(mib > 0.0, "graph memory column must be positive: {row:?}");
             let ingest: f64 = row[7].parse().unwrap();
             assert!(ingest >= 0.0, "ingest time column: {row:?}");
-            let peak: f64 = row[8].parse().unwrap();
+            let load: f64 = row[8].parse().unwrap();
+            assert!(load >= 0.0, "snapshot load time column: {row:?}");
+            let peak: f64 = row[9].parse().unwrap();
             assert!(peak > 0.0, "peak build bytes column: {row:?}");
         }
     }

@@ -16,7 +16,16 @@
 //!   mining       ADG beyond coloring: densest subgraph, coreness, cliques
 //!   weighted     weighted workloads: greedy matching + weighted densest
 //!   check        verify every proven color bound on the whole suite
+//!   check-scaling  strong-scaling regression gate: fail if the best
+//!                speedup_vs_1t at the widest pool stays below 1.2×
+//!                (skipped, exit 0, when the machine lacks the cores)
 //!   all          everything above, in order
+//!   snapshot     convert a text graph to a binary .pgcs snapshot:
+//!                pgc snapshot <input> <output> [--weighted]
+//!                (input format by extension: .col DIMACS, .mtx Matrix
+//!                Market, else whitespace edge list; --weighted keeps f64
+//!                edge weights. Every reader also accepts .pgcs input, so
+//!                this doubles as a snapshot integrity check.)
 //! ```
 //!
 //! The thread sweep used by the scaling experiments defaults to `1,2,4,8`
@@ -30,10 +39,74 @@ use pgc_harness::table::Table;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pgc <fig1|fig2-strong|fig2-weak|fig3|fig4|fig5|table2|table3|ablations|mining|weighted|check|all> \
-         [--scale 0|1|2] [--seed N] [--reps R] [--threads T[,T..]] [--csv]"
+        "usage: pgc <fig1|fig2-strong|fig2-weak|fig3|fig4|fig5|table2|table3|ablations|mining|weighted|check|check-scaling|all> \
+         [--scale 0|1|2] [--seed N] [--reps R] [--threads T[,T..]] [--csv]\n\
+         \x20      pgc snapshot <input> <output> [--weighted]"
     );
     std::process::exit(2);
+}
+
+/// `pgc snapshot <input> <output> [--weighted]`: parse a text graph
+/// (format sniffed from the extension) and write it back as a versioned,
+/// checksummed binary snapshot that every reader and experiment can
+/// re-open via the magic-sniffing fast path.
+fn snapshot_command(args: &[String]) -> ! {
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let weighted = args.iter().any(|a| a == "--weighted");
+    if positional.len() != 2
+        || args
+            .iter()
+            .any(|a| a.starts_with("--") && a != "--weighted")
+    {
+        usage();
+    }
+    let (input, output) = (
+        std::path::Path::new(positional[0]),
+        std::path::Path::new(positional[1]),
+    );
+    let ext = input
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("")
+        .to_ascii_lowercase();
+    let result = (|| -> std::io::Result<(usize, usize, u64)> {
+        if weighted {
+            let g: pgc_graph::WeightedCsr<f64> = match ext.as_str() {
+                "mtx" => pgc_graph::io::read_weighted_matrix_market_path(input)?,
+                "col" => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        "DIMACS .col files carry no edge weights; drop --weighted",
+                    ))
+                }
+                _ => pgc_graph::io::read_weighted_edge_list_path(input)?,
+            };
+            let bytes = pgc_graph::write_weighted_snapshot(&g, output)?;
+            Ok((g.n(), g.m(), bytes))
+        } else {
+            let g = match ext.as_str() {
+                "col" => pgc_graph::io::read_dimacs_col_path(input)?,
+                "mtx" => pgc_graph::io::read_matrix_market_path(input)?,
+                _ => pgc_graph::io::read_edge_list_path(input)?,
+            };
+            let bytes = pgc_graph::write_snapshot(&g, output)?;
+            Ok((g.n(), g.m(), bytes))
+        }
+    })();
+    match result {
+        Ok((n, m, bytes)) => {
+            println!(
+                "wrote {} ({bytes} bytes): n={n} m={m}{}",
+                output.display(),
+                if weighted { " weighted(f64)" } else { "" }
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("pgc snapshot: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
@@ -42,6 +115,9 @@ fn main() {
         usage();
     }
     let command = args[0].clone();
+    if command == "snapshot" {
+        snapshot_command(&args[1..]);
+    }
     let mut cfg = exp::ExpConfig::default().with_env_overrides();
     let mut csv = false;
     let mut i = 1;
@@ -127,6 +203,38 @@ fn main() {
             }
             if !csv {
                 println!("all proven bounds hold ✓");
+            }
+        }
+        "check-scaling" => {
+            // Strong-scaling regression gate for the cache-aware round
+            // scheduling: on a machine with the cores to show it, the
+            // best speedup_vs_1t at the widest pool must clear 1.2x.
+            // Columns: graph, algorithm, threads, total_ms, speedup_vs_1t, ...
+            let t = exp::fig2_strong(&cfg);
+            emit("Fig. 2: strong scaling", &t);
+            let widest = cfg.threads.iter().copied().max().unwrap_or(1);
+            let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+            if widest < 2 || cores < widest {
+                eprintln!(
+                    "check-scaling: skipped ({cores} core(s) available, sweep tops out at \
+                     {widest} threads) — gate needs the hardware to mean anything"
+                );
+                return;
+            }
+            let best = t
+                .rows
+                .iter()
+                .filter(|r| r[2] == widest.to_string())
+                .filter_map(|r| r[4].parse::<f64>().ok())
+                .fold(0.0f64, f64::max);
+            if best < 1.2 {
+                eprintln!(
+                    "check-scaling: best speedup_vs_1t at {widest} threads is {best:.2}x < 1.2x"
+                );
+                std::process::exit(1);
+            }
+            if !csv {
+                println!("best speedup_vs_1t at {widest} threads: {best:.2}x >= 1.2x ✓");
             }
         }
         "all" => {

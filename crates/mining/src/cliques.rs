@@ -12,6 +12,7 @@
 
 use pgc_graph::GraphView;
 use pgc_order::{adg, AdgOptions};
+use pgc_primitives::{intersect_sorted_into, MarkSet};
 
 /// Enumerate all maximal cliques, invoking `emit` once per clique (vertex
 /// lists are sorted). Uses the exact degeneracy order for the outer loop.
@@ -46,6 +47,7 @@ pub fn maximal_cliques_with_positions<G: GraphView>(
     let mut order: Vec<u32> = (0..g.n() as u32).collect();
     order.sort_unstable_by_key(|&v| pos[v as usize]);
     let mut r = Vec::new();
+    let mut scratch = Scratch::default();
     for &v in &order {
         let mut p: Vec<u32> = g
             .neighbors(v)
@@ -59,32 +61,28 @@ pub fn maximal_cliques_with_positions<G: GraphView>(
         x.sort_unstable();
         r.clear();
         r.push(v);
-        bk_pivot(g, &mut r, p, x, emit);
+        bk_pivot(g, &mut r, p, x, emit, &mut scratch);
     }
 }
 
-/// Sorted-set intersection of `set` with `N(v)` (both sorted ascending):
-/// a linear merge of the slice against the adjacency stream.
-fn intersect_neighbors<G: GraphView>(g: &G, set: &[u32], v: u32) -> Vec<u32> {
-    let mut out = Vec::with_capacity(set.len().min(g.degree(v) as usize));
-    let mut nbrs = g.neighbors(v);
-    let mut cur = nbrs.next();
-    let mut i = 0usize;
-    while let Some(nb) = cur {
-        if i >= set.len() {
-            break;
-        }
-        match set[i].cmp(&nb) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => cur = nbrs.next(),
-            std::cmp::Ordering::Equal => {
-                out.push(set[i]);
-                i += 1;
-                cur = nbrs.next();
-            }
-        }
+/// Per-enumeration scratch shared down the recursion: one adjacency
+/// materialization buffer (sorted-slice operand for the intersection
+/// kernel) and one epoch-stamped [`MarkSet`] so pivot scoring never
+/// allocates per candidate.
+#[derive(Default)]
+struct Scratch {
+    nbrs: Vec<u32>,
+    marks: MarkSet,
+}
+
+impl Scratch {
+    /// Materialize `N(v)` into the reusable buffer (already sorted: CSR
+    /// adjacencies are strictly increasing).
+    fn fill_neighbors<G: GraphView>(&mut self, g: &G, v: u32) -> &[u32] {
+        self.nbrs.clear();
+        self.nbrs.extend(g.neighbors(v));
+        &self.nbrs
     }
-    out
 }
 
 fn bk_pivot<G: GraphView>(
@@ -93,6 +91,7 @@ fn bk_pivot<G: GraphView>(
     mut p: Vec<u32>,
     mut x: Vec<u32>,
     emit: &mut impl FnMut(&[u32]),
+    scratch: &mut Scratch,
 ) {
     if p.is_empty() && x.is_empty() {
         let mut clique = r.clone();
@@ -101,23 +100,30 @@ fn bk_pivot<G: GraphView>(
         return;
     }
     // Pivot: the vertex of P ∪ X covering the most of P (Tomita et al.).
+    // P is marked once; each candidate is scored by streaming its
+    // adjacency against the mark array — O(Σ deg) total, no allocation.
+    scratch.marks.clear(g.n());
+    scratch.marks.mark_all(&p);
     let pivot = p
         .iter()
         .chain(x.iter())
         .copied()
-        .max_by_key(|&u| intersect_neighbors(g, &p, u).len())
+        .max_by_key(|&u| scratch.marks.count_marked(g.neighbors(u)))
         .unwrap();
-    let pivot_nbrs = intersect_neighbors(g, &p, pivot);
+    let mut pivot_nbrs = Vec::new();
+    intersect_sorted_into(&p, scratch.fill_neighbors(g, pivot), &mut pivot_nbrs);
     let candidates: Vec<u32> = p
         .iter()
         .copied()
         .filter(|u| pivot_nbrs.binary_search(u).is_err())
         .collect();
     for u in candidates {
-        let np = intersect_neighbors(g, &p, u);
-        let nx = intersect_neighbors(g, &x, u);
+        let nbrs = scratch.fill_neighbors(g, u);
+        let (mut np, mut nx) = (Vec::new(), Vec::new());
+        intersect_sorted_into(&p, nbrs, &mut np);
+        intersect_sorted_into(&x, nbrs, &mut nx);
         r.push(u);
-        bk_pivot(g, r, np, nx, emit);
+        bk_pivot(g, r, np, nx, emit, scratch);
         r.pop();
         // Move u from P to X (both stay sorted).
         if let Ok(i) = p.binary_search(&u) {

@@ -17,6 +17,9 @@
 //!   pivoting) driven by a degeneracy-style order \[50\], where the order's
 //!   quality (max back-degree, exactly what ADG bounds by 2(1+ε)d) caps
 //!   the recursion's candidate-set size,
+//! * [`triangles`] — parallel **triangle counting** (forward algorithm)
+//!   whose inner loop is the shared adaptive sorted-set intersection
+//!   kernel from `pgc-primitives`,
 //! * [`matching`] — parallel greedy **weighted matching**
 //!   (locally-dominant rounds over a sort-by-weight rank; deterministic
 //!   ½-approximation) over any
@@ -30,6 +33,7 @@ pub mod cliques;
 pub mod coreness;
 pub mod densest;
 pub mod matching;
+pub mod triangles;
 
 pub use cliques::{count_maximal_cliques, max_clique_size, maximal_cliques};
 pub use coreness::{approx_coreness, kcore_view};
@@ -38,3 +42,4 @@ pub use densest::{
     weighted_densest_view, weighted_peel_levels, DensestResult, WeightedDensestResult,
 };
 pub use matching::{greedy_weighted_matching, verify_matching, Matching, UNMATCHED};
+pub use triangles::{count_triangles, global_clustering, triangle_counts};

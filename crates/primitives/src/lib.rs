@@ -15,18 +15,23 @@
 //!   algorithm and per-vertex forbidden-color bitmaps `B_v` of DEC-ADG,
 //! * [`sort`] — linear-time counting/radix integer sorts used by the §V-B
 //!   "explicit ordering in R(·)" optimization,
+//! * [`intersect`] — the adaptive sorted-set intersection kernel
+//!   (branch-lean merge / galloping / reusable [`MarkSet`] bitset)
+//!   behind clique enumeration, distance-2 scans, and triangle counting,
 //! * [`rng`] — a counter-based (hash) RNG giving deterministic *parallel*
 //!   randomness: every `(seed, round, vertex)` triple yields an independent
 //!   stream, so Monte-Carlo coloring (SIM-COL) is reproducible regardless of
 //!   thread schedule.
 
 pub mod bitmap;
+pub mod intersect;
 pub mod join;
 pub mod reduce;
 pub mod rng;
 pub mod sort;
 
 pub use bitmap::{AtomicBitmap, FixedBitmap};
+pub use intersect::{intersect_count, intersect_sorted, intersect_sorted_into, MarkSet};
 pub use join::JoinCounters;
 pub use reduce::{
     count, offsets_from_counts, prefix_sum_exclusive, reduce_max, reduce_sum_u64, OffsetWord,

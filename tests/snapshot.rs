@@ -1,0 +1,249 @@
+//! Integration suite for the binary snapshot format (`pgc::graph::snapshot`).
+//!
+//! The format's contract, pinned from outside the crate:
+//!
+//! 1. **Round-trip fidelity** — write → load reproduces the exact CSR
+//!    (offsets, neighbors, weights) for arbitrary graphs, through both the
+//!    owned loader and the zero-copy mmap view.
+//! 2. **Algorithm transparency** — all 21 coloring algorithms and the
+//!    mining kernels produce bit-identical output on a snapshot-loaded
+//!    graph vs the originally built one. A snapshot is a representation
+//!    detail, never a semantic change.
+//! 3. **Corruption rejection** — truncation and bit flips anywhere in the
+//!    file surface as `io::ErrorKind::InvalidData`, never as a wrong
+//!    graph or a panic.
+
+use parallel_graph_coloring as pgc;
+use pgc::color::{run, verify, Algorithm, Params};
+use pgc::graph::builder::{from_edges, from_weighted_edges};
+use pgc::graph::gen::{generate, GraphSpec};
+use pgc::graph::snapshot::{
+    is_snapshot, load_snapshot, load_snapshot_bytes, load_weighted_snapshot_bytes, write_snapshot,
+    write_snapshot_to, write_weighted_snapshot_to, MappedSnapshot, SNAPSHOT_EXT,
+};
+use pgc::graph::{CompactCsr, GraphView, WeightedView};
+use pgc::mining;
+use proptest::prelude::*;
+use std::io::ErrorKind;
+
+/// Strategy: raw edge list + vertex count (dedup happens in the builder).
+fn arb_edges(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_m)
+            .prop_map(move |edges| (n, edges))
+    })
+}
+
+/// Structural equality between any two `GraphView`s: n, m, degrees, and
+/// full adjacency.
+fn assert_same_graph<A: GraphView, B: GraphView>(a: &A, b: &B) {
+    assert_eq!(a.n(), b.n());
+    assert_eq!(a.m(), b.m());
+    for v in a.vertices() {
+        assert_eq!(a.degree(v), b.degree(v), "degree mismatch at v={v}");
+        assert_eq!(
+            a.neighbors(v).collect::<Vec<_>>(),
+            b.neighbors(v).collect::<Vec<_>>(),
+            "adjacency mismatch at v={v}"
+        );
+    }
+}
+
+/// Write a graph to a uniquely named temp snapshot, run `f` on the path,
+/// then clean up (also on panic, via a drop guard).
+fn with_snapshot_file<R>(g: &CompactCsr, tag: &str, f: impl FnOnce(&std::path::Path) -> R) -> R {
+    struct Cleanup(std::path::PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+    let path = std::env::temp_dir().join(format!(
+        "pgc-test-{}-{tag}.{SNAPSHOT_EXT}",
+        std::process::id()
+    ));
+    let guard = Cleanup(path);
+    write_snapshot(g, &guard.0).expect("write snapshot");
+    f(&guard.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Round-trip through in-memory bytes is lossless for arbitrary
+    /// graphs, and the serialized prefix carries the sniffable magic.
+    #[test]
+    fn snapshot_round_trips_arbitrary_graphs((n, edges) in arb_edges(60, 240)) {
+        let g = from_edges(n, &edges);
+        let mut bytes = Vec::new();
+        write_snapshot_to(&g, &mut bytes).unwrap();
+        prop_assert!(is_snapshot(&bytes));
+        let back = load_snapshot_bytes(&bytes).unwrap();
+        assert_same_graph(&g, &back);
+    }
+
+    /// Weighted round-trip preserves the weight array bit-for-bit.
+    #[test]
+    fn weighted_snapshot_round_trips((n, edges) in arb_edges(40, 150)) {
+        let weighted: Vec<(u32, u32, f64)> = edges
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v))| (u, v, (i as f64).mul_add(0.5, 1.0)))
+            .collect();
+        let g = from_weighted_edges(n, &weighted);
+        let mut bytes = Vec::new();
+        write_weighted_snapshot_to(&g, &mut bytes).unwrap();
+        let back = load_weighted_snapshot_bytes::<f64>(&bytes).unwrap();
+        assert_same_graph(g.structure(), back.structure());
+        prop_assert_eq!(g.raw_weights(), back.raw_weights());
+    }
+
+    /// Truncating the byte stream at any point is rejected as
+    /// `InvalidData` (or `UnexpectedEof` inside the header read) — never
+    /// a silently wrong graph.
+    #[test]
+    fn truncation_is_rejected((n, edges) in arb_edges(30, 100), frac in 0u32..1000) {
+        let g = from_edges(n, &edges);
+        let mut bytes = Vec::new();
+        write_snapshot_to(&g, &mut bytes).unwrap();
+        let cut = (bytes.len() - 1) * frac as usize / 1000;
+        let err = load_snapshot_bytes(&bytes[..cut]).unwrap_err();
+        prop_assert!(
+            matches!(err.kind(), ErrorKind::InvalidData | ErrorKind::UnexpectedEof),
+            "truncation at {cut}/{} gave {:?}", bytes.len(), err.kind()
+        );
+    }
+
+    /// Flipping any single bit is caught by one of the checksums.
+    #[test]
+    fn bit_flips_are_rejected((n, edges) in arb_edges(30, 100), pos in 0usize..10_000, bit in 0u8..8) {
+        let g = from_edges(n, &edges);
+        let mut bytes = Vec::new();
+        write_snapshot_to(&g, &mut bytes).unwrap();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        match load_snapshot_bytes(&bytes) {
+            Err(e) => prop_assert_eq!(e.kind(), ErrorKind::InvalidData),
+            // Both checksums cover every byte they guard (the payload one
+            // includes alignment padding), so a flip that loads cleanly is
+            // a contract violation no matter what graph comes back.
+            Ok(_) => prop_assert!(false, "bit flip at byte {pos} bit {bit} went undetected"),
+        }
+    }
+}
+
+/// All 21 algorithms produce bit-identical colorings on the built graph,
+/// the snapshot-loaded copy, and the zero-copy mmap view.
+#[test]
+fn all_algorithms_identical_on_snapshot_loaded_graphs() {
+    let specs = [
+        GraphSpec::Rmat {
+            scale: 9,
+            edge_factor: 8,
+        },
+        GraphSpec::BarabasiAlbert { n: 600, attach: 6 },
+    ];
+    for (i, spec) in specs.iter().enumerate() {
+        let built = generate(spec, 7);
+        with_snapshot_file(&built, &format!("algos-{i}"), |path| {
+            let loaded = load_snapshot(path).unwrap();
+            let mapped = MappedSnapshot::<()>::open(path).unwrap();
+            assert_same_graph(&built, &loaded);
+            assert_same_graph(&built, &mapped);
+            let params = Params {
+                seed: 42,
+                ..Params::default()
+            };
+            for algo in Algorithm::all() {
+                let a = run(&built, algo, &params);
+                let b = run(&loaded, algo, &params);
+                let c = run(&mapped, algo, &params);
+                verify::assert_proper(&built, &a.colors);
+                assert_eq!(
+                    a.colors,
+                    b.colors,
+                    "{} differs between built and snapshot-loaded graphs",
+                    algo.name()
+                );
+                assert_eq!(
+                    a.colors,
+                    c.colors,
+                    "{} differs between built and mmap-viewed graphs",
+                    algo.name()
+                );
+                assert_eq!(a.num_colors, b.num_colors);
+            }
+        });
+    }
+}
+
+/// Mining kernels (cliques, triangles) agree across the snapshot boundary
+/// too — they exercise the intersection kernel on both representations.
+#[test]
+fn mining_identical_on_snapshot_loaded_graphs() {
+    let built = generate(
+        &GraphSpec::Rmat {
+            scale: 8,
+            edge_factor: 6,
+        },
+        11,
+    );
+    with_snapshot_file(&built, "mining", |path| {
+        let loaded = load_snapshot(path).unwrap();
+        let collect_cliques = |g: &CompactCsr| {
+            let mut cs: Vec<Vec<u32>> = Vec::new();
+            mining::maximal_cliques(g, &mut |c| cs.push(c.to_vec()));
+            cs.sort();
+            cs
+        };
+        assert_eq!(collect_cliques(&built), collect_cliques(&loaded));
+        assert_eq!(
+            mining::count_triangles(&built),
+            mining::count_triangles(&loaded)
+        );
+        assert_eq!(
+            mining::triangle_counts(&built),
+            mining::triangle_counts(&loaded)
+        );
+    });
+}
+
+/// The mmap view stays weight-aware: a weighted snapshot opened as
+/// `MappedSnapshot<f64>` serves the same weights as the owned graph.
+#[test]
+fn mapped_weighted_view_matches_owned() {
+    let weighted: Vec<(u32, u32, f64)> = (0..400u32)
+        .map(|i| (i % 50, (i * 7 + 1) % 50, f64::from(i) * 0.25 + 1.0))
+        .filter(|&(u, v, _)| u != v)
+        .collect();
+    let g = from_weighted_edges(50, &weighted);
+    let path = std::env::temp_dir().join(format!(
+        "pgc-test-{}-wmap.{SNAPSHOT_EXT}",
+        std::process::id()
+    ));
+    pgc::graph::write_weighted_snapshot(&g, &path).unwrap();
+    let mapped = MappedSnapshot::<f64>::open(&path).unwrap();
+    for v in g.structure().vertices() {
+        let owned: Vec<(u32, f64)> = g.weighted_neighbors(v).collect();
+        let viewed: Vec<(u32, f64)> = mapped.weighted_neighbors(v).collect();
+        assert_eq!(owned, viewed, "weighted adjacency mismatch at v={v}");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// `read_*_path` sniffs the snapshot magic: feeding a `.pgcs` file to the
+/// generic text reader transparently takes the binary path.
+#[test]
+fn text_readers_sniff_snapshot_magic() {
+    let built = generate(
+        &GraphSpec::Rmat {
+            scale: 8,
+            edge_factor: 4,
+        },
+        3,
+    );
+    with_snapshot_file(&built, "sniff", |path| {
+        let via_reader = pgc::graph::io::read_edge_list_path(path).unwrap();
+        assert_same_graph(&built, &via_reader);
+    });
+}
