@@ -1,0 +1,100 @@
+//! Pins the observability layer's zero-cost claim.
+//!
+//! Built from `cargo bench -p pgc-bench`, the dependency tree enables no
+//! `pgc-obs` features (the workspace declares `default-features = false`
+//! everywhere and only leaf binaries opt in), so this target measures the
+//! **no-op** recorder: `span!`/`counter!` must compile to nothing. Built
+//! as part of a full-workspace `cargo bench`, feature unification turns
+//! `capture` on and the same code measures the recorder outside a
+//! session, which must stay within one relaxed atomic load per event.
+//!
+//! Either way the bench *asserts* its bound (and that instrumenting a
+//! coloring does not change its output) instead of just printing numbers,
+//! so CI catches a regression.
+
+use pgc_core::{run, Algorithm, Params};
+use pgc_graph::gen::{generate, GraphSpec};
+use std::time::Instant;
+
+const OPS: u64 = 5_000_000;
+const TRIALS: usize = 5;
+
+/// Minimum per-op nanoseconds over a few trials (min de-noises CI).
+fn per_op_ns(mut f: impl FnMut() -> u64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..TRIALS {
+        let t0 = Instant::now();
+        let sink = f();
+        let elapsed = t0.elapsed().as_nanos() as f64;
+        criterion::black_box(sink);
+        best = best.min(elapsed / OPS as f64);
+    }
+    best
+}
+
+fn main() {
+    let baseline = per_op_ns(|| {
+        let mut acc = 0u64;
+        for i in 0..OPS {
+            acc = acc.wrapping_add(criterion::black_box(i));
+        }
+        acc
+    });
+    let instrumented = per_op_ns(|| {
+        let mut acc = 0u64;
+        for i in 0..OPS {
+            let _span = pgc_obs::span!("bench.op");
+            pgc_obs::counter!("bench.ops", 1);
+            acc = acc.wrapping_add(criterion::black_box(i));
+        }
+        acc
+    });
+    let overhead = (instrumented - baseline).max(0.0);
+    let mode = if pgc_obs::CAPTURE {
+        "capture (session inactive)"
+    } else {
+        "no-op"
+    };
+    println!("obs_overhead [{mode}]: baseline {baseline:.3} ns/op, instrumented {instrumented:.3} ns/op, overhead {overhead:.3} ns/op");
+
+    // The assertion the issue asks for: no-op macros have no measurable
+    // cost; the compiled-in-but-inactive path is a couple of atomic loads.
+    let bound = if pgc_obs::CAPTURE { 50.0 } else { 1.0 };
+    assert!(
+        overhead < bound,
+        "recorder overhead {overhead:.3} ns/op exceeds the {bound} ns bound for the {mode} build"
+    );
+
+    // And the coloring is bit-identical whether or not events are being
+    // recorded (in the no-op build session_begin itself is a no-op).
+    let g = generate(
+        &GraphSpec::BarabasiAlbert {
+            n: 2_000,
+            attach: 6,
+        },
+        42,
+    );
+    let params = Params::default();
+    let quiet = run(&g, Algorithm::JpAdg, &params);
+    pgc_obs::session_begin();
+    let recorded = run(&g, Algorithm::JpAdg, &params);
+    let trace = pgc_obs::session_end();
+    assert_eq!(
+        quiet.colors, recorded.colors,
+        "recording a session changed the coloring"
+    );
+    assert_eq!(
+        pgc_obs::CAPTURE,
+        !trace.events.is_empty(),
+        "capture build must record events; no-op build must record none"
+    );
+    println!(
+        "obs_overhead: colorings bit-identical with recording {} ({} events)",
+        if pgc_obs::CAPTURE {
+            "on"
+        } else {
+            "compiled out"
+        },
+        trace.events.len()
+    );
+}

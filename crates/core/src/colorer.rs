@@ -28,28 +28,40 @@ pub struct Instrumentation {
     pub rounds: u32,
     /// Vertices re-colored due to conflicts (speculative algorithms only).
     pub conflicts: u64,
-    /// Parallel width the run executed under (`rayon::current_num_threads`
-    /// when the [`ColoringRun`] was packaged; 0 until
-    /// then).
+    /// Parallel width observed *inside* the run: the widest
+    /// `rayon::current_num_threads()` seen while a phase timer was
+    /// executing (0 until a phase runs; [`ColoringRun::new`] falls back to
+    /// the packaging-time width only if no phase ever stamped it). Stamped
+    /// at execution time so a surrounding `install()` narrower or wider
+    /// than the packaging context cannot misreport the width.
     pub threads: usize,
 }
 
 impl Instrumentation {
     /// Total wall time (ordering + coloring).
+    #[must_use]
     pub fn total_time(&self) -> Duration {
         self.ordering_time + self.coloring_time
     }
 
-    /// Run `f`, adding its wall time to `ordering_time`.
+    /// Run `f`, adding its wall time to `ordering_time`. Emits an
+    /// `"ordering"` span when an observability session is recording.
+    #[must_use = "the phase timer returns f's result"]
     pub fn ordering<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let _span = pgc_obs::span!("ordering");
+        self.threads = self.threads.max(rayon::current_num_threads());
         let t0 = Instant::now();
         let r = f();
         self.ordering_time += t0.elapsed();
         r
     }
 
-    /// Run `f`, adding its wall time to `coloring_time`.
+    /// Run `f`, adding its wall time to `coloring_time`. Emits a
+    /// `"coloring"` span when an observability session is recording.
+    #[must_use = "the phase timer returns f's result"]
     pub fn coloring<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let _span = pgc_obs::span!("coloring");
+        self.threads = self.threads.max(rayon::current_num_threads());
         let t0 = Instant::now();
         let r = f();
         self.coloring_time += t0.elapsed();
@@ -102,6 +114,7 @@ pub fn colorer<G: GraphView>(algo: Algorithm) -> Box<dyn Colorer<G>> {
 
 /// The paper's measurement protocol: run once to warm up (discarded), then
 /// `reps` measured runs, keeping the one with the smallest total time.
+#[must_use]
 pub fn best_of(reps: usize, mut f: impl FnMut() -> ColoringRun) -> ColoringRun {
     let mut best = f(); // warm-up; only kept so the return value exists
     let mut best_t = Duration::MAX; // ... but it never wins the comparison
@@ -159,6 +172,38 @@ mod tests {
             instr.total_time(),
             instr.ordering_time + instr.coloring_time
         );
+    }
+
+    #[test]
+    fn threads_records_width_observed_inside_the_run() {
+        // Regression: the width used to be stamped when `ColoringRun::new`
+        // packaged the run, so an `install()` in effect *around the
+        // packaging* — not around the execution — won the stamp. The
+        // phase timers now record the width they actually ran under.
+        let g = generate(&GraphSpec::BarabasiAlbert { n: 300, attach: 4 }, 5);
+        let run = rayon::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap()
+            .install(|| {
+                let mut instr = Instrumentation::default();
+                let colors = instr.coloring(|| crate::greedy::greedy_first_fit(&g));
+                (colors, instr)
+            });
+        // Package under a *different* width; the observed width must win.
+        let packaged = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| ColoringRun::new(Algorithm::GreedyFf, run.0, run.1));
+        assert_eq!(packaged.instr.threads, 3);
+        // The fallback still stamps runs whose phases never executed.
+        let empty = rayon::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap()
+            .install(|| ColoringRun::new(Algorithm::GreedyFf, vec![0], Instrumentation::default()));
+        assert_eq!(empty.instr.threads, 2);
     }
 
     #[test]

@@ -134,7 +134,9 @@ pub fn dec_adg<G: GraphView>(
         let mut conflicts = 0u64;
         let mut round_base = 0u64;
         for l in (0..levels.num_levels()).rev() {
+            let _partition = pgc_obs::span!("dec.partition");
             let stats = engine.color_partition_random(levels.level(l), round_base);
+            pgc_obs::counter!("conflicts", stats.retries);
             rounds += stats.rounds;
             conflicts += stats.retries;
             round_base += stats.rounds as u64;
@@ -195,7 +197,9 @@ pub fn dec_adg_itr<G: GraphView>(g: &G, params: &Params) -> ColoringRun {
         let mut rounds = 0u32;
         let mut conflicts = 0u64;
         for l in (0..levels.num_levels()).rev() {
+            let _partition = pgc_obs::span!("dec.partition");
             let stats = engine.color_partition_first_fit(levels.level(l), &priority);
+            pgc_obs::counter!("conflicts", stats.retries);
             rounds += stats.rounds;
             conflicts += stats.retries;
         }

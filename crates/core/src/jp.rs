@@ -209,6 +209,7 @@ pub fn jp_color_levels<G: GraphView>(g: &G, rho: &[u64]) -> (Vec<u32>, u32) {
     let mut rounds = 0u32;
     while !frontier.is_empty() {
         rounds += 1;
+        let _round = pgc_obs::span!("jp.round");
         // Color the whole frontier in parallel (its predecessors are all in
         // earlier levels, so any order within the round gives the same
         // coloring). The cache-aware schedule sorts the round into degree

@@ -257,10 +257,14 @@ pub struct ColoringRun {
 }
 
 impl ColoringRun {
-    /// Package a finished coloring; `num_colors` is derived from `colors`
-    /// and the executing pool width is stamped into the instrumentation.
+    /// Package a finished coloring; `num_colors` is derived from `colors`.
+    /// The parallel width is stamped by the phase timers at execution time
+    /// (see [`Instrumentation::threads`]); the packaging-time width is only
+    /// a fallback for runs whose phases never executed.
     pub fn new(algorithm: Algorithm, colors: Vec<u32>, mut instr: Instrumentation) -> Self {
-        instr.threads = rayon::current_num_threads();
+        if instr.threads == 0 {
+            instr.threads = rayon::current_num_threads();
+        }
         Self {
             algorithm,
             num_colors: verify::num_colors(&colors),

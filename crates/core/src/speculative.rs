@@ -98,6 +98,7 @@ pub fn itr<G: GraphView>(g: &G, priority: &[u64], batch: usize, _seed: u64) -> I
 
     while !active.is_empty() {
         rounds += 1;
+        let _round = pgc_obs::span!("itr.round");
         if batch == 0 {
             // Plain ITR processes the whole active set each round and its
             // conflict rule is symmetric over that set, so the processing
@@ -164,6 +165,7 @@ pub fn itr<G: GraphView>(g: &G, priority: &[u64], batch: usize, _seed: u64) -> I
         });
 
         conflicts += losers.len() as u64;
+        pgc_obs::counter!("conflicts", losers.len() as u64);
         let mut next = losers;
         next.extend_from_slice(rest);
         active = next;

@@ -475,6 +475,7 @@ fn build_raw<W: EdgeWeight, S: EdgeSource<W> + ?Sized>(
     peak.alloc(src.buffered_bytes());
 
     // ---- pass 1: parallel degree count, discovering n ----------------
+    let count_span = pgc_obs::span!("ingest.count");
     let declared = src.num_vertices();
     let mut counts: Vec<u32> = vec![0; declared]; // zeroed pages, no init pass
     peak.alloc(counts.capacity() * 4);
@@ -515,6 +516,7 @@ fn build_raw<W: EdgeWeight, S: EdgeSource<W> + ?Sized>(
     // (the tail is all-zero by construction).
     counts.truncate(n);
     let total = reduce_sum_u64(&counts, |&c| c as u64) as usize;
+    drop(count_span);
 
     // ---- prefix sum + pass 2 at the narrowest width that fits --------
     let (raw, weights, mut stats) = if total < u32_limit {
@@ -558,6 +560,7 @@ fn scatter<O: ScatterWord, W: EdgeWeight, S: EdgeSource<W> + ?Sized>(
     let n = counts.len();
     let word = std::mem::size_of::<O>();
     let wweight = std::mem::size_of::<W>();
+    let scatter_span = pgc_obs::span!("ingest.scatter");
 
     let (offsets, sum) = offsets_from_counts::<O>(&counts);
     debug_assert_eq!(sum, total);
@@ -648,8 +651,10 @@ fn scatter<O: ScatterWord, W: EdgeWeight, S: EdgeSource<W> + ?Sized>(
     let cursor_bytes = cursor_words.capacity() * word;
     drop(cursor_words);
     peak.free(cursor_bytes);
+    drop(scatter_span);
 
     // ---- per-vertex sort + in-place dedup ----------------------------
+    let _sort_span = pgc_obs::span!("ingest.sort");
     let mut deduped: Vec<u32> = vec![0; n];
     peak.alloc(n * 4);
     // Weighted builds use one co-sort scratch buffer per worker range;

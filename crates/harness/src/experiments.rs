@@ -5,6 +5,7 @@
 //! from the synthetic proxy suite (`pgc_graph::gen::suite`, DESIGN.md §5).
 
 use crate::profiles::performance_profiles;
+use crate::report::{best_of_with_latency, fmt_opt, run_record};
 use crate::table::{ms, Table};
 use pgc_core::{best_of, run, Algorithm, Instrumentation, Params};
 use pgc_graph::gen::{generate_with_stats, suite, GraphSpec, SuiteGraph};
@@ -70,20 +71,17 @@ pub fn parse_thread_list(s: &str) -> Option<Vec<usize>> {
 }
 
 /// Offset + neighbor bytes of a graph's representation, in MiB — the
-/// paper's §II-A word budget as actually laid out in memory. Printed in
-/// the fig2-style tables so `CompactCsr`'s 4-byte-offset saving is
-/// visible next to the timings.
-fn graph_mib<G: GraphView>(g: &G) -> String {
+/// paper's §II-A word budget as actually laid out in memory. Recorded in
+/// the fig2 run reports (and printed from there) so `CompactCsr`'s
+/// 4-byte-offset saving is visible next to the timings.
+fn graph_mib<G: GraphView>(g: &G) -> f64 {
     let fp = g.memory_footprint();
-    format!(
-        "{:.2}",
-        (fp.offset_bytes() + fp.neighbor_bytes()) as f64 / (1024.0 * 1024.0)
-    )
+    (fp.offset_bytes() + fp.neighbor_bytes()) as f64 / (1024.0 * 1024.0)
 }
 
 /// Peak build-side allocation of a streaming ingestion, in MiB.
-fn build_peak_mib(stats: &BuildStats) -> String {
-    format!("{:.2}", stats.build_bytes_peak as f64 / (1024.0 * 1024.0))
+fn build_peak_mib(stats: &BuildStats) -> f64 {
+    stats.build_bytes_peak as f64 / (1024.0 * 1024.0)
 }
 
 /// Time a binary-snapshot load of `g` — the `load_ms` companion to
@@ -139,6 +137,8 @@ pub fn with_threads<R: Send>(t: usize, f: impl FnOnce() -> R + Send) -> R {
 
 /// Fig. 1: per (graph, algorithm): ordering/coloring time split, color
 /// count, and color count relative to JP-R (the paper's quality axis).
+/// Every row is derived from the [`pgc_obs::report::RunRecord`] it also
+/// feeds into the `--report` collector.
 pub fn fig1(cfg: &ExpConfig) -> Table {
     let params = cfg.params();
     let mut t = Table::new(&[
@@ -154,26 +154,30 @@ pub fn fig1(cfg: &ExpConfig) -> Table {
         "conflicts",
     ]);
     for (sg, g, _) in load_suite(cfg) {
-        let jpr = best_of(cfg.reps, || run(&g, Algorithm::JpR, &params));
+        let (jpr, jpr_hist) = best_of_with_latency(cfg.reps, || run(&g, Algorithm::JpR, &params));
         for algo in Algorithm::fig1_set() {
-            let r = if algo == Algorithm::JpR {
-                jpr.clone()
+            let (r, hist) = if algo == Algorithm::JpR {
+                (jpr.clone(), jpr_hist)
             } else {
-                best_of(cfg.reps, || run(&g, algo, &params))
+                best_of_with_latency(cfg.reps, || run(&g, algo, &params))
             };
             pgc_core::verify::assert_proper(&g, &r.colors);
+            let rec = run_record("fig1", sg.name, &r)
+                .with_graph_size(g.n(), g.m())
+                .with_latency(hist.summary());
             t.row(vec![
-                sg.name.to_string(),
-                algo.name().to_string(),
+                rec.graph.clone(),
+                rec.algorithm.clone(),
                 if algo.is_speculative() { "SC" } else { "JP" }.to_string(),
-                ms(r.ordering_time()),
-                ms(r.coloring_time()),
-                ms(r.total_time()),
-                r.num_colors.to_string(),
-                format!("{:.3}", r.num_colors as f64 / jpr.num_colors as f64),
-                r.rounds().to_string(),
-                r.conflicts().to_string(),
+                format!("{:.2}", rec.order_ms),
+                format!("{:.2}", rec.color_ms),
+                format!("{:.2}", rec.total_ms),
+                rec.colors.to_string(),
+                format!("{:.3}", rec.colors as f64 / jpr.num_colors as f64),
+                rec.rounds.to_string(),
+                rec.conflicts.to_string(),
             ]);
+            crate::report::record(rec);
         }
     }
     t
@@ -232,27 +236,42 @@ pub fn fig2_strong(cfg: &ExpConfig) -> Table {
             })
             .collect();
         for algo in scaling_algorithms() {
-            let base = with_threads(1, || best_of(cfg.reps, || run(&g, algo, &params)));
+            let (base, base_hist) = with_threads(1, || {
+                best_of_with_latency(cfg.reps, || run(&g, algo, &params))
+            });
             for &(threads, stats) in &ingest_at {
-                let r = if threads == 1 {
-                    base.clone()
+                let (r, hist) = if threads == 1 {
+                    (base.clone(), base_hist)
                 } else {
-                    with_threads(threads, || best_of(cfg.reps, || run(&g, algo, &params)))
+                    with_threads(threads, || {
+                        best_of_with_latency(cfg.reps, || run(&g, algo, &params))
+                    })
                 };
                 let speedup =
                     base.total_time().as_secs_f64() / r.total_time().as_secs_f64().max(1e-9);
+                // The row's key width is the *requested* pool width of the
+                // sweep; the record's derived columns carry everything the
+                // table prints.
+                let rec = run_record("fig2-strong", sg.name, &r)
+                    .with_threads(threads)
+                    .with_graph_size(g.n(), g.m())
+                    .with_graph_mib(graph_mib(&g))
+                    .with_build(stats.ingest_ms(), build_peak_mib(&stats))
+                    .with_load_ms(load_ms)
+                    .with_latency(hist.summary());
                 t.row(vec![
-                    sg.name.to_string(),
-                    algo.name().to_string(),
-                    threads.to_string(),
-                    ms(r.total_time()),
+                    rec.graph.clone(),
+                    rec.algorithm.clone(),
+                    rec.threads.to_string(),
+                    format!("{:.2}", rec.total_ms),
                     format!("{speedup:.2}"),
-                    r.num_colors.to_string(),
-                    graph_mib(&g),
-                    format!("{:.2}", stats.ingest_ms()),
-                    format!("{load_ms:.2}"),
-                    build_peak_mib(&stats),
+                    rec.colors.to_string(),
+                    fmt_opt(rec.graph_mib),
+                    fmt_opt(rec.ingest_ms),
+                    fmt_opt(rec.load_ms),
+                    fmt_opt(rec.build_peak_mib),
                 ]);
+                crate::report::record(rec);
             }
         }
     }
@@ -292,20 +311,30 @@ pub fn fig2_weak(cfg: &ExpConfig) -> Table {
         });
         let load_ms = snapshot_load_ms(&g, &format!("weak-ef{ef}"));
         for algo in scaling_algorithms() {
-            let r = with_threads(threads, || best_of(cfg.reps, || run(&g, algo, &params)));
+            let (r, hist) = with_threads(threads, || {
+                best_of_with_latency(cfg.reps, || run(&g, algo, &params))
+            });
+            let rec = run_record("fig2-weak", &format!("kron-ef{ef}"), &r)
+                .with_threads(threads)
+                .with_graph_size(g.n(), g.m())
+                .with_graph_mib(graph_mib(&g))
+                .with_build(stats.ingest_ms(), build_peak_mib(&stats))
+                .with_load_ms(load_ms)
+                .with_latency(hist.summary());
             t.row(vec![
                 ef.to_string(),
-                threads.to_string(),
-                g.n().to_string(),
-                g.m().to_string(),
-                graph_mib(&g),
-                format!("{:.2}", stats.ingest_ms()),
-                format!("{load_ms:.2}"),
-                build_peak_mib(&stats),
-                algo.name().to_string(),
-                ms(r.total_time()),
-                r.num_colors.to_string(),
+                rec.threads.to_string(),
+                rec.n.to_string(),
+                rec.m.to_string(),
+                fmt_opt(rec.graph_mib),
+                fmt_opt(rec.ingest_ms),
+                fmt_opt(rec.load_ms),
+                fmt_opt(rec.build_peak_mib),
+                rec.algorithm.clone(),
+                format!("{:.2}", rec.total_ms),
+                rec.colors.to_string(),
             ]);
+            crate::report::record(rec);
         }
     }
     t
@@ -751,6 +780,36 @@ fn timed_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (R, std::time::Durati
     (out, best)
 }
 
+/// Deterministic coloring digest: an FNV-1a hash of every (graph,
+/// algorithm) color array, with no timing columns, so two runs of the
+/// same binary — or of the obs and no-op builds — must produce
+/// byte-identical output. CI diffs exactly that to prove the recorder
+/// never changes a coloring. Speculative algorithms are excluded: their
+/// conflict resolution is schedule-dependent by design, so their colorings
+/// (while always proper) are not run-to-run stable.
+pub fn colorsum(cfg: &ExpConfig) -> Table {
+    let params = cfg.params();
+    let mut t = Table::new(&["graph", "algorithm", "colors", "fnv64"]);
+    for (sg, g, _) in load_suite(cfg) {
+        for algo in Algorithm::all().into_iter().filter(|a| !a.is_speculative()) {
+            let r = run(&g, algo, &params);
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for &c in &r.colors {
+                for b in c.to_le_bytes() {
+                    h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+                }
+            }
+            t.row(vec![
+                sg.name.to_string(),
+                algo.name().to_string(),
+                r.num_colors.to_string(),
+                format!("{h:016x}"),
+            ]);
+        }
+    }
+    t
+}
+
 /// Validate the headline guarantees on the whole suite (used by the `check`
 /// subcommand and integration tests): every contribution algorithm must
 /// stay within its proven color bound.
@@ -830,6 +889,33 @@ mod tests {
     fn fig1_smoke() {
         let t = fig1(&smoke_cfg());
         assert_eq!(t.rows.len(), 10 * Algorithm::fig1_set().len());
+    }
+
+    #[test]
+    fn fig1_feeds_the_report_collector() {
+        let rows = fig1(&smoke_cfg()).rows.len();
+        // Other tests share the collector, so filter to fig1's records;
+        // at least this call's rows must be there, all self-consistent.
+        let recs: Vec<_> = crate::report::drain_records()
+            .into_iter()
+            .filter(|r| r.experiment == "fig1")
+            .collect();
+        assert!(recs.len() >= rows, "{} records for {rows} rows", recs.len());
+        for rec in &recs {
+            assert!(rec.threads > 0, "{}", rec.key());
+            assert!(rec.colors > 0, "{}", rec.key());
+            assert!(rec.total_ms >= 0.0);
+            let lat = rec.latency_us.as_ref().expect("fig1 attaches latency");
+            assert_eq!(lat.count, smoke_cfg().reps as u64);
+        }
+    }
+
+    #[test]
+    fn colorsum_is_deterministic() {
+        let a = colorsum(&smoke_cfg());
+        let b = colorsum(&smoke_cfg());
+        assert!(!a.rows.is_empty());
+        assert_eq!(a.to_csv(), b.to_csv(), "colorsum must be run-to-run stable");
     }
 
     #[test]

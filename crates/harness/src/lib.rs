@@ -7,6 +7,7 @@
 
 pub mod experiments;
 pub mod profiles;
+pub mod report;
 pub mod table;
 
 pub use experiments::*;

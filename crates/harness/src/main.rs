@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! pgc <command> [--scale 0|1|2] [--seed N] [--reps R] [--threads T[,T..]] [--csv]
+//!               [--trace <file.json>] [--report <file.jsonl>]
 //!
 //! commands:
 //!   fig1         run-times + coloring quality across the graph suite
@@ -15,6 +16,8 @@
 //!   ablations    design-choice ablations (sorting, push/pull, batching)
 //!   mining       ADG beyond coloring: densest subgraph, coreness, cliques
 //!   weighted     weighted workloads: greedy matching + weighted densest
+//!   colorsum     deterministic digest of every coloring (no timings) —
+//!                byte-identical across runs and across obs/no-op builds
 //!   check        verify every proven color bound on the whole suite
 //!   check-scaling  strong-scaling regression gate: fail if the best
 //!                speedup_vs_1t at the widest pool stays below 1.2×
@@ -26,7 +29,18 @@
 //!                Market, else whitespace edge list; --weighted keeps f64
 //!                edge weights. Every reader also accepts .pgcs input, so
 //!                this doubles as a snapshot integrity check.)
+//!   report       validate + pretty-print a JSONL run report, or diff two:
+//!                pgc report <a.jsonl> [b.jsonl] [--csv]
 //! ```
+//!
+//! `--trace <file.json>` records the run's spans and counters (phase
+//! timers, per-worker pool activity, per-round algorithm events) and
+//! writes a Chrome trace-event file loadable in Perfetto / about:tracing.
+//! `--report <file.jsonl>` writes one `pgc-report-v1` JSON line per
+//! algorithm × graph × threads run; `pgc report` reads them back. Both
+//! work with every experiment command. In a `--no-default-features`
+//! build the recorder is compiled out and `--trace` emits an empty (but
+//! still valid) trace.
 //!
 //! The thread sweep used by the scaling experiments defaults to `1,2,4,8`
 //! and can be overridden by the `PGC_THREADS` environment variable or the
@@ -35,15 +49,58 @@
 //! the default pool width for every other command (see `pgc-par`).
 
 use pgc_harness::experiments as exp;
+use pgc_harness::report as rep;
 use pgc_harness::table::Table;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pgc <fig1|fig2-strong|fig2-weak|fig3|fig4|fig5|table2|table3|ablations|mining|weighted|check|check-scaling|all> \
-         [--scale 0|1|2] [--seed N] [--reps R] [--threads T[,T..]] [--csv]\n\
-         \x20      pgc snapshot <input> <output> [--weighted]"
+        "usage: pgc <fig1|fig2-strong|fig2-weak|fig3|fig4|fig5|table2|table3|ablations|mining|weighted|colorsum|check|check-scaling|all> \
+         [--scale 0|1|2] [--seed N] [--reps R] [--threads T[,T..]] [--csv] [--trace FILE.json] [--report FILE.jsonl]\n\
+         \x20      pgc snapshot <input> <output> [--weighted]\n\
+         \x20      pgc report <a.jsonl> [b.jsonl] [--csv]"
     );
     std::process::exit(2);
+}
+
+/// `pgc report <a.jsonl> [b.jsonl]`: validate the file(s) against the
+/// `pgc-report-v1` schema, then pretty-print one report or diff two
+/// (keyed by `experiment/graph/algorithm@threads`). Any parse or schema
+/// failure exits nonzero.
+fn report_command(args: &[String]) -> ! {
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    if paths.is_empty()
+        || paths.len() > 2
+        || args.iter().any(|a| a.starts_with("--") && a != "--csv")
+    {
+        usage();
+    }
+    let load = |path: &String| -> Vec<pgc_obs::report::RunRecord> {
+        match pgc_obs::report::read_jsonl(path) {
+            Ok(records) => records,
+            Err(e) => {
+                eprintln!("pgc report: {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    let a = load(paths[0]);
+    let table = if let Some(b_path) = paths.get(1) {
+        rep::diff_table(&a, &load(b_path))
+    } else {
+        rep::report_table(&a)
+    };
+    if csv {
+        print!("{}", table.to_csv());
+    } else {
+        println!(
+            "## Run report: {}{}\n",
+            paths[0],
+            paths.get(1).map(|b| format!(" vs {b}")).unwrap_or_default()
+        );
+        print!("{}", table.to_text());
+    }
+    std::process::exit(0);
 }
 
 /// `pgc snapshot <input> <output> [--weighted]`: parse a text graph
@@ -118,11 +175,24 @@ fn main() {
     if command == "snapshot" {
         snapshot_command(&args[1..]);
     }
+    if command == "report" {
+        report_command(&args[1..]);
+    }
     let mut cfg = exp::ExpConfig::default().with_env_overrides();
     let mut csv = false;
+    let mut trace_path: Option<String> = None;
+    let mut report_path: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
+            "--trace" => {
+                trace_path = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--report" => {
+                report_path = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                i += 2;
+            }
             "--scale" => {
                 cfg.scale = args
                     .get(i + 1)
@@ -159,6 +229,50 @@ fn main() {
         }
     }
 
+    // Record spans only when a trace was asked for; run records are
+    // collected unconditionally (cheap) and written only on --report.
+    if trace_path.is_some() {
+        pgc_obs::session_begin();
+    }
+
+    let code = run_command(&command, &cfg, csv);
+
+    if let Some(path) = &trace_path {
+        let trace = pgc_obs::session_end();
+        match pgc_obs::chrome::write_trace(&trace, path) {
+            Ok(bytes) => eprintln!(
+                "pgc: wrote trace {path}: {} events on {} thread(s), {bytes} bytes{}",
+                trace.events.len(),
+                trace.threads.len(),
+                if trace.dropped > 0 {
+                    format!(" ({} dropped by ring wrap)", trace.dropped)
+                } else {
+                    String::new()
+                }
+            ),
+            Err(e) => {
+                eprintln!("pgc: --trace {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &report_path {
+        let records = rep::drain_records();
+        match pgc_obs::report::write_jsonl(&records, path) {
+            Ok(()) => eprintln!("pgc: wrote report {path}: {} record(s)", records.len()),
+            Err(e) => {
+                eprintln!("pgc: --report {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    std::process::exit(code);
+}
+
+/// Dispatch one experiment command, returning the process exit code (so
+/// `main` can still write the `--trace` / `--report` outputs afterwards —
+/// including for failing `check` runs, where the trace is most useful).
+fn run_command(command: &str, cfg: &exp::ExpConfig, csv: bool) -> i32 {
     let emit = |title: &str, t: &Table| {
         if csv {
             print!("{}", t.to_csv());
@@ -169,37 +283,35 @@ fn main() {
         }
     };
 
-    match command.as_str() {
-        "fig1" => emit("Fig. 1: run-times and coloring quality", &exp::fig1(&cfg)),
-        "fig2-strong" => emit("Fig. 2: strong scaling", &exp::fig2_strong(&cfg)),
-        "fig2-weak" => emit("Fig. 2: weak scaling (Kronecker)", &exp::fig2_weak(&cfg)),
-        "fig3" => emit("Fig. 3: impact of epsilon", &exp::fig3(&cfg)),
-        "fig4" => emit(
-            "Fig. 4: memory pressure (cache simulator)",
-            &exp::fig4(&cfg),
-        ),
-        "fig5" => emit("Fig. 5: performance profiles (quality)", &exp::fig5(&cfg)),
-        "table2" => emit("Table II: ordering heuristics", &exp::table2(&cfg)),
-        "table3" => emit("Table III: algorithm comparison", &exp::table3(&cfg)),
+    match command {
+        "fig1" => emit("Fig. 1: run-times and coloring quality", &exp::fig1(cfg)),
+        "fig2-strong" => emit("Fig. 2: strong scaling", &exp::fig2_strong(cfg)),
+        "fig2-weak" => emit("Fig. 2: weak scaling (Kronecker)", &exp::fig2_weak(cfg)),
+        "fig3" => emit("Fig. 3: impact of epsilon", &exp::fig3(cfg)),
+        "fig4" => emit("Fig. 4: memory pressure (cache simulator)", &exp::fig4(cfg)),
+        "fig5" => emit("Fig. 5: performance profiles (quality)", &exp::fig5(cfg)),
+        "table2" => emit("Table II: ordering heuristics", &exp::table2(cfg)),
+        "table3" => emit("Table III: algorithm comparison", &exp::table3(cfg)),
         "ablations" => emit(
             "Section VI-J: design-choice ablations",
-            &exp::ablations(&cfg),
+            &exp::ablations(cfg),
         ),
         "mining" => emit(
             "ADG beyond coloring (densest/coreness/cliques)",
-            &exp::mining(&cfg),
+            &exp::mining(cfg),
         ),
         "weighted" => emit(
             "Weighted workloads (matching + weighted densest)",
-            &exp::weighted(&cfg),
+            &exp::weighted(cfg),
         ),
+        "colorsum" => emit("Deterministic coloring digest", &exp::colorsum(cfg)),
         "check" => {
-            let t = exp::check_guarantees(&cfg);
+            let t = exp::check_guarantees(cfg);
             emit("Quality-bound check", &t);
             let bad = t.rows.iter().filter(|r| r[5] != "true").count();
             if bad > 0 {
                 eprintln!("{bad} bound violations!");
-                std::process::exit(1);
+                return 1;
             }
             if !csv {
                 println!("all proven bounds hold ✓");
@@ -210,7 +322,7 @@ fn main() {
             // scheduling: on a machine with the cores to show it, the
             // best speedup_vs_1t at the widest pool must clear 1.2x.
             // Columns: graph, algorithm, threads, total_ms, speedup_vs_1t, ...
-            let t = exp::fig2_strong(&cfg);
+            let t = exp::fig2_strong(cfg);
             emit("Fig. 2: strong scaling", &t);
             let widest = cfg.threads.iter().copied().max().unwrap_or(1);
             let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
@@ -219,7 +331,7 @@ fn main() {
                     "check-scaling: skipped ({cores} core(s) available, sweep tops out at \
                      {widest} threads) — gate needs the hardware to mean anything"
                 );
-                return;
+                return 0;
             }
             let best = t
                 .rows
@@ -231,38 +343,37 @@ fn main() {
                 eprintln!(
                     "check-scaling: best speedup_vs_1t at {widest} threads is {best:.2}x < 1.2x"
                 );
-                std::process::exit(1);
+                return 1;
             }
             if !csv {
                 println!("best speedup_vs_1t at {widest} threads: {best:.2}x >= 1.2x ✓");
             }
         }
         "all" => {
-            emit("Table II: ordering heuristics", &exp::table2(&cfg));
-            emit("Table III: algorithm comparison", &exp::table3(&cfg));
-            emit("Fig. 1: run-times and coloring quality", &exp::fig1(&cfg));
-            emit("Fig. 2: strong scaling", &exp::fig2_strong(&cfg));
-            emit("Fig. 2: weak scaling (Kronecker)", &exp::fig2_weak(&cfg));
-            emit("Fig. 3: impact of epsilon", &exp::fig3(&cfg));
-            emit(
-                "Fig. 4: memory pressure (cache simulator)",
-                &exp::fig4(&cfg),
-            );
-            emit("Fig. 5: performance profiles (quality)", &exp::fig5(&cfg));
+            emit("Table II: ordering heuristics", &exp::table2(cfg));
+            emit("Table III: algorithm comparison", &exp::table3(cfg));
+            emit("Fig. 1: run-times and coloring quality", &exp::fig1(cfg));
+            emit("Fig. 2: strong scaling", &exp::fig2_strong(cfg));
+            emit("Fig. 2: weak scaling (Kronecker)", &exp::fig2_weak(cfg));
+            emit("Fig. 3: impact of epsilon", &exp::fig3(cfg));
+            emit("Fig. 4: memory pressure (cache simulator)", &exp::fig4(cfg));
+            emit("Fig. 5: performance profiles (quality)", &exp::fig5(cfg));
             emit(
                 "Section VI-J: design-choice ablations",
-                &exp::ablations(&cfg),
+                &exp::ablations(cfg),
             );
             emit(
                 "ADG beyond coloring (densest/coreness/cliques)",
-                &exp::mining(&cfg),
+                &exp::mining(cfg),
             );
             emit(
                 "Weighted workloads (matching + weighted densest)",
-                &exp::weighted(&cfg),
+                &exp::weighted(cfg),
             );
-            emit("Quality-bound check", &exp::check_guarantees(&cfg));
+            emit("Deterministic coloring digest", &exp::colorsum(cfg));
+            emit("Quality-bound check", &exp::check_guarantees(cfg));
         }
         _ => usage(),
     }
+    0
 }

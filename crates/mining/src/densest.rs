@@ -80,6 +80,7 @@ pub fn best_suffix<G: GraphView>(g: &G, levels: &Levels) -> DensestResult {
 /// Guarantee (Charikar + batch slack): the returned density is at least
 /// `ρ* / (2(1+ε))` where `ρ*` is the optimum.
 pub fn approx_densest_subgraph<G: GraphView>(g: &G, epsilon: f64) -> DensestResult {
+    let _span = pgc_obs::span!("mining.densest");
     let ord: VertexOrdering = adg(g, &AdgOptions::with_epsilon(epsilon));
     best_suffix(g, ord.levels.as_ref().expect("ADG yields levels"))
 }

@@ -76,6 +76,7 @@ const MAX_PARALLEL_ROUNDS: usize = 32;
 /// also never benefits from them). Unit weights count as `1.0`, so an
 /// unweighted graph still gets a full maximal matching.
 pub fn greedy_weighted_matching<G: WeightedView>(g: &G) -> Matching {
+    let _span = pgc_obs::span!("mining.matching");
     let n = g.n();
     // Rank edges by (weight desc, (u, v) asc): index into `edges` after
     // the sort IS the greedy rank. Non-positive weights are dropped up

@@ -44,6 +44,7 @@ pub fn count_triangles<G: GraphView>(g: &G) -> u64 {
 /// containing `v` (so `Σ out[v] = 3 · count_triangles`). The local
 /// clustering coefficient of `v` is `out[v] / C(deg(v), 2)`.
 pub fn triangle_counts<G: GraphView>(g: &G) -> Vec<u64> {
+    let _span = pgc_obs::span!("mining.triangles");
     let counts: Vec<AtomicU64> = (0..g.n()).map(|_| AtomicU64::new(0)).collect();
     (0..g.n() as u32).into_par_iter().for_each_init(
         || (Vec::new(), Vec::new(), Vec::new()),

@@ -1,0 +1,285 @@
+//! Streaming log₂-bucketed histogram for latency-style `u64` samples.
+//!
+//! 65 buckets: bucket 0 holds exactly the value 0, bucket `b ≥ 1` holds
+//! `[2^(b-1), 2^b - 1]`. Recording is O(1), merging is bucket-wise
+//! addition (each thread records into its own histogram, the drain merges
+//! them), and quantiles come back as the selected bucket's upper bound
+//! clamped to the observed maximum — so for any non-zero exact quantile
+//! `e`, the reported value `r` satisfies `e ≤ r < 2e`.
+//!
+//! # Example
+//!
+//! ```
+//! use pgc_obs::LogHistogram;
+//!
+//! let mut h = LogHistogram::new();
+//! for v in [1u64, 2, 3, 100, 1000] {
+//!     h.record(v);
+//! }
+//! let mut other = LogHistogram::new();
+//! other.record(5000);
+//! h.merge(&other);
+//! assert_eq!(h.count(), 6);
+//! assert_eq!(h.max(), 5000);
+//! assert!(h.quantile(0.5) >= 3);
+//! ```
+
+const BUCKETS: usize = 65;
+
+/// Mergeable log₂ histogram of `u64` samples. See the module docs for the
+/// bucket layout and quantile error bound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive upper bound of bucket `b`.
+    fn bucket_upper(b: usize) -> u64 {
+        match b {
+            0 => 0,
+            64 => u64::MAX,
+            _ => (1u64 << b) - 1,
+        }
+    }
+
+    /// Add one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram in; equivalent to having recorded both
+    /// sample streams into one histogram.
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, or 0.0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`) under the sorted-slice
+    /// rank convention `rank = ceil(q · count)`: the reported value is an
+    /// upper bound on the exact quantile and less than twice it (exact for
+    /// zero). Returns 0 on an empty histogram.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median upper bound.
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile upper bound.
+    #[must_use]
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile upper bound.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// The fixed percentile digest exported into run reports.
+    #[must_use]
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            p50: self.p50(),
+            p90: self.p90(),
+            p99: self.p99(),
+            max: self.max(),
+            mean: self.mean(),
+        }
+    }
+}
+
+/// Percentile digest of a [`LogHistogram`], as serialized into
+/// [`crate::report::RunRecord`]s. Unit-agnostic: whatever unit was
+/// recorded (the harness records microseconds).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Median upper bound.
+    pub p50: u64,
+    /// 90th-percentile upper bound.
+    pub p90: u64,
+    /// 99th-percentile upper bound.
+    pub p99: u64,
+    /// Exact maximum sample.
+    pub max: u64,
+    /// Exact mean.
+    pub mean: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(LogHistogram::bucket(0), 0);
+        assert_eq!(LogHistogram::bucket(1), 1);
+        assert_eq!(LogHistogram::bucket(2), 2);
+        assert_eq!(LogHistogram::bucket(3), 2);
+        assert_eq!(LogHistogram::bucket(4), 3);
+        assert_eq!(LogHistogram::bucket(u64::MAX), 64);
+        for b in 1..64 {
+            let lo = 1u64 << (b - 1);
+            let hi = (1u64 << b) - 1;
+            assert_eq!(LogHistogram::bucket(lo), b);
+            assert_eq!(LogHistogram::bucket(hi), b);
+        }
+    }
+
+    #[test]
+    fn quantile_bound_on_known_samples() {
+        let mut h = LogHistogram::new();
+        let samples: Vec<u64> = (1..=1000).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let exact = samples[rank - 1];
+            let got = h.quantile(q);
+            assert!(got >= exact, "q={q}: {got} < exact {exact}");
+            assert!(got < 2 * exact, "q={q}: {got} ≥ 2×exact {exact}");
+        }
+        assert_eq!(h.quantile(1.0).min(h.max()), h.max());
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let mut all = LogHistogram::new();
+        let mut parts = [LogHistogram::new(); 3];
+        for i in 0u64..300 {
+            let v = i * i % 7919;
+            all.record(v);
+            parts[(i % 3) as usize].record(v);
+        }
+        let mut merged = LogHistogram::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged, all);
+    }
+
+    #[test]
+    fn summary_digest() {
+        let mut h = LogHistogram::new();
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.max, 40);
+        assert!((s.mean - 25.0).abs() < 1e-9);
+        assert!(s.p50 >= 20 && s.p50 < 40);
+        assert!(s.p99 >= 40);
+    }
+}

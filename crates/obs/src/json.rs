@@ -1,0 +1,434 @@
+//! A minimal JSON value type with a strict parser and writer — just
+//! enough for the trace and report exporters, keeping `pgc-obs` free of
+//! external dependencies.
+//!
+//! Objects preserve insertion order (they are vectors of pairs), numbers
+//! are `f64`, and writing produces compact single-line JSON. Non-finite
+//! numbers serialize as `null`, matching what lenient consumers expect.
+//!
+//! # Example
+//!
+//! ```
+//! use pgc_obs::json::Json;
+//!
+//! let v = Json::parse(r#"{"name": "jp-adg", "ms": 1.5, "tags": [1, 2]}"#).unwrap();
+//! assert_eq!(v.get("name").and_then(Json::as_str), Some("jp-adg"));
+//! assert_eq!(v.get("ms").and_then(Json::as_f64), Some(1.5));
+//! let round_trip = Json::parse(&v.to_string()).unwrap();
+//! assert_eq!(round_trip, v);
+//! ```
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (stored as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion-ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (first match); `None` on non-objects.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64` if it is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The bool, if this is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The pairs, if this is an object.
+    #[must_use]
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    // `f64` Display is the shortest round-trippable form
+                    // (integral values print without a fraction).
+                    out.push_str(&n.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s);
+        f.write_str(&s)
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') if self.eat_literal("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Json::Bool(false)),
+            Some(b'n') if self.eat_literal("null") => Ok(Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..=0xDBFF).contains(&hi) {
+                                if !self.eat_literal("\\u") {
+                                    return Err("lone high surrogate".into());
+                                }
+                                let lo = self.hex4()?;
+                                let combined =
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo.wrapping_sub(0xDC00));
+                                char::from_u32(combined).ok_or("bad surrogate pair")?
+                            } else {
+                                char::from_u32(hi).ok_or("bad \\u escape")?
+                            };
+                            out.push(c);
+                            continue; // hex4 already advanced pos
+                        }
+                        other => return Err(format!("bad escape {:?}", other.map(|c| c as char))),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // byte stream is valid UTF-8).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err("truncated \\u escape".into());
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| "bad \\u escape".to_string())?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape".to_string())?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number {text:?} at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("-12.5e2").unwrap(), Json::Num(-1250.0));
+        assert_eq!(Json::parse(r#""hi""#).unwrap(), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn round_trips_nested_structures() {
+        let src = r#"{"a": [1, 2, {"b": "x\ny", "c": null}], "d": true}"#;
+        let v = Json::parse(src).unwrap();
+        let again = Json::parse(&v.to_string()).unwrap();
+        assert_eq!(v, again);
+        assert_eq!(v.get("a").and_then(Json::as_arr).map(|a| a.len()), Some(3));
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let s = "quote\" backslash\\ newline\n tab\t unicode\u{1F600} ctrl\u{1}";
+        let v = Json::Str(s.to_string());
+        assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let v = Json::parse(r#""😀""#).unwrap();
+        assert_eq!(v, Json::Str("\u{1F600}".into()));
+        assert!(Json::parse(r#""\uD83D""#).is_err(), "lone high surrogate");
+        let esc = Json::parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(esc, Json::Str("\u{1F600}".into()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse(r#"{"a" 1}"#).is_err());
+        assert!(Json::parse("nul").is_err());
+    }
+
+    #[test]
+    fn integral_numbers_print_clean() {
+        assert_eq!(Json::Num(5.0).to_string(), "5");
+        assert_eq!(Json::Num(2.5).to_string(), "2.5");
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+    }
+}

@@ -1,0 +1,509 @@
+//! Lock-free per-thread event recorder.
+//!
+//! Every instrumented thread owns one bounded [`RING_CAPACITY`]-slot ring
+//! buffer, registered globally on first use. Recording is wait-free for
+//! the owning thread: a monotonically increasing head index picks a slot,
+//! and a per-slot sequence counter (seqlock protocol: odd while writing,
+//! even when stable) lets the drain read concurrently without locks and
+//! without ever observing a torn event. When the ring wraps, the oldest
+//! events are overwritten and counted in [`Trace::dropped`].
+//!
+//! Recording only happens inside a *session* ([`session_begin`] /
+//! [`session_end`]); outside one, a span or counter costs a single relaxed
+//! atomic load. With the `capture` feature disabled the entire module body
+//! is replaced by no-ops (see [`crate::CAPTURE`]).
+//!
+//! # Example
+//!
+//! ```
+//! pgc_obs::session_begin();
+//! let guard = pgc_obs::span!("work");
+//! pgc_obs::counter!("items", 2);
+//! drop(guard);
+//! let trace = pgc_obs::session_end();
+//! if pgc_obs::CAPTURE {
+//!     assert_eq!(trace.counter_total("items"), 2);
+//! }
+//! ```
+
+/// Events a ring holds before wrapping (per thread). Wrapping overwrites
+/// the oldest events and bumps [`Trace::dropped`].
+pub const RING_CAPACITY: usize = 1 << 15;
+
+/// What one recorded event is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A [`SpanGuard`] was entered.
+    SpanBegin,
+    /// A [`SpanGuard`] was dropped.
+    SpanEnd,
+    /// A [`crate::counter!`] add; the delta is in [`EventRecord::value`].
+    Counter,
+}
+
+/// One drained event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Recorder-assigned thread id (dense, registration order).
+    pub tid: usize,
+    /// Span begin/end or counter add.
+    pub kind: EventKind,
+    /// Static name passed to the macro.
+    pub name: &'static str,
+    /// Nanoseconds since session begin.
+    pub nanos: u64,
+    /// Counter delta; 0 for span events.
+    pub value: u64,
+}
+
+/// Everything one session recorded, drained by [`session_end`].
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// All events, sorted by time (per-thread order preserved for ties).
+    pub events: Vec<EventRecord>,
+    /// `(tid, thread name)` for every thread that ever recorded.
+    pub threads: Vec<(usize, String)>,
+    /// Events lost to ring wrap-around during the session.
+    pub dropped: u64,
+    /// Session length in nanoseconds.
+    pub session_nanos: u64,
+}
+
+impl Trace {
+    /// Sum of all deltas recorded under counter `name`.
+    #[must_use]
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.kind == EventKind::Counter && e.name == name)
+            .map(|e| e.value)
+            .sum()
+    }
+
+    /// Number of spans (begin events) recorded under `name`.
+    #[must_use]
+    pub fn span_count(&self, name: &str) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanBegin && e.name == name)
+            .count()
+    }
+}
+
+#[cfg(feature = "capture")]
+mod imp {
+    use super::{EventKind, EventRecord, Trace, RING_CAPACITY};
+    use std::cell::OnceCell;
+    use std::sync::atomic::{
+        fence, AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+    };
+    use std::sync::{Arc, Mutex, OnceLock};
+    use std::time::Instant;
+
+    /// One seqlock-protected event slot. The owner thread is the only
+    /// writer; `seq` is odd while a write is in flight, and bumps by 2 per
+    /// event, so a drain can detect both torn and recycled slots.
+    struct Slot {
+        seq: AtomicU32,
+        kind: AtomicU8,
+        name_ptr: AtomicPtr<u8>,
+        name_len: AtomicU32,
+        nanos: AtomicU64,
+        value: AtomicU64,
+    }
+
+    impl Slot {
+        fn new() -> Self {
+            Self {
+                seq: AtomicU32::new(0),
+                kind: AtomicU8::new(0),
+                name_ptr: AtomicPtr::new(std::ptr::null_mut()),
+                name_len: AtomicU32::new(0),
+                nanos: AtomicU64::new(0),
+                value: AtomicU64::new(0),
+            }
+        }
+    }
+
+    struct Ring {
+        tid: usize,
+        thread_name: String,
+        /// Total events ever pushed; slot = head % capacity.
+        head: AtomicU64,
+        /// `head` observed at the last `session_begin`, for drop counting.
+        session_head: AtomicU64,
+        slots: Box<[Slot]>,
+    }
+
+    impl Ring {
+        fn new(tid: usize, thread_name: String) -> Self {
+            Self {
+                tid,
+                thread_name,
+                head: AtomicU64::new(0),
+                session_head: AtomicU64::new(0),
+                slots: (0..RING_CAPACITY).map(|_| Slot::new()).collect(),
+            }
+        }
+
+        /// Owner-thread-only append.
+        fn push(&self, kind: EventKind, name: &'static str, nanos: u64, value: u64) {
+            let head = self.head.load(Ordering::Relaxed);
+            let slot = &self.slots[(head % RING_CAPACITY as u64) as usize];
+            slot.seq.fetch_add(1, Ordering::Release); // odd: write in flight
+            slot.kind.store(kind as u8, Ordering::Relaxed);
+            slot.name_ptr
+                .store(name.as_ptr().cast_mut(), Ordering::Relaxed);
+            slot.name_len.store(name.len() as u32, Ordering::Relaxed);
+            slot.nanos.store(nanos, Ordering::Relaxed);
+            slot.value.store(value, Ordering::Relaxed);
+            slot.seq.fetch_add(1, Ordering::Release); // even: stable
+            self.head.store(head + 1, Ordering::Release);
+        }
+
+        /// Concurrent-safe drain of every stable event still in the ring,
+        /// oldest first. Slots being rewritten mid-read are skipped.
+        fn snapshot(&self) -> Vec<EventRecord> {
+            let head = self.head.load(Ordering::Acquire);
+            let start = head.saturating_sub(RING_CAPACITY as u64);
+            let mut out = Vec::with_capacity((head - start) as usize);
+            for i in start..head {
+                let slot = &self.slots[(i % RING_CAPACITY as u64) as usize];
+                let seq1 = slot.seq.load(Ordering::Acquire);
+                if seq1 % 2 == 1 {
+                    continue; // torn: writer mid-flight
+                }
+                let kind = slot.kind.load(Ordering::Relaxed);
+                let name_ptr = slot.name_ptr.load(Ordering::Relaxed);
+                let name_len = slot.name_len.load(Ordering::Relaxed);
+                let nanos = slot.nanos.load(Ordering::Relaxed);
+                let value = slot.value.load(Ordering::Relaxed);
+                fence(Ordering::Acquire);
+                let seq2 = slot.seq.load(Ordering::Relaxed);
+                if seq1 != seq2 || name_ptr.is_null() {
+                    continue; // recycled under us (ring wrapped during drain)
+                }
+                // SAFETY: the seqlock check above proves these fields are
+                // the untorn write of one event, and every name stored is a
+                // `&'static str`, so the pointer is valid forever.
+                let name: &'static str = unsafe {
+                    std::str::from_utf8_unchecked(std::slice::from_raw_parts(
+                        name_ptr,
+                        name_len as usize,
+                    ))
+                };
+                out.push(EventRecord {
+                    tid: self.tid,
+                    kind: match kind {
+                        0 => EventKind::SpanBegin,
+                        1 => EventKind::SpanEnd,
+                        _ => EventKind::Counter,
+                    },
+                    name,
+                    nanos,
+                    value,
+                });
+            }
+            out
+        }
+    }
+
+    static ACTIVE: AtomicBool = AtomicBool::new(false);
+    static SESSION_START: AtomicU64 = AtomicU64::new(u64::MAX);
+    static NEXT_TID: AtomicUsize = AtomicUsize::new(0);
+
+    fn registry() -> &'static Mutex<Vec<Arc<Ring>>> {
+        static R: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
+        R.get_or_init(|| Mutex::new(Vec::new()))
+    }
+
+    /// Process-wide monotonic clock base; all timestamps are nanoseconds
+    /// since the first observability call in the process.
+    fn now_nanos() -> u64 {
+        static CLOCK: OnceLock<Instant> = OnceLock::new();
+        CLOCK.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    }
+
+    thread_local! {
+        static RING: OnceCell<Arc<Ring>> = const { OnceCell::new() };
+    }
+
+    fn register_current_thread() -> Arc<Ring> {
+        let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        let name = std::thread::current()
+            .name()
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("thread-{tid}"));
+        let ring = Arc::new(Ring::new(tid, name));
+        registry().lock().unwrap().push(Arc::clone(&ring));
+        ring
+    }
+
+    #[inline]
+    fn record(kind: EventKind, name: &'static str, value: u64) {
+        let nanos = now_nanos();
+        RING.with(|cell| {
+            let ring = cell.get_or_init(register_current_thread);
+            ring.push(kind, name, nanos, value);
+        });
+    }
+
+    /// Start recording. Restarts are allowed; events from before the call
+    /// are excluded from the next drain by timestamp.
+    pub fn session_begin() {
+        let t = now_nanos();
+        SESSION_START.store(t, Ordering::SeqCst);
+        for ring in registry().lock().unwrap().iter() {
+            ring.session_head
+                .store(ring.head.load(Ordering::Acquire), Ordering::Relaxed);
+        }
+        ACTIVE.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a session is currently recording.
+    #[inline]
+    pub fn session_active() -> bool {
+        ACTIVE.load(Ordering::Relaxed)
+    }
+
+    /// Stop recording and drain every thread's ring into one time-ordered
+    /// [`Trace`]. Threads that never recorded are still listed if they
+    /// registered in an earlier session.
+    pub fn session_end() -> Trace {
+        ACTIVE.store(false, Ordering::SeqCst);
+        let start = SESSION_START.swap(u64::MAX, Ordering::SeqCst);
+        if start == u64::MAX {
+            return Trace::default();
+        }
+        let end = now_nanos();
+        let rings: Vec<Arc<Ring>> = registry().lock().unwrap().clone();
+        let mut events = Vec::new();
+        let mut threads = Vec::new();
+        let mut dropped = 0u64;
+        for ring in &rings {
+            let head = ring.head.load(Ordering::Acquire);
+            let in_session = head - ring.session_head.load(Ordering::Relaxed);
+            dropped += in_session.saturating_sub(RING_CAPACITY as u64);
+            events.extend(
+                ring.snapshot()
+                    .into_iter()
+                    .filter(|e| e.nanos >= start)
+                    .map(|e| EventRecord {
+                        nanos: e.nanos - start,
+                        ..e
+                    }),
+            );
+            threads.push((ring.tid, ring.thread_name.clone()));
+        }
+        threads.sort_by_key(|&(tid, _)| tid);
+        // Stable: events from one ring are already in program order, so
+        // ties keep per-thread ordering (begin before end).
+        events.sort_by_key(|e| e.nanos);
+        Trace {
+            events,
+            threads,
+            dropped,
+            session_nanos: end - start,
+        }
+    }
+
+    /// An open span; records `SpanEnd` when dropped. Keep it on the thread
+    /// that opened it — the exporters pair begins and ends per thread.
+    #[must_use = "dropping the guard ends the span immediately; bind it with `let _guard = ...`"]
+    pub struct SpanGuard {
+        name: &'static str,
+        armed: bool,
+    }
+
+    impl SpanGuard {
+        /// Open a span named `name` on the current thread.
+        #[inline]
+        pub fn enter(name: &'static str) -> Self {
+            let armed = session_active();
+            if armed {
+                record(EventKind::SpanBegin, name, 0);
+            }
+            Self { name, armed }
+        }
+    }
+
+    impl Drop for SpanGuard {
+        #[inline]
+        fn drop(&mut self) {
+            if self.armed {
+                record(EventKind::SpanEnd, self.name, 0);
+            }
+        }
+    }
+
+    /// Add `delta` to counter `name` (no-op outside a session).
+    #[inline]
+    pub fn counter_add(name: &'static str, delta: u64) {
+        if session_active() {
+            record(EventKind::Counter, name, delta);
+        }
+    }
+}
+
+#[cfg(not(feature = "capture"))]
+mod imp {
+    use super::Trace;
+
+    /// No-op: the `capture` feature is disabled.
+    #[inline(always)]
+    pub fn session_begin() {}
+
+    /// Always `false` without `capture`.
+    #[inline(always)]
+    pub fn session_active() -> bool {
+        false
+    }
+
+    /// Always returns an empty [`Trace`] without `capture`.
+    #[inline(always)]
+    pub fn session_end() -> Trace {
+        Trace::default()
+    }
+
+    /// Zero-sized stand-in with no `Drop`; the optimizer deletes it.
+    #[must_use = "dropping the guard ends the span immediately; bind it with `let _guard = ...`"]
+    pub struct SpanGuard {
+        _priv: (),
+    }
+
+    impl SpanGuard {
+        /// No-op: the `capture` feature is disabled.
+        #[inline(always)]
+        pub fn enter(_name: &'static str) -> Self {
+            Self { _priv: () }
+        }
+    }
+
+    // An (empty) Drop keeps explicit `drop(guard)` call sites identical
+    // between the two builds; the optimizer deletes it.
+    impl Drop for SpanGuard {
+        #[inline(always)]
+        fn drop(&mut self) {}
+    }
+
+    /// No-op: the `capture` feature is disabled.
+    #[inline(always)]
+    pub fn counter_add(_name: &'static str, _delta: u64) {}
+}
+
+pub use imp::{counter_add, session_active, session_begin, session_end, SpanGuard};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Sessions are process-global; serialize the tests that open one.
+    pub(crate) static SESSION_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn session_records_spans_and_counters() {
+        let _lock = SESSION_LOCK.lock().unwrap();
+        session_begin();
+        {
+            let _outer = crate::span!("outer");
+            {
+                let _inner = crate::span!("inner");
+                crate::counter_add("ticks", 5);
+                crate::counter_add("ticks", 7);
+            }
+        }
+        let trace = session_end();
+        if !crate::CAPTURE {
+            assert!(trace.events.is_empty());
+            return;
+        }
+        assert_eq!(trace.counter_total("ticks"), 12);
+        assert_eq!(trace.span_count("outer"), 1);
+        assert_eq!(trace.span_count("inner"), 1);
+        // Nesting order: outer begins first, ends last.
+        let kinds: Vec<(&str, EventKind)> = trace.events.iter().map(|e| (e.name, e.kind)).collect();
+        assert_eq!(kinds.first(), Some(&("outer", EventKind::SpanBegin)));
+        assert_eq!(kinds.last(), Some(&("outer", EventKind::SpanEnd)));
+        assert_eq!(trace.dropped, 0);
+        assert!(trace
+            .threads
+            .iter()
+            .any(|(tid, _)| *tid == trace.events[0].tid));
+    }
+
+    #[test]
+    fn no_session_records_nothing() {
+        let _lock = SESSION_LOCK.lock().unwrap();
+        assert!(!session_active());
+        let _span = crate::span!("ignored");
+        crate::counter_add("ignored", 1);
+        session_begin();
+        let trace = session_end();
+        assert_eq!(trace.counter_total("ignored"), 0);
+        assert_eq!(trace.span_count("ignored"), 0);
+    }
+
+    #[test]
+    fn events_from_other_threads_are_drained() {
+        let _lock = SESSION_LOCK.lock().unwrap();
+        session_begin();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let _s = crate::span!("worker");
+                    crate::counter_add("work", 1);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let trace = session_end();
+        if crate::CAPTURE {
+            assert_eq!(trace.counter_total("work"), 4);
+            assert_eq!(trace.span_count("worker"), 4);
+            let tids: std::collections::BTreeSet<usize> =
+                trace.events.iter().map(|e| e.tid).collect();
+            assert!(tids.len() >= 4, "expected ≥4 distinct tids, got {tids:?}");
+        }
+    }
+
+    #[test]
+    fn ring_wrap_drops_oldest_and_counts() {
+        let _lock = SESSION_LOCK.lock().unwrap();
+        session_begin();
+        let extra = 100u64;
+        for i in 0..(RING_CAPACITY as u64 + extra) {
+            crate::counter_add("wrap", i);
+        }
+        let trace = session_end();
+        if crate::CAPTURE {
+            let wraps: Vec<&EventRecord> =
+                trace.events.iter().filter(|e| e.name == "wrap").collect();
+            assert_eq!(wraps.len(), RING_CAPACITY);
+            assert!(trace.dropped >= extra);
+            // The survivors are the *newest* events.
+            assert_eq!(
+                wraps.last().unwrap().value,
+                RING_CAPACITY as u64 + extra - 1
+            );
+        }
+    }
+
+    #[test]
+    fn second_session_excludes_first_sessions_events() {
+        let _lock = SESSION_LOCK.lock().unwrap();
+        session_begin();
+        crate::counter_add("old", 1);
+        let first = session_end();
+        session_begin();
+        crate::counter_add("new", 1);
+        let second = session_end();
+        if crate::CAPTURE {
+            assert_eq!(first.counter_total("old"), 1);
+            assert_eq!(second.counter_total("old"), 0);
+            assert_eq!(second.counter_total("new"), 1);
+        }
+    }
+}

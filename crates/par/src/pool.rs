@@ -233,6 +233,8 @@ impl Latch {
                 return;
             }
             if let Some(job) = registry.try_pop() {
+                // A blocked thread helping with someone else's job.
+                pgc_obs::counter!("pool.help", 1);
                 // SAFETY: popped jobs are alive and executed exactly once.
                 unsafe { job.execute() };
                 continue;
@@ -334,14 +336,20 @@ impl Registry {
 fn worker_loop(registry: &'static Registry) {
     loop {
         let job = {
+            // The idle span covers queue-empty waits, so a Perfetto row
+            // shows each worker alternating task/idle; the park counter
+            // tallies how often the condvar actually blocked.
+            let _idle = pgc_obs::span!("pool.idle");
             let mut inner = registry.inner.lock().unwrap();
             loop {
                 if let Some(job) = inner.queue.pop_front() {
                     break job;
                 }
+                pgc_obs::counter!("pool.park", 1);
                 inner = registry.work_available.wait(inner).unwrap();
             }
         };
+        let _task = pgc_obs::span!("pool.task");
         // SAFETY: popped jobs are alive and executed exactly once.
         unsafe { job.execute() };
     }

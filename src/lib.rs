@@ -24,7 +24,11 @@
 //!   paper's PAPI hardware-counter measurements (Fig. 4),
 //! * [`mining`] — "ADG beyond coloring" (§VIII): approximate densest
 //!   subgraph (unweighted and weighted-degree peel), coreness estimation,
-//!   maximal cliques, parallel greedy weighted matching.
+//!   maximal cliques, parallel greedy weighted matching,
+//! * [`obs`] — observability: the lock-free span/counter recorder behind
+//!   the `pgc --trace` flag, mergeable log₂ latency histograms, and the
+//!   Chrome-trace / JSONL report exporters (`--report`, `pgc report`).
+//!   Compiled to no-ops when the default `obs` feature is disabled.
 //!
 //! ## Quickstart
 //!
@@ -50,5 +54,6 @@ pub use pgc_cachesim as cachesim;
 pub use pgc_core as color;
 pub use pgc_graph as graph;
 pub use pgc_mining as mining;
+pub use pgc_obs as obs;
 pub use pgc_order as order;
 pub use pgc_primitives as primitives;
