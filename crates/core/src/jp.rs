@@ -240,6 +240,78 @@ pub fn jp_color_levels<G: GraphView>(g: &G, rho: &[u64]) -> (Vec<u32>, u32) {
     (colors.into_iter().map(|c| c.into_inner()).collect(), rounds)
 }
 
+/// Shard-parallel level-synchronous JP over a vertex-range sharding
+/// (`bounds` as produced by `pgc_graph::ShardedCsr::boundaries`): each
+/// round is partitioned by owning shard and every shard colors its
+/// sub-round independently with its own degree-bucketed schedule
+/// ([`crate::schedule`]). A round's frontier is an independent set of
+/// `Gρ`, so shards never read each other's in-round colors; the fork–join
+/// barrier at the end of the round is the halo color exchange — after it,
+/// every cross-shard (halo) arc sees its endpoint's committed color, and
+/// the release scan runs on globally consistent state. Works on *any*
+/// [`GraphView`] (the bounds need not match the representation's physical
+/// layout), and is bit-identical to [`jp_color_levels`] because each
+/// vertex's color is a function of earlier-round colors only.
+pub fn jp_color_levels_sharded<G: GraphView>(
+    g: &G,
+    rho: &[u64],
+    bounds: &[u32],
+) -> (Vec<u32>, u32) {
+    assert_eq!(rho.len(), g.n());
+    assert!(
+        bounds.len() >= 2 && bounds[0] == 0 && *bounds.last().unwrap() as usize == g.n(),
+        "shard bounds must cover 0..n"
+    );
+    let num_shards = bounds.len() - 1;
+    let counts = predecessor_counts(g, rho);
+    let counters = JoinCounters::from_values(&counts);
+    let colors: Vec<AtomicU32> = (0..g.n()).map(|_| AtomicU32::new(UNCOLORED)).collect();
+    let mut frontier: Vec<u32> = g
+        .vertices()
+        .into_par_iter()
+        .filter(|&v| counts[v as usize] == 0)
+        .collect();
+    let mut rounds = 0u32;
+    while !frontier.is_empty() {
+        rounds += 1;
+        let _round = pgc_obs::span!("jp.round");
+        let mut by_shard: Vec<Vec<u32>> = vec![Vec::new(); num_shards];
+        for &v in &frontier {
+            by_shard[bounds[1..].partition_point(|&b| b <= v)].push(v);
+        }
+        let colors_ref = &colors;
+        by_shard.par_iter_mut().for_each(|sub| {
+            if sub.is_empty() {
+                return;
+            }
+            let _shard = pgc_obs::span!("jp.shard");
+            crate::schedule::bucket_by_degree(g, sub);
+            let sub = &sub[..];
+            (0..sub.len()).into_par_iter().for_each_init(
+                || FixedBitmap::new(0),
+                |scratch, i| {
+                    crate::schedule::prefetch_ahead(g, sub, i);
+                    let v = sub[i];
+                    let c = get_color(g, rho, colors_ref, v, scratch);
+                    colors_ref[v as usize].store(c, AtOrd::Relaxed);
+                },
+            );
+        });
+        // Implicit barrier above = halo color exchange; release the next
+        // level against fully committed colors.
+        let counters_ref = &counters;
+        frontier = frontier
+            .par_iter()
+            .flat_map_iter(|&v| {
+                let rv = rho[v as usize];
+                g.neighbors(v)
+                    .filter(move |&u| rho[u as usize] < rv && counters_ref.join(u as usize))
+            })
+            .collect();
+    }
+    (colors.into_iter().map(|c| c.into_inner()).collect(), rounds)
+}
+
 /// Length (in vertices) of the longest directed path in `Gρ` — the `|P|`
 /// of the paper's depth bounds. Computed as the number of peeling levels of
 /// the DAG (identical to [`jp_color_levels`]'s round count but without
@@ -342,6 +414,30 @@ mod tests {
         let rho = random_rho(g.n(), 7);
         let colors = jp_color(&g, &rho);
         assert!(num_colors(&colors) <= g.max_degree() + 1);
+    }
+
+    #[test]
+    fn sharded_levels_bit_identical_to_monolithic() {
+        let g = generate(
+            &GraphSpec::Rmat {
+                scale: 8,
+                edge_factor: 8,
+            },
+            6,
+        );
+        let rho = random_rho(g.n(), 9);
+        let (mono, mono_rounds) = jp_color_levels(&g, &rho);
+        let n = g.n() as u32;
+        for bounds in [
+            vec![0, n],
+            vec![0, n / 2, n],
+            vec![0, n / 4, n / 2, 3 * n / 4, n],
+            vec![0, 1, n / 3, n], // deliberately lopsided
+        ] {
+            let (sharded, rounds) = jp_color_levels_sharded(&g, &rho, &bounds);
+            assert_eq!(sharded, mono, "bounds {bounds:?}");
+            assert_eq!(rounds, mono_rounds);
+        }
     }
 
     #[test]

@@ -23,7 +23,7 @@
 
 use crate::colorer::{Colorer, Instrumentation};
 use crate::{Algorithm, ColoringRun, Params, UNCOLORED};
-use pgc_graph::GraphView;
+use pgc_graph::{GraphView, InducedView};
 use pgc_primitives::bitmap::AtomicBitmap;
 use pgc_primitives::rng::uniform_at;
 use rayon::prelude::*;
@@ -175,6 +175,76 @@ impl<'a, G: GraphView> SimColEngine<'a, G> {
         stats
     }
 
+    /// [`color_partition_random`](Self::color_partition_random) driven
+    /// through a zero-copy [`InducedView`] of the partition — the Alg. 4
+    /// line 13 recursion on `R(ℓ)` without materializing `G[R(ℓ)]`.
+    ///
+    /// The payoff is in phase 2: conflict scans walk only intra-partition
+    /// adjacency (bounded by `deg_ℓ(v)`) instead of the full host
+    /// adjacency. The result is **bit-identical** to the slice path: draws
+    /// are keyed on original ids, and any neighbor outside the partition
+    /// has `tent == UNCOLORED` (which no draw can equal, palettes being
+    /// ≤ n), so dropping non-members from the scan cannot change a round's
+    /// loser set.
+    pub fn color_partition_random_view(
+        &self,
+        view: &InducedView<'_, G>,
+        round_base: u64,
+    ) -> SimColStats {
+        debug_assert!(
+            std::ptr::eq(view.base(), self.g),
+            "view must wrap the engine's host graph"
+        );
+        // Entry absorption still scans the *full* adjacency: the fixed
+        // colors live in higher partitions, outside the view.
+        view.members()
+            .par_iter()
+            .for_each(|&v| self.absorb_fixed_neighbors(v));
+
+        // Active vertices tracked as view-local ids.
+        let mut active: Vec<u32> = (0..view.n() as u32).collect();
+        let mut stats = SimColStats::default();
+        while !active.is_empty() {
+            let round_id = round_base + stats.rounds as u64;
+            stats.rounds += 1;
+
+            active.par_iter().for_each(|&l| {
+                let v = view.original_id(l);
+                let draw = uniform_at(self.seed, round_id, v as u64, self.palette[v as usize]);
+                self.tent[v as usize].store(draw, AtOrd::Relaxed);
+            });
+
+            let lost = |l: u32| {
+                let v = view.original_id(l);
+                let draw = self.tent[v as usize].load(AtOrd::Relaxed);
+                self.bv_contains(v, draw)
+                    || view.neighbors(l).any(|ul| {
+                        self.tent[view.original_id(ul) as usize].load(AtOrd::Relaxed) == draw
+                    })
+            };
+            let losers: Vec<u32> = active.par_iter().copied().filter(|&l| lost(l)).collect();
+
+            active.par_iter().for_each(|&l| {
+                if !lost(l) {
+                    let v = view.original_id(l);
+                    let draw = self.tent[v as usize].load(AtOrd::Relaxed);
+                    self.colors[v as usize].store(draw, AtOrd::Relaxed);
+                }
+            });
+            active.par_iter().for_each(|&l| {
+                self.tent[view.original_id(l) as usize].store(UNCOLORED, AtOrd::Relaxed);
+            });
+
+            losers
+                .par_iter()
+                .for_each(|&l| self.absorb_fixed_neighbors(view.original_id(l)));
+
+            stats.retries += losers.len() as u64;
+            active = losers;
+        }
+        stats
+    }
+
     /// First-fit variant (§IV-C): draws are the smallest color not in
     /// `B_v`; conflicts are resolved asymmetrically — the higher-`priority`
     /// endpoint commits, the loser records the winner's color and retries.
@@ -232,6 +302,74 @@ impl<'a, G: GraphView> SimColEngine<'a, G> {
             losers
                 .par_iter()
                 .for_each(|&v| self.absorb_fixed_neighbors(v));
+
+            stats.retries += losers.len() as u64;
+            active = losers;
+        }
+        stats
+    }
+
+    /// [`color_partition_first_fit`](Self::color_partition_first_fit)
+    /// through a zero-copy [`InducedView`] of the partition, with the same
+    /// bit-identity argument as
+    /// [`color_partition_random_view`](Self::color_partition_random_view):
+    /// non-members always carry `tent == UNCOLORED`, so the asymmetric
+    /// conflict scan over intra-partition neighbors resolves every round
+    /// exactly as the full-adjacency scan did.
+    pub fn color_partition_first_fit_view(
+        &self,
+        view: &InducedView<'_, G>,
+        priority: &[u64],
+    ) -> SimColStats {
+        debug_assert!(
+            std::ptr::eq(view.base(), self.g),
+            "view must wrap the engine's host graph"
+        );
+        view.members()
+            .par_iter()
+            .for_each(|&v| self.absorb_fixed_neighbors(v));
+
+        let mut active: Vec<u32> = (0..view.n() as u32).collect();
+        let mut stats = SimColStats::default();
+        while !active.is_empty() {
+            stats.rounds += 1;
+
+            active.par_iter().for_each(|&l| {
+                let v = view.original_id(l);
+                let base = self.bv_offset[v as usize] as usize;
+                let pal = self.palette[v as usize] as usize;
+                let mut c = 0usize;
+                while c < pal && self.bv.get(base + c) {
+                    c += 1;
+                }
+                debug_assert!(c < pal, "palette must contain a free color");
+                self.tent[v as usize].store(c as u32, AtOrd::Relaxed);
+            });
+
+            let lost = |l: u32| {
+                let v = view.original_id(l);
+                let draw = self.tent[v as usize].load(AtOrd::Relaxed);
+                let pv = priority[v as usize];
+                view.neighbors(l).any(|ul| {
+                    let u = view.original_id(ul);
+                    self.tent[u as usize].load(AtOrd::Relaxed) == draw && priority[u as usize] > pv
+                })
+            };
+            let losers: Vec<u32> = active.par_iter().copied().filter(|&l| lost(l)).collect();
+
+            active.par_iter().for_each(|&l| {
+                if !lost(l) {
+                    let v = view.original_id(l);
+                    let draw = self.tent[v as usize].load(AtOrd::Relaxed);
+                    self.colors[v as usize].store(draw, AtOrd::Relaxed);
+                }
+            });
+            active.par_iter().for_each(|&l| {
+                self.tent[view.original_id(l) as usize].store(UNCOLORED, AtOrd::Relaxed);
+            });
+            losers
+                .par_iter()
+                .for_each(|&l| self.absorb_fixed_neighbors(view.original_id(l)));
 
             stats.retries += losers.len() as u64;
             active = losers;
@@ -361,6 +499,74 @@ mod tests {
         let (pal, off) = palette_layout(&[0, 1, 4], 0.25);
         assert_eq!(pal, vec![1, 2, 5]);
         assert_eq!(off, vec![0, 1, 3, 8]);
+    }
+
+    #[test]
+    fn view_partition_coloring_is_bit_identical_to_slice_path() {
+        // Regression pin for the DEC-ADG `level_view` recursion: coloring a
+        // sequence of partitions through `InducedView`s must reproduce the
+        // legacy full-adjacency slice path bit for bit — same colors, same
+        // rounds, same retries — for both the random and first-fit engines.
+        use pgc_primitives::random_permutation;
+        let g = generate(
+            &GraphSpec::RingOfCliques {
+                cliques: 10,
+                clique_size: 12,
+            },
+            4,
+        );
+        let n = g.n();
+        let deg = g.degree_array();
+        let (palette, bv_offset) = palette_layout(&deg, 0.4);
+        let groups: Vec<Vec<u32>> = (0..3)
+            .map(|r| (0..n as u32).filter(|v| v % 3 == r).collect())
+            .collect();
+        let priority: Vec<u64> = random_permutation(n, 77)
+            .into_iter()
+            .map(u64::from)
+            .collect();
+
+        let run = |use_view: bool, first_fit: bool| -> (Vec<u32>, SimColStats) {
+            let bv = AtomicBitmap::new(*bv_offset.last().unwrap() as usize);
+            let colors: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNCOLORED)).collect();
+            let tent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNCOLORED)).collect();
+            let engine = SimColEngine {
+                g: &g,
+                colors: &colors,
+                tent: &tent,
+                bv: &bv,
+                bv_offset: &bv_offset,
+                palette: &palette,
+                seed: 0xFACE,
+            };
+            let mut total = SimColStats::default();
+            let mut round_base = 0u64;
+            for members in &groups {
+                let stats = match (use_view, first_fit) {
+                    (false, false) => engine.color_partition_random(members, round_base),
+                    (true, false) => {
+                        let view = pgc_graph::InducedView::new(&g, members);
+                        engine.color_partition_random_view(&view, round_base)
+                    }
+                    (false, true) => engine.color_partition_first_fit(members, &priority),
+                    (true, true) => {
+                        let view = pgc_graph::InducedView::new(&g, members);
+                        engine.color_partition_first_fit_view(&view, &priority)
+                    }
+                };
+                total.rounds += stats.rounds;
+                total.retries += stats.retries;
+                round_base += stats.rounds as u64;
+            }
+            (colors.into_iter().map(|c| c.into_inner()).collect(), total)
+        };
+
+        for first_fit in [false, true] {
+            let (slice_colors, slice_stats) = run(false, first_fit);
+            let (view_colors, view_stats) = run(true, first_fit);
+            assert_eq!(slice_colors, view_colors, "first_fit={first_fit}");
+            assert_eq!(slice_stats, view_stats, "first_fit={first_fit}");
+        }
     }
 
     #[test]

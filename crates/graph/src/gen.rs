@@ -227,6 +227,19 @@ pub fn generate_with_stats(spec: &GraphSpec, seed: u64) -> (CompactCsr, BuildSta
         .expect("generator replay cannot fail")
 }
 
+/// [`generate`] through the shard-aware builder (the harness's
+/// `--shards N` path): the same seeded topology, split into arc-balanced
+/// vertex-range shards. The returned stats' `build_bytes_peak` is the
+/// per-shard high-water mark, not a sum.
+pub fn generate_sharded_with_stats(
+    spec: &GraphSpec,
+    seed: u64,
+    opts: &crate::sharded::ShardOptions,
+) -> (crate::sharded::ShardedCsr, BuildStats) {
+    crate::sharded::build_sharded_with_stats(&SpecSource::new(spec.clone(), seed), opts)
+        .expect("generator replay cannot fail")
+}
+
 /// Generate a weighted graph: the same seeded topology as [`generate`]
 /// (bit-identical structure) plus the replay-exact seeded weight
 /// stream in `[1, 10)`, converted into `W`. Like every generator build,

@@ -46,6 +46,7 @@ pub mod degeneracy;
 pub mod gen;
 pub mod induced;
 pub mod io;
+pub mod sharded;
 pub mod snapshot;
 pub mod stream;
 pub mod transform;
@@ -58,6 +59,10 @@ pub use compact::CompactCsr;
 pub use csr::CsrGraph;
 pub use degeneracy::{degeneracy, DegeneracyInfo};
 pub use induced::InducedView;
+pub use sharded::{
+    build_sharded, build_sharded_weighted, build_sharded_weighted_with_stats,
+    build_sharded_with_stats, ShardOptions, ShardedCsr,
+};
 pub use snapshot::{
     load_snapshot, load_weighted_snapshot, write_snapshot, write_weighted_snapshot, MappedSnapshot,
 };

@@ -783,6 +783,14 @@ impl<W: EdgeWeight> MappedSnapshot<W> {
         &self.neighbor_array()[self.offset(v as usize)..self.offset(v as usize + 1)]
     }
 
+    /// Weight slice parallel to [`neighbor_slice`](Self::neighbor_slice)
+    /// (a dangling-but-valid ZST slice for the unit payload). Used by the
+    /// sharded layer to serve spilled shards without re-materializing.
+    #[inline]
+    pub(crate) fn weight_slice(&self, v: u32) -> &[W] {
+        &self.weight_array()[self.offset(v as usize)..self.offset(v as usize + 1)]
+    }
+
     /// Copy into an owned [`CompactCsr`] (e.g. to outlive the file).
     pub fn to_compact(&self) -> CompactCsr {
         let offsets: Vec<usize> = (0..=self.n).map(|i| self.offset(i)).collect();

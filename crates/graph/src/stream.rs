@@ -353,21 +353,29 @@ impl RawCsr {
     }
 }
 
-/// Running high-water mark of build-side allocations.
+/// Running high-water mark of build-side allocations. Shared with the
+/// sharded builder ([`crate::sharded`]), which threads **one** `Peak`
+/// through every per-shard phase so its reported peak is the true
+/// high-water mark (max across shards), never a sum.
 #[derive(Default)]
-struct Peak {
+pub(crate) struct Peak {
     cur: usize,
     peak: usize,
 }
 
 impl Peak {
-    fn alloc(&mut self, bytes: usize) {
+    pub(crate) fn alloc(&mut self, bytes: usize) {
         self.cur += bytes;
         self.peak = self.peak.max(self.cur);
     }
 
-    fn free(&mut self, bytes: usize) {
+    pub(crate) fn free(&mut self, bytes: usize) {
         self.cur -= bytes;
+    }
+
+    /// The high-water mark so far.
+    pub(crate) fn high_water(&self) -> usize {
+        self.peak
     }
 }
 
@@ -431,7 +439,7 @@ impl ScatterWord for usize {
 /// copying — so the big arrays can be allocated as `vec![0u32; len]`
 /// (zeroed pages straight from the allocator) instead of an element-wise
 /// atomic-constructor pass, and used as plain words again afterwards.
-fn as_atomic_u32s(v: &mut [u32]) -> &[AtomicU32] {
+pub(crate) fn as_atomic_u32s(v: &mut [u32]) -> &[AtomicU32] {
     // SAFETY: `AtomicU32` has the same size, alignment, and bit validity
     // as `u32`, and the `&mut` proves exclusive access, which is then
     // shared only through the atomics for the borrow's duration.
@@ -442,7 +450,7 @@ fn as_atomic_u32s(v: &mut [u32]) -> &[AtomicU32] {
 /// *disjoint* ranges. Every use below hands different workers
 /// vertex-aligned CSR ranges — or slot indices claimed by a unique
 /// cursor bump — which never overlap.
-struct SharedMut<T>(*mut T);
+pub(crate) struct SharedMut<T>(pub(crate) *mut T);
 
 unsafe impl<T: Send> Send for SharedMut<T> {}
 unsafe impl<T: Send> Sync for SharedMut<T> {}
@@ -451,12 +459,12 @@ impl<T> SharedMut<T> {
     /// SAFETY: callers must ensure `[lo, hi)` ranges given to concurrent
     /// callers are pairwise disjoint and in bounds.
     #[allow(clippy::mut_from_ref)]
-    unsafe fn slice(&self, lo: usize, hi: usize) -> &mut [T] {
+    pub(crate) unsafe fn slice(&self, lo: usize, hi: usize) -> &mut [T] {
         std::slice::from_raw_parts_mut(self.0.add(lo), hi - lo)
     }
 
     /// SAFETY: `i` must be in bounds and not written concurrently.
-    unsafe fn write(&self, i: usize, v: T) {
+    pub(crate) unsafe fn write(&self, i: usize, v: T) {
         *self.0.add(i) = v;
     }
 }
@@ -536,7 +544,7 @@ fn build_raw<W: EdgeWeight, S: EdgeSource<W> + ?Sized>(
 /// Grow the count array to at least `need` entries (geometric, so
 /// id-discovering sources pay amortized O(n) for growth; accounting
 /// tracks the capacity actually reserved).
-fn grow_counts(counts: &mut Vec<u32>, need: usize, peak: &mut Peak) {
+pub(crate) fn grow_counts(counts: &mut Vec<u32>, need: usize, peak: &mut Peak) {
     if counts.len() >= need {
         return;
     }

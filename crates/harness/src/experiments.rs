@@ -24,6 +24,10 @@ pub struct ExpConfig {
     pub reps: usize,
     /// Thread counts for the scaling experiments.
     pub threads: Vec<usize>,
+    /// Build the fig2 workloads as a [`pgc_graph::ShardedCsr`] with this
+    /// many vertex-range shards (`--shards` / `PGC_SHARDS`); `None` keeps
+    /// the monolithic [`CompactCsr`].
+    pub shards: Option<usize>,
 }
 
 impl Default for ExpConfig {
@@ -33,6 +37,7 @@ impl Default for ExpConfig {
             seed: 0xC0FFEE,
             reps: 3,
             threads: vec![1, 2, 4, 8],
+            shards: None,
         }
     }
 }
@@ -55,6 +60,13 @@ impl ExpConfig {
             .and_then(|s| parse_thread_list(&s))
         {
             self.threads = list;
+        }
+        if let Some(s) = std::env::var("PGC_SHARDS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&s| s > 0)
+        {
+            self.shards = Some(s);
         }
         self
     }
@@ -201,7 +213,11 @@ fn scaling_algorithms() -> Vec<Algorithm> {
 
 /// Fig. 2 (middle/right): strong scaling on the h-bai and s-pok proxies.
 /// Each row reports its speedup over the single-thread baseline of the
-/// same (graph, algorithm) pair — the paper's scaling axis.
+/// same (graph, algorithm) pair — the paper's scaling axis. With
+/// `cfg.shards` set (`--shards` / `PGC_SHARDS`), the workloads are built
+/// as [`pgc_graph::ShardedCsr`]s and the shard-parallel round loops carry
+/// the runs; the trailing `shards`/`halo_MiB` columns say which
+/// representation each row measured.
 pub fn fig2_strong(cfg: &ExpConfig) -> Table {
     let params = cfg.params();
     let mut t = Table::new(&[
@@ -215,71 +231,140 @@ pub fn fig2_strong(cfg: &ExpConfig) -> Table {
         "ingest_ms",
         "load_ms",
         "build_peak_MiB",
+        "shards",
+        "halo_MiB",
     ]);
-    for (sg, g, _) in load_suite(cfg)
+    for sg in suite(cfg.scale)
         .into_iter()
-        .filter(|(sg, _, _)| sg.name == "h-bai" || sg.name == "s-pok")
+        .filter(|sg| sg.name == "h-bai" || sg.name == "s-pok")
     {
-        let load_ms = snapshot_load_ms(&g, sg.name);
         // Ingestion is part of the scaling story too: re-measure the
         // streaming build once per pool width so each row's ingest_ms
         // was actually produced at that row's thread count (generation
         // is deterministic, so the graph itself is unchanged).
-        let ingest_at: Vec<(usize, pgc_graph::BuildStats)> = cfg
-            .threads
-            .iter()
-            .map(|&threads| {
-                (
-                    threads,
-                    with_threads(threads, || generate_with_stats(&sg.spec, cfg.seed)).1,
-                )
-            })
-            .collect();
-        for algo in scaling_algorithms() {
-            let (base, base_hist) = with_threads(1, || {
-                best_of_with_latency(cfg.reps, || run(&g, algo, &params))
-            });
-            for &(threads, stats) in &ingest_at {
-                let (r, hist) = if threads == 1 {
-                    (base.clone(), base_hist)
-                } else {
-                    with_threads(threads, || {
-                        best_of_with_latency(cfg.reps, || run(&g, algo, &params))
+        match cfg.shards {
+            Some(s) if s > 1 => {
+                let opts = pgc_graph::ShardOptions::resident(s);
+                let ingest_at: Vec<(usize, BuildStats)> = cfg
+                    .threads
+                    .iter()
+                    .map(|&threads| {
+                        let stats = with_threads(threads, || {
+                            pgc_graph::gen::generate_sharded_with_stats(&sg.spec, cfg.seed, &opts)
+                        })
+                        .1;
+                        (threads, stats)
                     })
-                };
-                let speedup =
-                    base.total_time().as_secs_f64() / r.total_time().as_secs_f64().max(1e-9);
-                // The row's key width is the *requested* pool width of the
-                // sweep; the record's derived columns carry everything the
-                // table prints.
-                let rec = run_record("fig2-strong", sg.name, &r)
-                    .with_threads(threads)
-                    .with_graph_size(g.n(), g.m())
-                    .with_graph_mib(graph_mib(&g))
-                    .with_build(stats.ingest_ms(), build_peak_mib(&stats))
-                    .with_load_ms(load_ms)
-                    .with_latency(hist.summary());
-                t.row(vec![
-                    rec.graph.clone(),
-                    rec.algorithm.clone(),
-                    rec.threads.to_string(),
-                    format!("{:.2}", rec.total_ms),
-                    format!("{speedup:.2}"),
-                    rec.colors.to_string(),
-                    fmt_opt(rec.graph_mib),
-                    fmt_opt(rec.ingest_ms),
-                    fmt_opt(rec.load_ms),
-                    fmt_opt(rec.build_peak_mib),
-                ]);
-                crate::report::record(rec);
+                    .collect();
+                let (g, _) = pgc_graph::gen::generate_sharded_with_stats(&sg.spec, cfg.seed, &opts);
+                let halo_mib = g.halo_bytes() as f64 / (1024.0 * 1024.0);
+                strong_rows(
+                    &mut t,
+                    cfg,
+                    &params,
+                    sg.name,
+                    &g,
+                    &ingest_at,
+                    None,
+                    Some((s, halo_mib)),
+                );
+            }
+            _ => {
+                let (g, _) = generate_with_stats(&sg.spec, cfg.seed);
+                let load_ms = snapshot_load_ms(&g, sg.name);
+                let ingest_at: Vec<(usize, BuildStats)> = cfg
+                    .threads
+                    .iter()
+                    .map(|&threads| {
+                        (
+                            threads,
+                            with_threads(threads, || generate_with_stats(&sg.spec, cfg.seed)).1,
+                        )
+                    })
+                    .collect();
+                strong_rows(
+                    &mut t,
+                    cfg,
+                    &params,
+                    sg.name,
+                    &g,
+                    &ingest_at,
+                    Some(load_ms),
+                    None,
+                );
             }
         }
     }
     t
 }
 
+/// The representation-generic inner sweep of [`fig2_strong`]: one row per
+/// algorithm × pool width over `g`, with the per-width ingest stats and
+/// the (monolithic-only) snapshot load time / (sharded-only) shard detail
+/// threaded into both the table and the run records.
+#[allow(clippy::too_many_arguments)]
+fn strong_rows<G: GraphView>(
+    t: &mut Table,
+    cfg: &ExpConfig,
+    params: &Params,
+    name: &str,
+    g: &G,
+    ingest_at: &[(usize, BuildStats)],
+    load_ms: Option<f64>,
+    sharding: Option<(usize, f64)>,
+) {
+    for algo in scaling_algorithms() {
+        let (base, base_hist) = with_threads(1, || {
+            best_of_with_latency(cfg.reps, || run(g, algo, params))
+        });
+        for &(threads, stats) in ingest_at {
+            let (r, hist) = if threads == 1 {
+                (base.clone(), base_hist)
+            } else {
+                with_threads(threads, || {
+                    best_of_with_latency(cfg.reps, || run(g, algo, params))
+                })
+            };
+            let speedup = base.total_time().as_secs_f64() / r.total_time().as_secs_f64().max(1e-9);
+            // The row's key width is the *requested* pool width of the
+            // sweep; the record's derived columns carry everything the
+            // table prints.
+            let mut rec = run_record("fig2-strong", name, &r)
+                .with_threads(threads)
+                .with_graph_size(g.n(), g.m())
+                .with_graph_mib(graph_mib(g))
+                .with_build(stats.ingest_ms(), build_peak_mib(&stats))
+                .with_latency(hist.summary());
+            if let Some(load_ms) = load_ms {
+                rec = rec.with_load_ms(load_ms);
+            }
+            if let Some((shards, halo_mib)) = sharding {
+                rec = rec.with_shards(shards, halo_mib);
+            }
+            t.row(vec![
+                rec.graph.clone(),
+                rec.algorithm.clone(),
+                rec.threads.to_string(),
+                format!("{:.2}", rec.total_ms),
+                format!("{speedup:.2}"),
+                rec.colors.to_string(),
+                fmt_opt(rec.graph_mib),
+                fmt_opt(rec.ingest_ms),
+                fmt_opt(rec.load_ms),
+                fmt_opt(rec.build_peak_mib),
+                rec.shards.map_or_else(|| "1".into(), |s| s.to_string()),
+                fmt_opt(rec.halo_mib),
+            ]);
+            crate::report::record(rec);
+        }
+    }
+}
+
 /// Fig. 2 (left): weak scaling on Kronecker graphs — edges/vertex grows
-/// with the thread count ("1+1 … 32+32" in the paper).
+/// with the thread count ("1+1 … 32+32" in the paper). With `cfg.shards`
+/// set, each Kronecker workload is built as a [`pgc_graph::ShardedCsr`];
+/// the trailing `shards`/`halo_MiB` columns say which representation the
+/// row measured.
 pub fn fig2_weak(cfg: &ExpConfig) -> Table {
     let params = cfg.params();
     let scale = 12 + cfg.scale as u32 * 2;
@@ -295,47 +380,159 @@ pub fn fig2_weak(cfg: &ExpConfig) -> Table {
         "algorithm",
         "total_ms",
         "colors",
+        "shards",
+        "halo_MiB",
     ]);
     for (ef, threads) in [(1usize, 1usize), (2, 2), (4, 4), (8, 8), (16, 16), (32, 32)] {
+        let spec = GraphSpec::Rmat {
+            scale,
+            edge_factor: ef,
+        };
         // Ingest at the row's width too: weak scaling is about growing
         // the workload with the threads, and the streaming build is part
         // of the measured pipeline.
-        let (g, stats) = with_threads(threads, || {
-            generate_with_stats(
-                &GraphSpec::Rmat {
-                    scale,
-                    edge_factor: ef,
-                },
-                cfg.seed,
-            )
-        });
-        let load_ms = snapshot_load_ms(&g, &format!("weak-ef{ef}"));
-        for algo in scaling_algorithms() {
-            let (r, hist) = with_threads(threads, || {
-                best_of_with_latency(cfg.reps, || run(&g, algo, &params))
-            });
-            let rec = run_record("fig2-weak", &format!("kron-ef{ef}"), &r)
-                .with_threads(threads)
-                .with_graph_size(g.n(), g.m())
-                .with_graph_mib(graph_mib(&g))
-                .with_build(stats.ingest_ms(), build_peak_mib(&stats))
-                .with_load_ms(load_ms)
-                .with_latency(hist.summary());
-            t.row(vec![
-                ef.to_string(),
-                rec.threads.to_string(),
-                rec.n.to_string(),
-                rec.m.to_string(),
-                fmt_opt(rec.graph_mib),
-                fmt_opt(rec.ingest_ms),
-                fmt_opt(rec.load_ms),
-                fmt_opt(rec.build_peak_mib),
-                rec.algorithm.clone(),
-                format!("{:.2}", rec.total_ms),
-                rec.colors.to_string(),
-            ]);
-            crate::report::record(rec);
+        match cfg.shards {
+            Some(s) if s > 1 => {
+                let opts = pgc_graph::ShardOptions::resident(s);
+                let (g, stats) = with_threads(threads, || {
+                    pgc_graph::gen::generate_sharded_with_stats(&spec, cfg.seed, &opts)
+                });
+                let halo_mib = g.halo_bytes() as f64 / (1024.0 * 1024.0);
+                weak_rows(
+                    &mut t,
+                    cfg,
+                    &params,
+                    ef,
+                    threads,
+                    &g,
+                    stats,
+                    None,
+                    Some((s, halo_mib)),
+                );
+            }
+            _ => {
+                let (g, stats) = with_threads(threads, || generate_with_stats(&spec, cfg.seed));
+                let load_ms = snapshot_load_ms(&g, &format!("weak-ef{ef}"));
+                weak_rows(
+                    &mut t,
+                    cfg,
+                    &params,
+                    ef,
+                    threads,
+                    &g,
+                    stats,
+                    Some(load_ms),
+                    None,
+                );
+            }
         }
+    }
+    t
+}
+
+/// The representation-generic inner loop of [`fig2_weak`]: one row per
+/// scaling algorithm over `g` at the row's pool width.
+#[allow(clippy::too_many_arguments)]
+fn weak_rows<G: GraphView>(
+    t: &mut Table,
+    cfg: &ExpConfig,
+    params: &Params,
+    ef: usize,
+    threads: usize,
+    g: &G,
+    stats: BuildStats,
+    load_ms: Option<f64>,
+    sharding: Option<(usize, f64)>,
+) {
+    for algo in scaling_algorithms() {
+        let (r, hist) = with_threads(threads, || {
+            best_of_with_latency(cfg.reps, || run(g, algo, params))
+        });
+        let mut rec = run_record("fig2-weak", &format!("kron-ef{ef}"), &r)
+            .with_threads(threads)
+            .with_graph_size(g.n(), g.m())
+            .with_graph_mib(graph_mib(g))
+            .with_build(stats.ingest_ms(), build_peak_mib(&stats))
+            .with_latency(hist.summary());
+        if let Some(load_ms) = load_ms {
+            rec = rec.with_load_ms(load_ms);
+        }
+        if let Some((shards, halo_mib)) = sharding {
+            rec = rec.with_shards(shards, halo_mib);
+        }
+        t.row(vec![
+            ef.to_string(),
+            rec.threads.to_string(),
+            rec.n.to_string(),
+            rec.m.to_string(),
+            fmt_opt(rec.graph_mib),
+            fmt_opt(rec.ingest_ms),
+            fmt_opt(rec.load_ms),
+            fmt_opt(rec.build_peak_mib),
+            rec.algorithm.clone(),
+            format!("{:.2}", rec.total_ms),
+            rec.colors.to_string(),
+            rec.shards.map_or_else(|| "1".into(), |s| s.to_string()),
+            fmt_opt(rec.halo_mib),
+        ]);
+        crate::report::record(rec);
+    }
+}
+
+/// Strong-scaling sweep of the shard-parallel round loops themselves:
+/// the shard-grouped ADG peel (`adg_with_shards`) feeding the
+/// halo-exchange JP level loop (`jp_color_levels_sharded`) on a sharded
+/// h-bai proxy. `pgc check-scaling` gates this table alongside the
+/// monolithic one, so a regression in the sharded path fails CI even
+/// though the generic `run()` registry never dispatches to it.
+pub fn sharded_jp_scaling(cfg: &ExpConfig) -> Table {
+    let shards = cfg.shards.unwrap_or(4).max(2);
+    let mut t = Table::new(&[
+        "graph",
+        "shards",
+        "threads",
+        "total_ms",
+        "speedup_vs_1t",
+        "colors",
+        "rounds",
+    ]);
+    let sg = suite(cfg.scale)
+        .into_iter()
+        .find(|sg| sg.name == "h-bai")
+        .expect("suite contains h-bai");
+    let opts = pgc_graph::ShardOptions::resident(shards);
+    let (g, _) = pgc_graph::gen::generate_sharded_with_stats(&sg.spec, cfg.seed, &opts);
+    let bounds = g.boundaries().to_vec();
+    let adg_opts = AdgOptions {
+        seed: cfg.seed,
+        ..AdgOptions::default()
+    };
+    let pipeline = || {
+        let ord = pgc_order::adg_with_shards(&g, &adg_opts, Some(&bounds));
+        pgc_core::jp::jp_color_levels_sharded(&g, &ord.rho, &bounds)
+    };
+    let ((base_colors, base_rounds), base_t) = with_threads(1, || timed_best(cfg.reps, pipeline));
+    for &threads in &cfg.threads {
+        let ((colors, rounds), dt) = if threads == 1 {
+            ((base_colors.clone(), base_rounds), base_t)
+        } else {
+            with_threads(threads, || timed_best(cfg.reps, pipeline))
+        };
+        assert_eq!(
+            colors, base_colors,
+            "sharded JP coloring must be pool-width-invariant"
+        );
+        let speedup = base_t.as_secs_f64() / dt.as_secs_f64().max(1e-9);
+        let num_colors = colors.iter().copied().max().map_or(0, |c| c + 1);
+        t.row(vec![
+            sg.name.to_string(),
+            shards.to_string(),
+            threads.to_string(),
+            ms(dt),
+            format!("{speedup:.2}"),
+            num_colors.to_string(),
+            rounds.to_string(),
+        ]);
     }
     t
 }
@@ -853,6 +1050,47 @@ mod tests {
             seed: 1,
             reps: 1,
             threads: vec![1, 2],
+            shards: None,
+        }
+    }
+
+    #[test]
+    fn fig2_strong_sharded_reports_shard_columns() {
+        let cfg = ExpConfig {
+            shards: Some(2),
+            ..smoke_cfg()
+        };
+        let t = fig2_strong(&cfg);
+        assert!(!t.rows.is_empty());
+        let shards_at = t.header.iter().position(|h| h == "shards").unwrap();
+        let halo_at = t.header.iter().position(|h| h == "halo_MiB").unwrap();
+        for row in &t.rows {
+            assert_eq!(row[shards_at], "2", "{row:?}");
+            let halo: f64 = row[halo_at].parse().unwrap();
+            assert!(halo >= 0.0, "{row:?}");
+            let speedup: f64 = row[4].parse().unwrap();
+            assert!(speedup > 0.0, "{row:?}");
+        }
+        // The monolithic table reports shards=1 and no halo.
+        let mono = fig2_strong(&smoke_cfg());
+        assert_eq!(mono.rows[0][shards_at], "1");
+        assert_eq!(mono.rows[0][halo_at], "-");
+    }
+
+    #[test]
+    fn sharded_jp_scaling_gate_shape() {
+        let t = sharded_jp_scaling(&smoke_cfg());
+        // main.rs parses threads at column 2 and speedup at column 4;
+        // pin that contract here.
+        assert_eq!(t.header[2], "threads");
+        assert_eq!(t.header[4], "speedup_vs_1t");
+        assert_eq!(t.rows.len(), smoke_cfg().threads.len());
+        for row in &t.rows {
+            assert_eq!(row[1], "4", "defaults to 4 shards: {row:?}");
+            let speedup: f64 = row[4].parse().unwrap();
+            assert!(speedup > 0.0, "{row:?}");
+            let colors: u32 = row[5].parse().unwrap();
+            assert!(colors > 0, "{row:?}");
         }
     }
 

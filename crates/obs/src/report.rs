@@ -78,6 +78,12 @@ pub struct RunRecord {
     pub graph_mib: Option<f64>,
     /// Peak transient build memory (MiB), when measured.
     pub build_peak_mib: Option<f64>,
+    /// Vertex-range shards the graph was built into, when the run used the
+    /// sharded representation (`pgc --shards N`).
+    pub shards: Option<usize>,
+    /// Cross-shard halo footprint (MiB), when the run used the sharded
+    /// representation.
+    pub halo_mib: Option<f64>,
     /// Per-repetition latency digest in microseconds, when the run was
     /// repeated.
     pub latency_us: Option<HistogramSummary>,
@@ -154,6 +160,14 @@ impl RunRecord {
         self
     }
 
+    /// Attach the sharded-representation detail (shard count + halo MiB).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize, halo_mib: f64) -> Self {
+        self.shards = Some(shards);
+        self.halo_mib = Some(halo_mib);
+        self
+    }
+
     /// Attach a per-repetition latency digest (microseconds).
     #[must_use]
     pub fn with_latency(mut self, latency_us: HistogramSummary) -> Self {
@@ -197,6 +211,8 @@ impl RunRecord {
         opt("load_ms", self.load_ms);
         opt("graph_mib", self.graph_mib);
         opt("build_peak_mib", self.build_peak_mib);
+        opt("shards", self.shards.map(|s| s as f64));
+        opt("halo_mib", self.halo_mib);
         if let Some(l) = &self.latency_us {
             pairs.push((
                 "latency_us".into(),
@@ -262,6 +278,8 @@ impl RunRecord {
             load_ms: f("load_ms"),
             graph_mib: f("graph_mib"),
             build_peak_mib: f("build_peak_mib"),
+            shards: u("shards").map(|s| s as usize),
+            halo_mib: f("halo_mib"),
             latency_us,
         })
     }
@@ -315,6 +333,7 @@ mod tests {
             .with_build(250.0, 96.5)
             .with_load_ms(7.5)
             .with_graph_mib(48.25)
+            .with_shards(4, 1.5)
             .with_latency(HistogramSummary {
                 count: 5,
                 p50: 90_000,

@@ -30,7 +30,7 @@ use pgc_graph::GraphView;
 use pgc_primitives::rng::random_permutation;
 use pgc_primitives::sort::{sort_pairs, SortAlgo};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU32, Ordering as AtOrd};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering as AtOrd};
 
 /// How the removal threshold is chosen each iteration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -134,6 +134,28 @@ const ACTIVE: u32 = u32::MAX;
 /// random permutation in low bits) plus the level structure consumed by
 /// DEC-ADG.
 pub fn adg<G: GraphView>(g: &G, opts: &AdgOptions) -> VertexOrdering {
+    adg_with_shards(g, opts, None)
+}
+
+/// [`adg`] with an optional shard decomposition of the vertex space.
+///
+/// `shard_bounds` is the non-decreasing boundary array of a
+/// `pgc_graph::sharded::ShardedCsr` (`bounds[s]..bounds[s+1]` is shard `s`);
+/// when present, the push UPDATE pass peels each batch grouped by owning
+/// shard, with workers claiming chunks off a shared atomic frontier cursor.
+/// Grouping keeps each worker's neighbor scans inside one shard's local
+/// CSR + halo (instead of striding across every shard per rayon chunk),
+/// while the shared cursor keeps the schedule work-balanced when one shard
+/// dominates a batch.
+///
+/// The result is **bit-identical** to [`adg`]: the UPDATE pass only issues
+/// commutative atomic decrements and single-writer `pred` stores, so batch
+/// scan order cannot affect `rho`, `levels`, or `pred_counts`.
+pub fn adg_with_shards<G: GraphView>(
+    g: &G,
+    opts: &AdgOptions,
+    shard_bounds: Option<&[u32]>,
+) -> VertexOrdering {
     assert!(opts.epsilon >= 0.0, "epsilon must be non-negative");
     let n = g.n();
     let mut rho = vec![0u64; n];
@@ -274,8 +296,19 @@ pub fn adg<G: GraphView>(g: &G, opts: &AdgOptions) -> VertexOrdering {
             .sum();
 
         // ---- UPDATE (Alg. 1 lines 21–24 / Alg. 2 / §V-E) ---------------
-        let cut: u64 = match opts.update {
-            UpdateStyle::Push => batch
+        let cut: u64 = match (opts.update, shard_bounds) {
+            (UpdateStyle::Push, Some(bounds)) => push_update_sharded(
+                g,
+                batch,
+                bounds,
+                &deg,
+                &rank,
+                &rho,
+                &pred,
+                level,
+                opts.fuse_rank,
+            ),
+            (UpdateStyle::Push, None) => batch
                 .par_iter()
                 .map(|&v| {
                     let mut local_cut = 0u64;
@@ -300,7 +333,10 @@ pub fn adg<G: GraphView>(g: &G, opts: &AdgOptions) -> VertexOrdering {
                     local_cut
                 })
                 .sum(),
-            UpdateStyle::Pull => order[index + r_len..]
+            // The pull UPDATE scans remaining (not removed) vertices, whose
+            // contiguity in `order` carries no shard structure — keep it
+            // monolithic regardless of `shard_bounds`.
+            (UpdateStyle::Pull, _) => order[index + r_len..]
                 .par_iter()
                 .map(|&v| {
                     let removed_now = g
@@ -365,6 +401,81 @@ pub fn adg<G: GraphView>(g: &G, opts: &AdgOptions) -> VertexOrdering {
 #[inline]
 fn pack(rank: u32, low: u32) -> u64 {
     ((rank as u64) << 32) | low as u64
+}
+
+/// Chunk size workers claim off the shared frontier cursor in
+/// [`push_update_sharded`]. Big enough to amortize the `fetch_add`, small
+/// enough that an unlucky worker stuck with high-degree vertices doesn't
+/// serialize the tail of a batch.
+const PEEL_CLAIM: usize = 256;
+
+/// Shard-grouped push UPDATE (§V-E, CRCW arm) for [`adg_with_shards`].
+///
+/// The batch is regrouped so vertices of the same shard are contiguous,
+/// then workers drain it through a shared atomic frontier cursor in
+/// [`PEEL_CLAIM`]-sized claims. Every write is a commutative atomic
+/// decrement or a single-writer store, so any claim interleaving yields the
+/// same degrees and `pred` counts as the monolithic scan.
+#[allow(clippy::too_many_arguments)]
+fn push_update_sharded<G: GraphView>(
+    g: &G,
+    batch: &[u32],
+    bounds: &[u32],
+    deg: &[AtomicU32],
+    rank: &[AtomicU32],
+    rho: &[u64],
+    pred: &[AtomicU32],
+    level: u32,
+    fuse_rank: bool,
+) -> u64 {
+    assert!(
+        bounds.len() >= 2 && bounds.windows(2).all(|w| w[0] <= w[1]),
+        "shard bounds must be non-decreasing with at least one shard"
+    );
+    let num_shards = bounds.len() - 1;
+    let mut by_shard: Vec<Vec<u32>> = vec![Vec::new(); num_shards];
+    for &v in batch {
+        by_shard[bounds[1..].partition_point(|&b| b <= v)].push(v);
+    }
+    let grouped: Vec<u32> = by_shard.concat();
+
+    let cursor = AtomicUsize::new(0);
+    let total_cut = AtomicU64::new(0);
+    let workers = rayon::current_num_threads().max(1);
+    rayon::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| {
+                let _span = pgc_obs::span!("peel.shard");
+                let mut local_cut = 0u64;
+                loop {
+                    let start = cursor.fetch_add(PEEL_CLAIM, AtOrd::Relaxed);
+                    if start >= grouped.len() {
+                        break;
+                    }
+                    let end = (start + PEEL_CLAIM).min(grouped.len());
+                    for &v in &grouped[start..end] {
+                        let mut npred = 0u32;
+                        let rho_v = rho[v as usize];
+                        for u in g.neighbors(v) {
+                            let ru = rank[u as usize].load(AtOrd::Relaxed);
+                            if ru == ACTIVE {
+                                deg[u as usize].fetch_sub(1, AtOrd::Relaxed);
+                                local_cut += 1;
+                                npred += 1;
+                            } else if ru == level && rho[u as usize] > rho_v {
+                                npred += 1;
+                            }
+                        }
+                        if fuse_rank {
+                            pred[v as usize].store(npred, AtOrd::Relaxed);
+                        }
+                    }
+                }
+                total_cut.fetch_add(local_cut, AtOrd::Relaxed);
+            });
+        }
+    });
+    total_cut.load(AtOrd::Relaxed)
 }
 
 /// Stable in-place partition of `region` by `pred` (true-block first).
@@ -691,6 +802,40 @@ mod tests {
             },
         );
         assert!(ord.pred_counts.is_none());
+    }
+
+    #[test]
+    fn sharded_peel_bit_identical_to_monolithic() {
+        // The shard-grouped push UPDATE must not change a single bit of the
+        // ordering: rho, ranks, and fused pred counts all pinned, across
+        // shard layouts (including degenerate 1-shard and skewed cuts) and
+        // both threshold rules.
+        let g = generate(
+            &GraphSpec::Rmat {
+                scale: 9,
+                edge_factor: 8,
+            },
+            11,
+        );
+        let n = g.n() as u32;
+        for opts in [AdgOptions::default(), AdgOptions::median()] {
+            let base = adg(&g, &opts);
+            let base_levels = base.levels.as_ref().unwrap();
+            for bounds in [
+                vec![0, n],
+                vec![0, n / 2, n],
+                vec![0, n / 4, n / 2, 3 * n / 4, n],
+                vec![0, 1, n / 3, n],
+            ] {
+                let sharded = adg_with_shards(&g, &opts, Some(&bounds));
+                assert_eq!(sharded.rho, base.rho, "{bounds:?} {opts:?}");
+                assert_eq!(sharded.pred_counts, base.pred_counts, "{bounds:?}");
+                let levels = sharded.levels.as_ref().unwrap();
+                assert_eq!(levels.rank, base_levels.rank, "{bounds:?}");
+                assert_eq!(levels.seq, base_levels.seq, "{bounds:?}");
+                assert_eq!(levels.offsets, base_levels.offsets, "{bounds:?}");
+            }
+        }
     }
 
     #[test]
