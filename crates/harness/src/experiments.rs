@@ -144,6 +144,82 @@ pub fn with_threads<R: Send>(t: usize, f: impl FnOnce() -> R + Send) -> R {
 }
 
 // ---------------------------------------------------------------------
+// Fork-heavy scheduler scaling
+// ---------------------------------------------------------------------
+
+/// Leaf count for the fork-heavy sweep, by workload scale.
+fn fork_heavy_n(scale: usize) -> usize {
+    match scale {
+        0 => 40_000,
+        1 => 160_000,
+        _ => 640_000,
+    }
+}
+
+/// Uneven-cost fork tree over `lo..hi`: splits by `join` down to a fine
+/// grain, each leaf burning an index-dependent (~30× spread) amount of
+/// register work. This stresses the scheduler itself — deque push/pop
+/// rates and steal-based rebalancing — rather than memory bandwidth.
+fn fork_heavy_tree(lo: usize, hi: usize) -> u64 {
+    const GRAIN: usize = 64;
+    if hi - lo <= GRAIN {
+        let mut acc = 0u64;
+        for i in lo..hi {
+            let cost = 20 + (i % 13) * (i % 47);
+            let mut x = i as u64 | 1;
+            for _ in 0..cost {
+                x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(11);
+            }
+            acc = acc.wrapping_add(x);
+        }
+        return acc;
+    }
+    let mid = lo + (hi - lo) / 2;
+    let (a, b) = rayon::join(|| fork_heavy_tree(lo, mid), || fork_heavy_tree(mid, hi));
+    a.wrapping_add(b)
+}
+
+/// Strong scaling of a fork-heavy workload (dense join tree, uneven
+/// leaves) — the scheduler's own hot paths, not a flat parallel loop.
+/// `pgc check-scaling` gates this table alongside the coloring sweeps so
+/// a pool regression (say, a reintroduced global-lock hot path) fails CI
+/// even while flat data-parallel loops still look fine. The `steals`
+/// column is the pool-global steal-counter delta for the timed reps.
+pub fn fork_heavy_scaling(cfg: &ExpConfig) -> Table {
+    let mut t = Table::new(&[
+        "workload",
+        "n",
+        "threads",
+        "total_ms",
+        "speedup_vs_1t",
+        "steals",
+    ]);
+    let n = fork_heavy_n(cfg.scale);
+    let workload = || fork_heavy_tree(0, n);
+    let (base_sum, base_t) = with_threads(1, || timed_best(cfg.reps, workload));
+    for &threads in &cfg.threads {
+        let steals_before = pgc_par::steal_count();
+        let (sum, dt) = if threads == 1 {
+            (base_sum, base_t)
+        } else {
+            with_threads(threads, || timed_best(cfg.reps, workload))
+        };
+        assert_eq!(sum, base_sum, "fork tree sum must be width-invariant");
+        let steals = pgc_par::steal_count() - steals_before;
+        let speedup = base_t.as_secs_f64() / dt.as_secs_f64().max(1e-9);
+        t.row(vec![
+            "uneven-join-tree".to_string(),
+            n.to_string(),
+            threads.to_string(),
+            ms(dt),
+            format!("{speedup:.2}"),
+            steals.to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
 // Fig. 1: run-times and coloring quality across the suite
 // ---------------------------------------------------------------------
 

@@ -61,7 +61,7 @@ use pgc_harness::table::Table;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pgc <fig1|fig2-strong|fig2-weak|fig3|fig4|fig5|table2|table3|ablations|mining|weighted|colorsum|check|check-scaling|all> \
+        "usage: pgc <fig1|fig2-strong|fig2-weak|fig3|fig4|fig5|table2|table3|ablations|mining|weighted|colorsum|fork-heavy|check|check-scaling|all> \
          [--scale 0|1|2] [--seed N] [--reps R] [--threads T[,T..]] [--shards S] [--csv] [--trace FILE.json] [--report FILE.jsonl]\n\
          \x20      pgc snapshot <input> <output> [--weighted]\n\
          \x20      pgc report <a.jsonl> [b.jsonl] [--csv]"
@@ -321,6 +321,10 @@ fn run_command(command: &str, cfg: &exp::ExpConfig, csv: bool) -> i32 {
             &exp::weighted(cfg),
         ),
         "colorsum" => emit("Deterministic coloring digest", &exp::colorsum(cfg)),
+        "fork-heavy" => emit(
+            "Fork-heavy scheduler scaling",
+            &exp::fork_heavy_scaling(cfg),
+        ),
         "check" => {
             let t = exp::check_guarantees(cfg);
             emit("Quality-bound check", &t);
@@ -336,11 +340,13 @@ fn run_command(command: &str, cfg: &exp::ExpConfig, csv: bool) -> i32 {
         "check-scaling" => {
             // Strong-scaling regression gate: on a machine with the cores
             // to show it, the best speedup_vs_1t at the widest pool must
-            // clear 1.2x — once for the cache-aware round scheduling
-            // behind the generic fig2 sweep, and once for the
-            // shard-parallel ADG peel + halo-exchange JP pipeline (which
-            // the generic registry never dispatches to). Both tables put
-            // threads at column 2 and speedup_vs_1t at column 4.
+            // clear 1.2x — for the cache-aware round scheduling behind
+            // the generic fig2 sweep, for the shard-parallel ADG peel +
+            // halo-exchange JP pipeline (which the generic registry
+            // never dispatches to), and for a fork-heavy join tree that
+            // exercises the work-stealing scheduler itself. All three
+            // tables put threads at column 2 and speedup_vs_1t at
+            // column 4.
             let widest = cfg.threads.iter().copied().max().unwrap_or(1);
             let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
             if widest < 2 || cores < widest {
@@ -356,6 +362,9 @@ fn run_command(command: &str, cfg: &exp::ExpConfig, csv: bool) -> i32 {
                     "Sharded ADG+JP strong scaling",
                     exp::sharded_jp_scaling(cfg),
                 ),
+                // Fork-heavy gate: the work-stealing scheduler itself
+                // (dense join tree, uneven leaves), not a flat loop.
+                ("Fork-heavy scheduler scaling", exp::fork_heavy_scaling(cfg)),
             ];
             for (title, t) in &gates {
                 emit(title, t);

@@ -5,8 +5,11 @@
 //! directly: one `"M"` thread-name metadata event per recorded thread,
 //! one complete `"X"` event per begin/end span pair (paired per thread,
 //! innermost first; spans still open when the session ended are closed at
-//! the session end time), and one `"C"` counter event per counter add.
-//! Timestamps are microseconds since session begin.
+//! the session end time), and one `"C"` counter event per counter add
+//! carrying the *running total* for that `(thread, name)` — so
+//! `pool.steal` / `pool.steal_fail` / `pool.park` and friends render as
+//! monotonic counter tracks in Perfetto instead of a spiky per-delta
+//! scatter. Timestamps are microseconds since session begin.
 //!
 //! # Example
 //!
@@ -54,6 +57,9 @@ pub fn trace_json(trace: &Trace) -> String {
     }
     for &(tid, _) in &trace.threads {
         let mut stack: Vec<(&'static str, u64)> = Vec::new();
+        // Running totals per counter name on this thread: "C" events
+        // carry cumulative values, making them true counter tracks.
+        let mut totals: Vec<(&'static str, u64)> = Vec::new();
         for e in trace.events.iter().filter(|e| e.tid == tid) {
             match e.kind {
                 EventKind::SpanBegin => stack.push((e.name, e.nanos)),
@@ -67,10 +73,20 @@ pub fn trace_json(trace: &Trace) -> String {
                     }
                 }
                 EventKind::Counter => {
+                    let total = match totals.iter_mut().find(|(n, _)| *n == e.name) {
+                        Some((_, t)) => {
+                            *t += e.value;
+                            *t
+                        }
+                        None => {
+                            totals.push((e.name, e.value));
+                            e.value
+                        }
+                    };
                     let mut c = base_event(e.name, "C", tid, us(e.nanos));
                     c.push((
                         "args".into(),
-                        Json::Obj(vec![(e.name.into(), Json::Num(e.value as f64))]),
+                        Json::Obj(vec![(e.name.into(), Json::Num(total as f64))]),
                     ));
                     events.push(Json::Obj(c));
                 }
@@ -119,6 +135,10 @@ mod tests {
                 ev(0, EventKind::SpanBegin, "inner", 2_000, 0),
                 ev(0, EventKind::Counter, "conflicts", 2_500, 3),
                 ev(0, EventKind::SpanEnd, "inner", 3_000, 0),
+                // Same counter again on tid 0: exported value accumulates.
+                ev(0, EventKind::Counter, "conflicts", 3_500, 2),
+                // Same name on ANOTHER thread: its track starts fresh.
+                ev(1, EventKind::Counter, "conflicts", 4_200, 7),
                 // An end without a begin (lost to ring wrap): dropped.
                 ev(1, EventKind::SpanEnd, "stray", 500, 0),
                 // tid 1's "task" never ends: closed at session end.
@@ -143,9 +163,27 @@ mod tests {
                 .count()
         };
         assert_eq!(phase("M"), 2, "one thread_name per thread");
-        assert_eq!(phase("C"), 1, "one counter event");
+        assert_eq!(phase("C"), 3, "one counter event per add");
         // outer, inner, and the auto-closed task; the stray end is dropped.
         assert_eq!(phase("X"), 3);
+        // Counter tracks are cumulative per (tid, name): 3 then 3+2=5 on
+        // tid 0, an independent 7 on tid 1.
+        let counter_vals: Vec<(f64, f64)> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .map(|e| {
+                (
+                    e.get("tid").and_then(Json::as_f64).unwrap(),
+                    e.get("args")
+                        .and_then(|a| a.get("conflicts"))
+                        .and_then(Json::as_f64)
+                        .unwrap(),
+                )
+            })
+            .collect();
+        assert!(counter_vals.contains(&(0.0, 3.0)));
+        assert!(counter_vals.contains(&(0.0, 5.0)));
+        assert!(counter_vals.contains(&(1.0, 7.0)));
         let inner = events
             .iter()
             .find(|e| e.get("name").and_then(Json::as_str) == Some("inner"))

@@ -1,0 +1,436 @@
+//! A Chase–Lev work-stealing deque over [`JobRef`]s.
+//!
+//! One deque per forking thread: the **owner** pushes and pops spawned
+//! fork halves at the *bottom* (LIFO, so the most recently forked — and
+//! cache-hottest — work runs first), while **thieves** steal from the
+//! *top* (FIFO, so they take the oldest and therefore largest pending
+//! subtree). Owner operations are lock-free single-writer: `push` is a
+//! plain write plus a release fence, and `pop` only needs a CAS when it
+//! races a thief for the last element. `steal` is one CAS on `top`.
+//!
+//! # Memory-ordering argument (Lê et al., "Correct and Efficient
+//! Work-Stealing for Weak Memory Models", PPoPP'13)
+//!
+//! * `push` writes the slot, issues a `Release` fence, then bumps
+//!   `bottom` with a relaxed store. A thief that *acquire*-reads the new
+//!   `bottom` therefore sees the slot write (fence–atomic
+//!   synchronization) — and, because the owner's buffer-growth store is
+//!   program-ordered before that fence, it also sees a buffer at least
+//!   as new as the one the element was pushed into.
+//! * `pop` publishes the decremented `bottom` *before* reading `top`
+//!   (SeqCst fence between them); `steal` reads `top` *before* `bottom`
+//!   (SeqCst fence between them). The two fences order the four accesses
+//!   into a total order in which owner and thief cannot both see "the
+//!   last element is mine for free": one of them observes the other's
+//!   claim and falls into the CAS-on-`top` tie-break.
+//! * Indices are monotonically increasing `i64`s that never wrap, so the
+//!   `top` CAS is ABA-free by construction.
+//!
+//! Slots store a [`JobRef`] as two machine words written and read with
+//! relaxed *atomic* accesses: a thief that loses the `top` race may read
+//! a slot the owner is concurrently recycling for index `t + capacity`,
+//! but the torn value is discarded when its CAS fails (the owner can only
+//! reuse the physical slot once `top > t`), and per-word atomics keep
+//! even the torn read well-defined.
+//!
+//! # Growth
+//!
+//! The circular buffer doubles when full: the owner copies the live
+//! `top..bottom` window into a fresh buffer, publishes it with a
+//! `Release` store, and *retires* the old buffer instead of freeing it —
+//! a preempted thief may still be reading the old allocation, so retired
+//! buffers stay alive until the deque itself drops. Retired memory is
+//! bounded by ~1× the final buffer size (a geometric series of halves).
+
+use crate::pool::JobRef;
+use std::sync::atomic::{fence, AtomicI64, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Initial buffer capacity (slots). Must be a power of two.
+const MIN_BUFFER: usize = 64;
+
+/// Outcome of a [`Deque::steal`] attempt.
+#[derive(Debug)]
+pub(crate) enum Steal {
+    /// Nothing to take.
+    Empty,
+    /// Lost a race with the owner or another thief; the deque may still
+    /// be non-empty — retrying immediately is reasonable.
+    Retry,
+    /// Took the oldest pending job.
+    Success(JobRef),
+}
+
+/// One buffer slot: a [`JobRef`] exploded into two relaxed atomic words
+/// so concurrent (doomed) reads are well-defined rather than torn UB.
+struct Slot {
+    data: AtomicUsize,
+    exec: AtomicUsize,
+}
+
+/// A fixed-capacity circular buffer indexed by the deque's monotonically
+/// increasing positions (`index & mask` picks the physical slot).
+struct Buffer {
+    mask: i64,
+    slots: Box<[Slot]>,
+}
+
+impl Buffer {
+    fn boxed(capacity: usize) -> Box<Self> {
+        debug_assert!(capacity.is_power_of_two());
+        Box::new(Self {
+            mask: capacity as i64 - 1,
+            slots: (0..capacity)
+                .map(|_| Slot {
+                    data: AtomicUsize::new(0),
+                    exec: AtomicUsize::new(0),
+                })
+                .collect(),
+        })
+    }
+
+    fn capacity(&self) -> i64 {
+        self.mask + 1
+    }
+
+    fn slot(&self, index: i64) -> &Slot {
+        &self.slots[(index & self.mask) as usize]
+    }
+
+    fn write(&self, index: i64, words: (usize, usize)) {
+        let s = self.slot(index);
+        s.data.store(words.0, Ordering::Relaxed);
+        s.exec.store(words.1, Ordering::Relaxed);
+    }
+
+    fn read(&self, index: i64) -> (usize, usize) {
+        let s = self.slot(index);
+        (
+            s.data.load(Ordering::Relaxed),
+            s.exec.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The work-stealing deque. Exactly one thread may call [`push`] /
+/// [`pop`] (the owner); any number may call [`steal`].
+///
+/// [`push`]: Deque::push
+/// [`pop`]: Deque::pop
+/// [`steal`]: Deque::steal
+pub(crate) struct Deque {
+    /// First unstolen index; thieves CAS it forward. Monotonic.
+    top: AtomicI64,
+    /// One past the last pushed index; owner-written only.
+    bottom: AtomicI64,
+    /// Current buffer (owner swaps it on growth; thieves may briefly read
+    /// a retired one — see module docs).
+    buffer: AtomicPtr<Buffer>,
+    /// Retired buffers, kept alive until the deque drops. Touched only on
+    /// the (cold) growth path. Boxed: preempted thieves may still hold raw
+    /// pointers into a retired buffer, so it must never move when the
+    /// `Vec` reallocates.
+    #[allow(clippy::vec_box)]
+    retired: Mutex<Vec<Box<Buffer>>>,
+}
+
+impl Deque {
+    pub(crate) fn new() -> Self {
+        Self::with_capacity(MIN_BUFFER)
+    }
+
+    /// Start from a specific (power-of-two, ≥ 2) capacity — exposed so
+    /// the stress tests can force buffer growth mid-steal.
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.next_power_of_two().max(2);
+        Self {
+            top: AtomicI64::new(0),
+            bottom: AtomicI64::new(0),
+            buffer: AtomicPtr::new(Box::into_raw(Buffer::boxed(capacity))),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Cheap emptiness probe for sleep decisions; may be stale in either
+    /// direction, callers must tolerate both.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.top.load(Ordering::Relaxed) >= self.bottom.load(Ordering::Relaxed)
+    }
+
+    /// Owner-only: push a job at the bottom.
+    pub(crate) fn push(&self, job: JobRef) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        // SAFETY: the owner is the only thread that swaps `buffer`, and
+        // retired buffers outlive the deque.
+        let mut buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
+        if b - t >= buf.capacity() {
+            buf = self.grow(t, b);
+        }
+        buf.write(b, job.to_words());
+        fence(Ordering::Release);
+        self.bottom.store(b + 1, Ordering::Relaxed);
+    }
+
+    /// Owner-only: pop the most recently pushed job (LIFO). A single CAS
+    /// on `top` tie-breaks the last-element race with thieves — this is
+    /// the "was my fork stolen?" fast path of `join`.
+    pub(crate) fn pop(&self) -> Option<JobRef> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        // SAFETY: as in `push`.
+        let buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
+        self.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            let words = buf.read(b);
+            if t == b {
+                // Last element: win it from any concurrent thief.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                // SAFETY: winning the CAS makes us the unique claimant.
+                won.then(|| unsafe { JobRef::from_words(words) })
+            } else {
+                // SAFETY: `t < b` proves no thief can claim index `b`.
+                Some(unsafe { JobRef::from_words(words) })
+            }
+        } else {
+            // Deque was empty; undo the decrement.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Any thread: try to steal the oldest pending job (FIFO).
+    pub(crate) fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // Loaded after the acquire of `bottom`, so the buffer is at least
+        // as new as the one index `t` was pushed into (module docs).
+        // SAFETY: buffers are only retired, never freed, while the deque
+        // is alive.
+        let buf = unsafe { &*self.buffer.load(Ordering::Acquire) };
+        let words = buf.read(t);
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+        {
+            // SAFETY: the successful CAS proves `words` is the untorn,
+            // unclaimed job at index `t`.
+            Steal::Success(unsafe { JobRef::from_words(words) })
+        } else {
+            Steal::Retry
+        }
+    }
+
+    /// Owner-only cold path: double the buffer, copying the live window.
+    fn grow(&self, t: i64, b: i64) -> &Buffer {
+        let old_ptr = self.buffer.load(Ordering::Relaxed);
+        // SAFETY: owner-only access; old buffers outlive the deque.
+        let old = unsafe { &*old_ptr };
+        let new = Buffer::boxed((old.capacity() as usize) * 2);
+        for i in t..b {
+            new.write(i, old.read(i));
+        }
+        let new_ptr = Box::into_raw(new);
+        self.buffer.store(new_ptr, Ordering::Release);
+        // Keep the old buffer alive: a preempted thief may still read it.
+        // SAFETY: `old_ptr` came from `Box::into_raw` and is published
+        // nowhere else once `buffer` points at the replacement.
+        self.retired
+            .lock()
+            .unwrap()
+            .push(unsafe { Box::from_raw(old_ptr) });
+        // SAFETY: just stored; owner-only swaps.
+        unsafe { &*new_ptr }
+    }
+}
+
+impl Drop for Deque {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access; the pointer came from Box::into_raw.
+        drop(unsafe { Box::from_raw(*self.buffer.get_mut()) });
+        // `retired` frees itself.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU8, Ordering};
+
+    /// Test jobs encode a payload index directly in the data pointer; the
+    /// execute fn is never called.
+    unsafe fn never_execute(_: *const ()) {
+        unreachable!("test jobs are tokens, not executable jobs");
+    }
+
+    fn token(i: usize) -> JobRef {
+        // SAFETY: never executed (see `never_execute`).
+        unsafe { JobRef::new(i as *const (), never_execute) }
+    }
+
+    fn index_of(job: &JobRef) -> usize {
+        job.to_words().0
+    }
+
+    #[test]
+    fn owner_pop_is_lifo_and_empties() {
+        let d = Deque::new();
+        assert!(d.is_empty());
+        for i in 0..5 {
+            d.push(token(i));
+        }
+        for expect in (0..5).rev() {
+            assert_eq!(index_of(&d.pop().unwrap()), expect);
+        }
+        assert!(d.pop().is_none());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn steal_is_fifo_from_the_top() {
+        let d = Deque::new();
+        for i in 0..4 {
+            d.push(token(i));
+        }
+        for expect in 0..4 {
+            match d.steal() {
+                Steal::Success(j) => assert_eq!(index_of(&j), expect),
+                other => panic!("expected success, got {other:?}"),
+            }
+        }
+        assert!(matches!(d.steal(), Steal::Empty));
+    }
+
+    #[test]
+    fn growth_preserves_the_live_window() {
+        let d = Deque::with_capacity(2);
+        for i in 0..100 {
+            d.push(token(i));
+        }
+        // Steal a prefix, pop the suffix; every index exactly once.
+        for expect in 0..40 {
+            match d.steal() {
+                Steal::Success(j) => assert_eq!(index_of(&j), expect),
+                other => panic!("expected success, got {other:?}"),
+            }
+        }
+        for expect in (40..100).rev() {
+            assert_eq!(index_of(&d.pop().unwrap()), expect);
+        }
+        assert!(d.pop().is_none());
+    }
+
+    /// The Chase–Lev boundary: an owner popping the *last* element while
+    /// thieves hammer `steal`. Every token must be claimed exactly once,
+    /// by exactly one side.
+    #[test]
+    fn concurrent_steal_vs_pop_claims_each_token_once() {
+        const TOKENS: usize = 20_000;
+        const THIEVES: usize = 3;
+        let d = Deque::with_capacity(4);
+        let claims: Vec<AtomicU8> = (0..TOKENS).map(|_| AtomicU8::new(0)).collect();
+        let stop = AtomicU8::new(0);
+
+        std::thread::scope(|s| {
+            for _ in 0..THIEVES {
+                s.spawn(|| {
+                    while stop.load(Ordering::Acquire) == 0 {
+                        if let Steal::Success(j) = d.steal() {
+                            claims[index_of(&j)].fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    // Drain the tail so nothing is stranded.
+                    loop {
+                        match d.steal() {
+                            Steal::Success(j) => {
+                                claims[index_of(&j)].fetch_add(1, Ordering::Relaxed);
+                            }
+                            Steal::Retry => {}
+                            Steal::Empty => break,
+                        }
+                    }
+                });
+            }
+            // Owner: push in small bursts, pop between them, so the
+            // pop-vs-steal last-element race happens constantly and the
+            // tiny initial buffer grows mid-steal.
+            let mut next = 0usize;
+            while next < TOKENS {
+                let burst = 1 + next % 7;
+                for _ in 0..burst.min(TOKENS - next) {
+                    d.push(token(next));
+                    next += 1;
+                }
+                for _ in 0..(burst / 2) {
+                    if let Some(j) = d.pop() {
+                        claims[index_of(&j)].fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            while let Some(j) = d.pop() {
+                claims[index_of(&j)].fetch_add(1, Ordering::Relaxed);
+            }
+            stop.store(1, Ordering::Release);
+        });
+
+        for (i, c) in claims.iter().enumerate() {
+            assert_eq!(
+                c.load(Ordering::Relaxed),
+                1,
+                "token {i} claimed {} times",
+                c.load(Ordering::Relaxed)
+            );
+        }
+    }
+
+    /// Forced growth (capacity 2) under continuous stealing: thieves may
+    /// read retired buffers mid-copy; the top CAS must still hand every
+    /// token to exactly one claimant.
+    #[test]
+    fn buffer_growth_mid_steal_loses_nothing() {
+        const TOKENS: usize = 50_000;
+        let d = Deque::with_capacity(2);
+        let claims: Vec<AtomicU8> = (0..TOKENS).map(|_| AtomicU8::new(0)).collect();
+        let done = AtomicU8::new(0);
+
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| loop {
+                    match d.steal() {
+                        Steal::Success(j) => {
+                            claims[index_of(&j)].fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Retry => {}
+                        Steal::Empty => {
+                            if done.load(Ordering::Acquire) == 1 {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                });
+            }
+            // Pure pusher: the deque depth keeps climbing, forcing grow
+            // after grow while both thieves race the copies.
+            for i in 0..TOKENS {
+                d.push(token(i));
+            }
+            done.store(1, Ordering::Release);
+        });
+
+        assert!(d.is_empty(), "thieves drained everything");
+        for (i, c) in claims.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "token {i} mis-claimed");
+        }
+    }
+}

@@ -6,8 +6,18 @@
 //! binary tree — so the combine order (and thus any non-commutative or
 //! floating-point reduction) is deterministic for a given `len`/`grain`,
 //! independent of scheduling.
+//!
+//! `for_each_chunk` (no results to combine, so no tree to keep fixed)
+//! additionally splits *adaptively*: it always divides down to one chunk
+//! per strand, then keeps splitting toward the fine grain only while the
+//! pool's steal counter is moving — i.e. only while some thread actually
+//! ran out of work. Uncontended and evenly-loaded runs therefore execute
+//! one coarse chunk per strand instead of paying the fixed 8×
+//! oversubscription, while uneven runs still shed fine-grained halves to
+//! idle thieves. `map_reduce_chunks` keeps the fully fixed tree: its
+//! combine order must not depend on runtime contention.
 
-use crate::pool::{current_width, join};
+use crate::pool::{current_width, join, steal_count};
 use std::ops::Range;
 
 /// Below this many items a leaf never splits further (unless the caller
@@ -15,7 +25,7 @@ use std::ops::Range;
 pub const DEFAULT_MIN_GRAIN: usize = 1024;
 
 /// Leaves-per-worker oversubscription factor: more leaves than workers so
-/// the shared queue can balance uneven leaf costs.
+/// work stealing can balance uneven leaf costs.
 const PIECES_PER_WORKER: usize = 8;
 
 /// A grain (leaf size) for `len` items at the current width: aims for
@@ -31,24 +41,68 @@ pub fn auto_grain(len: usize, min_grain: usize) -> usize {
         .max(1)
 }
 
-/// Parallel for over `0..len`, invoking `body` on disjoint sub-ranges of at
-/// most [`auto_grain`]`(len, DEFAULT_MIN_GRAIN)` items.
+/// Parallel for over `0..len`, invoking `body` on disjoint sub-ranges.
+///
+/// Ranges are at most `len/width` items (one coarse chunk per strand) and
+/// at least [`auto_grain`]`(len, DEFAULT_MIN_GRAIN)` — how far between
+/// those bounds a chunk actually splits is *adaptive*: leaves only keep
+/// splitting while steals are observed (see module docs). Callers must
+/// therefore not depend on chunk boundaries, only on the disjoint-cover
+/// property — every index appears in exactly one range.
 pub fn for_each_chunk(len: usize, body: impl Fn(Range<usize>) + Sync) {
-    let grain = auto_grain(len, DEFAULT_MIN_GRAIN);
-    rec_for(0, len, grain, &body);
+    let width = current_width();
+    if width <= 1 {
+        if len > 0 {
+            body(0..len);
+        }
+        return;
+    }
+    let fine = auto_grain(len, DEFAULT_MIN_GRAIN);
+    if len <= fine {
+        if len > 0 {
+            body(0..len);
+        }
+        return;
+    }
+    let coarse = len.div_ceil(width).max(fine);
+    rec_for_adaptive(0, len, coarse, fine, &body, steal_count());
 }
 
-fn rec_for(lo: usize, hi: usize, grain: usize, body: &(impl Fn(Range<usize>) + Sync)) {
-    if hi - lo <= grain {
+/// Recursive splitter for [`for_each_chunk`]. Above `coarse`, always
+/// split (distribute one chunk per strand). At or below `coarse`,
+/// re-sample the global steal counter: if it moved since the value
+/// threaded down from the last sample (`steals_seen`), some thread went
+/// hungry — split further toward `fine` so thieves find smaller halves;
+/// if it is quiet, run the whole chunk here and skip the fork traffic.
+fn rec_for_adaptive(
+    lo: usize,
+    hi: usize,
+    coarse: usize,
+    fine: usize,
+    body: &(impl Fn(Range<usize>) + Sync),
+    steals_seen: u64,
+) {
+    let n = hi - lo;
+    if n <= fine {
         if lo < hi {
             body(lo..hi);
         }
         return;
     }
-    let mid = lo + (hi - lo) / 2;
+    let steals_seen = if n <= coarse {
+        let now = steal_count();
+        if now == steals_seen {
+            body(lo..hi);
+            return;
+        }
+        now
+    } else {
+        steals_seen
+    };
+    let mid = lo + n / 2;
     join(
-        || rec_for(lo, mid, grain, body),
-        || rec_for(mid, hi, grain, body),
+        || rec_for_adaptive(lo, mid, coarse, fine, body, steals_seen),
+        || rec_for_adaptive(mid, hi, coarse, fine, body, steals_seen),
     );
 }
 
@@ -154,6 +208,43 @@ mod tests {
         });
         assert_eq!(calls.load(Ordering::Relaxed), 0);
         assert_eq!(map_reduce_chunks(0, 0, |_| 1u32, |a, b| a + b), None);
+    }
+
+    #[test]
+    fn for_each_chunk_width_one_is_a_single_chunk() {
+        // The sequential path must not pay any splitting or fork traffic.
+        let calls = AtomicUsize::new(0);
+        install(1, || {
+            for_each_chunk(1 << 16, |r| {
+                assert_eq!(r, 0..1 << 16);
+                calls.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn adaptive_chunks_stay_within_grain_bounds() {
+        // Whatever the steal feedback does, chunks stay between the fine
+        // grain's half (an odd split of a just-above-fine chunk) and the
+        // coarse one-per-strand bound, and they tile 0..n exactly.
+        let n = 1 << 20;
+        let width = 4;
+        install(width, || {
+            let max_seen = AtomicUsize::new(0);
+            let min_seen = AtomicUsize::new(usize::MAX);
+            let total = AtomicUsize::new(0);
+            for_each_chunk(n, |r| {
+                max_seen.fetch_max(r.len(), Ordering::Relaxed);
+                min_seen.fetch_min(r.len(), Ordering::Relaxed);
+                total.fetch_add(r.len(), Ordering::Relaxed);
+            });
+            let coarse = n.div_ceil(width);
+            let fine = install(width, || auto_grain(n, DEFAULT_MIN_GRAIN));
+            assert_eq!(total.load(Ordering::Relaxed), n);
+            assert!(max_seen.load(Ordering::Relaxed) <= coarse);
+            assert!(min_seen.load(Ordering::Relaxed) >= fine / 2);
+        });
     }
 
     #[test]

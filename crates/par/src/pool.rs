@@ -1,25 +1,79 @@
 //! The global worker pool, job plumbing, and the two-way [`join`].
 //!
-//! One process-wide `Registry` owns a FIFO injector queue of type-erased
-//! `JobRef`s and a set of daemon worker threads that loop popping and
-//! executing them. Blocked threads (a `join` waiting for its stolen half, a
-//! scope waiting for its tasks) *help*: they execute queued jobs while they
-//! wait, and only park — with a short timeout, so a job enqueued in the
-//! race window can never strand them — when the queue is empty.
+//! # Architecture: per-thread work-stealing deques
+//!
+//! Every thread that forks work owns a Chase–Lev deque (the `deque` module):
+//! workers get one at spawn, and any other thread (the harness main
+//! thread, a test thread) registers one lazily on its first fork. A fork
+//! pushes the second half at the *bottom* of the owner's deque — a
+//! lock-free single-writer operation — and idle workers *steal* from the
+//! *top* of a randomly chosen victim with a single CAS. Local execution
+//! is LIFO (cache-hot, depth-first); stealing is FIFO (takes the oldest,
+//! and therefore largest, pending subtree).
+//!
+//! A small lock-free MPMC ring (the *injector*) catches the overflow
+//! cases that have no deque to go to: submissions from threads that
+//! could not get a deque slot, and scope tasks published while the slot
+//! table is exhausted. If even the injector is full, publication falls
+//! back to inline execution — callers never block on a full queue.
+//!
+//! `join`'s reclaim path is the owner-side `pop`: if the popped job is
+//! the one we just pushed, nothing stole it and we run it inline — the
+//! stolen-check is one CAS on the deque bottom, not a scan of a shared
+//! queue. If the pop comes back with a *different* job (possible inside
+//! scopes), the waiter executes it — blocked threads always *help*.
+//!
+//! # Park/wake layering
+//!
+//! Idle workers back off in three stages: exponential spin (cheapest,
+//! for the fork–join gaps measured in nanoseconds), a few
+//! `yield_now`s, and finally a condvar park. Parking is guarded by a
+//! sleepers counter with seq-cst fences on both sides (publisher:
+//! *publish work, fence, read sleepers*; sleeper: *announce, fence,
+//! re-check work*), so a wake can only be missed in the window the
+//! park timeout already bounds. Publishers skip the condvar lock
+//! entirely while nobody sleeps — the common case under load.
+//!
+//! Determinism note: the scheduler decides *where* a leaf runs, never
+//! what the leaf computes or how results combine — `loops.rs` keeps its
+//! fixed combine trees and `scope.rs` its width-1 FIFO, so colorings
+//! stay bit-identical across widths by construction.
 
-use std::cell::{Cell, UnsafeCell};
-use std::collections::VecDeque;
+use crate::deque::{Deque, Steal};
+use std::cell::{Cell, RefCell, UnsafeCell};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
 /// Hard cap on spawned worker threads, far above any realistic width.
 pub const MAX_WORKERS: usize = 64;
 
-/// How long a helper parks before re-checking the queue. Bounds the
-/// wake-up latency of the push/park race without spinning.
+/// Total deque slots: workers plus short-lived participant threads.
+const MAX_DEQUES: usize = 256;
+
+/// Deque slots reserved for workers; participants get the rest.
+const MAX_PARTICIPANTS: usize = MAX_DEQUES - MAX_WORKERS;
+
+/// How long a latch waiter parks before re-probing. Bounds the wake-up
+/// latency of the steal/park race without spinning.
 const PARK_TIMEOUT: Duration = Duration::from_micros(200);
+
+/// Idle-worker park timeout. The sleepers protocol makes wake-ups
+/// reliable; the timeout is a belt-and-braces backstop, so it can be
+/// long enough that idle workers cost ~nothing.
+const WORKER_PARK_TIMEOUT: Duration = Duration::from_millis(5);
+
+/// Spin stages before an idle worker starts yielding (1, 2, 4, ... 32
+/// `spin_loop` hints).
+const SPIN_ROUNDS: u32 = 6;
+
+/// Yield stages after spinning, before an idle worker parks.
+const YIELD_ROUNDS: u32 = 4;
+
+/// Injector capacity (power of two). Overflow falls back to inline
+/// execution, so "full" is a slow path, not an error.
+const INJECTOR_CAP: usize = 1 << 13;
 
 // ---------------------------------------------------------------------
 // Width management
@@ -61,8 +115,19 @@ pub fn default_width() -> usize {
 
 /// Number of worker threads currently spawned (diagnostics).
 pub fn pool_size() -> usize {
-    registry().inner.lock().unwrap().spawned
+    registry().spawned.load(Ordering::Relaxed)
 }
+
+/// Total successful steals since process start (monotonic, relaxed).
+///
+/// Always on — independent of the `pgc-obs` `capture` feature — because
+/// `loops.rs` uses it as contention feedback for adaptive grain
+/// selection, and the harness reports it in scaling tables.
+pub fn steal_count() -> u64 {
+    STEALS.load(Ordering::Relaxed)
+}
+
+static STEALS: AtomicU64 = AtomicU64::new(0);
 
 /// Restores the caller's width even if `f` unwinds.
 struct WidthGuard {
@@ -109,7 +174,7 @@ pub(crate) fn with_width_raw<R>(width: usize, f: impl FnOnce() -> R) -> R {
 /// A type-erased pointer to an executable job. The pointee must outlive
 /// execution; stack jobs guarantee this by blocking their frame until the
 /// latch fires, heap jobs by being owned by the queue entry itself.
-#[derive(Clone, Copy)]
+#[derive(Clone, Copy, Debug)]
 pub(crate) struct JobRef {
     data: *const (),
     execute_fn: unsafe fn(*const ()),
@@ -128,6 +193,23 @@ impl JobRef {
     /// Must be called at most once, while the pointee is alive.
     pub(crate) unsafe fn execute(self) {
         (self.execute_fn)(self.data)
+    }
+
+    /// Explode into two machine words for per-word atomic deque slots.
+    pub(crate) fn to_words(self) -> (usize, usize) {
+        (self.data as usize, self.execute_fn as usize)
+    }
+
+    /// # Safety
+    /// `words` must come from [`JobRef::to_words`] on a still-live job,
+    /// read under a protocol that rules out torn pairs (the deque's
+    /// successful-CAS path, the injector's sequence protocol).
+    pub(crate) unsafe fn from_words(words: (usize, usize)) -> Self {
+        Self {
+            data: words.0 as *const (),
+            // SAFETY: round-trips the fn pointer stored by to_words.
+            execute_fn: unsafe { std::mem::transmute::<usize, unsafe fn(*const ())>(words.1) },
+        }
     }
 }
 
@@ -172,11 +254,14 @@ where
         let result = with_width_raw(job.width, || catch_unwind(AssertUnwindSafe(func)));
         unsafe { *job.result.get() = Some(result) };
         job.latch.set();
+        // `job` may be destroyed by its (probing) owner from here on —
+        // wake any parked waiter through the registry, never the latch.
+        registry().notify();
     }
 
     fn run_inline(&self) {
-        // SAFETY: we own the job and it was removed from the queue, so this
-        // is the unique execution.
+        // SAFETY: we own the job and it was reclaimed from the deque, so
+        // this is the unique execution.
         unsafe { Self::execute(self as *const Self as *const ()) }
     }
 
@@ -196,87 +281,265 @@ where
 // Latch
 // ---------------------------------------------------------------------
 
-/// One-shot completion flag with blocking waiters. `set` uses `Release`,
-/// `probe` uses `Acquire`, so everything the setter did happens-before
-/// anything the waiter does next.
+/// One-shot completion flag. `set` uses `Release`, `probe` uses
+/// `Acquire`, so everything the setter did happens-before anything the
+/// waiter does next.
+///
+/// Lifetime rule (the reason there is no per-latch condvar): a latch
+/// typically lives in the *waiter's* stack frame, and the waiter is free
+/// to return — destroying the latch — the instant `probe` turns true.
+/// `set` is therefore the setter's **last** access to the latch; waking
+/// the waiter goes through the `'static` registry ([`Registry::notify`]
+/// after `set`), never through the dying frame.
 pub(crate) struct Latch {
     done: AtomicBool,
-    lock: Mutex<()>,
-    cond: Condvar,
 }
 
 impl Latch {
     pub(crate) fn new() -> Self {
         Self {
             done: AtomicBool::new(false),
-            lock: Mutex::new(()),
-            cond: Condvar::new(),
         }
     }
 
     pub(crate) fn set(&self) {
         self.done.store(true, Ordering::Release);
-        // Taking the lock orders the store before any waiter's re-check,
-        // closing the missed-wakeup window.
-        let _guard = self.lock.lock().unwrap();
-        self.cond.notify_all();
     }
 
     pub(crate) fn probe(&self) -> bool {
         self.done.load(Ordering::Acquire)
     }
 
-    /// Block until the latch fires, executing queued jobs while waiting.
+    /// Block until the latch fires, executing other pending work (own
+    /// deque, injector, steals) while waiting.
     pub(crate) fn wait_while_helping(&self, registry: &Registry) {
         loop {
             if self.probe() {
                 return;
             }
-            if let Some(job) = registry.try_pop() {
+            if let Some(job) = registry.find_help() {
                 // A blocked thread helping with someone else's job.
                 pgc_obs::counter!("pool.help", 1);
-                // SAFETY: popped jobs are alive and executed exactly once.
+                // SAFETY: claimed jobs are alive and executed exactly once.
                 unsafe { job.execute() };
                 continue;
             }
-            let guard = self.lock.lock().unwrap();
-            if self.probe() {
-                return;
-            }
-            // Timed: a job pushed between try_pop and here must not strand
-            // us (its push only signals the workers' condvar).
-            drop(self.cond.wait_timeout(guard, PARK_TIMEOUT).unwrap());
+            registry.park_waiter(|| self.probe());
         }
     }
 }
 
 // ---------------------------------------------------------------------
-// Registry (injector queue + workers)
+// Injector (lock-free bounded MPMC ring, Vyukov-style)
 // ---------------------------------------------------------------------
 
-pub(crate) struct Registry {
-    inner: Mutex<RegistryInner>,
-    work_available: Condvar,
-    /// Monotonic copy of `inner.spawned`, so the hot-path worker check in
-    /// [`Registry::ensure_workers`] is one relaxed load instead of a lock.
-    spawned_hint: std::sync::atomic::AtomicUsize,
+struct InjectorCell {
+    /// Sequence stamp: `pos` when free for the producer of `pos`,
+    /// `pos + 1` when holding that producer's job, `pos + CAP` once
+    /// consumed and recycled for the next lap.
+    seq: AtomicUsize,
+    job: UnsafeCell<(usize, usize)>,
 }
 
-struct RegistryInner {
-    queue: VecDeque<JobRef>,
-    spawned: usize,
+/// Bounded lock-free MPMC FIFO for submissions with no owner deque.
+/// Producers and consumers each claim a cell by CAS on their position
+/// counter; the per-cell sequence stamp hands the cell over between
+/// them, so the `job` words are never accessed concurrently.
+struct Injector {
+    enqueue_pos: AtomicUsize,
+    dequeue_pos: AtomicUsize,
+    cells: Box<[InjectorCell]>,
+}
+
+// SAFETY: cell handover is mediated by the seq/pos protocol above.
+unsafe impl Sync for Injector {}
+
+impl Injector {
+    fn new() -> Self {
+        Self {
+            enqueue_pos: AtomicUsize::new(0),
+            dequeue_pos: AtomicUsize::new(0),
+            cells: (0..INJECTOR_CAP)
+                .map(|i| InjectorCell {
+                    seq: AtomicUsize::new(i),
+                    job: UnsafeCell::new((0, 0)),
+                })
+                .collect(),
+        }
+    }
+
+    /// Enqueue; `false` means full (caller runs the job inline instead).
+    fn push(&self, job: JobRef) -> bool {
+        let mask = INJECTOR_CAP - 1;
+        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
+        loop {
+            let cell = &self.cells[pos & mask];
+            let seq = cell.seq.load(Ordering::Acquire);
+            let diff = seq as isize - pos as isize;
+            if diff == 0 {
+                match self.enqueue_pos.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: winning the CAS gives exclusive access
+                        // to the cell until the seq store below.
+                        unsafe { *cell.job.get() = job.to_words() };
+                        cell.seq.store(pos + 1, Ordering::Release);
+                        return true;
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if diff < 0 {
+                return false; // full: the cell is still a lap behind
+            } else {
+                pos = self.enqueue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn pop(&self) -> Option<JobRef> {
+        let mask = INJECTOR_CAP - 1;
+        let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
+        loop {
+            let cell = &self.cells[pos & mask];
+            let seq = cell.seq.load(Ordering::Acquire);
+            let diff = seq as isize - (pos + 1) as isize;
+            if diff == 0 {
+                match self.dequeue_pos.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: winning the CAS gives exclusive access
+                        // to the cell until the seq store below.
+                        let words = unsafe { *cell.job.get() };
+                        cell.seq.store(pos + mask + 1, Ordering::Release);
+                        // SAFETY: written by push under the same protocol.
+                        return Some(unsafe { JobRef::from_words(words) });
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if diff < 0 {
+                return None; // empty
+            } else {
+                pos = self.dequeue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Approximate (racy) emptiness for sleep decisions only.
+    fn is_empty(&self) -> bool {
+        self.dequeue_pos.load(Ordering::Acquire) >= self.enqueue_pos.load(Ordering::Acquire)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Registry (deque table + injector + workers)
+// ---------------------------------------------------------------------
+
+/// Where the current thread publishes fork halves.
+#[derive(Clone, Copy)]
+enum LocalState {
+    /// Not yet decided; first fork resolves it.
+    Unset,
+    /// This thread owns a registered deque.
+    Owned(&'static Deque),
+    /// No deque slot available; publish through the injector.
+    InjectorOnly,
+}
+
+thread_local! {
+    static LOCAL: Cell<LocalState> = const { Cell::new(LocalState::Unset) };
+    /// Participant threads only: returns the deque slot on thread death.
+    static SLOT_GUARD: RefCell<Option<SlotReturner>> = const { RefCell::new(None) };
+    /// xorshift state for victim selection; 0 = unseeded.
+    static RNG: Cell<u64> = const { Cell::new(0) };
+}
+
+fn next_rand() -> u64 {
+    RNG.with(|c| {
+        let mut x = c.get();
+        if x == 0 {
+            static SEED: AtomicU64 = AtomicU64::new(0x9E37_79B9_7F4A_7C15);
+            x = SEED.fetch_add(0xBF58_476D_1CE4_E5B9, Ordering::Relaxed) | 1;
+        }
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        c.set(x);
+        x
+    })
+}
+
+/// Returns a participant's deque slot to the free list when its thread
+/// dies. By then the deque is empty: the owning thread only pushes
+/// inside `join`/`scope`, both of which settle before returning.
+struct SlotReturner {
+    slot: usize,
+}
+
+impl Drop for SlotReturner {
+    fn drop(&mut self) {
+        // Reset the publish route first so nothing on this thread can
+        // touch the deque after the slot is handed out again. The Cell
+        // TLS is const-init and dropless, but be tolerant anyway.
+        let _ = LOCAL.try_with(|c| c.set(LocalState::InjectorOnly));
+        let r = registry();
+        r.free_slots.lock().unwrap().push(self.slot);
+        r.participants.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// How a job was published (decides the reclaim strategy in `join`).
+pub(crate) enum Published {
+    /// Pushed onto the calling thread's own deque.
+    Local(&'static Deque),
+    /// Pushed into the shared injector.
+    Injected,
+    /// Both routes unavailable (injector full): caller must run inline.
+    Declined,
+}
+
+pub(crate) struct Registry {
+    /// Slot table of all registered deques. Slots are write-once per
+    /// allocation (pointer stays valid forever — deques are leaked) and
+    /// recycled whole via `free_slots` when a participant dies.
+    deques: [std::sync::atomic::AtomicPtr<Deque>; MAX_DEQUES],
+    /// High-water slot count; the steal sweep scans `0..n_deques`.
+    n_deques: AtomicUsize,
+    /// Recycled participant slots (their deques are empty).
+    free_slots: Mutex<Vec<usize>>,
+    /// Live participant count, capped so workers always find a slot.
+    participants: AtomicUsize,
+    injector: Injector,
+    /// Number of workers inside the park protocol; publishers skip the
+    /// condvar lock while this is 0.
+    sleepers: AtomicUsize,
+    sleep_lock: Mutex<()>,
+    work_available: Condvar,
+    spawned: AtomicUsize,
+    spawn_lock: Mutex<()>,
 }
 
 static REGISTRY: OnceLock<Registry> = OnceLock::new();
 
 pub(crate) fn registry() -> &'static Registry {
     REGISTRY.get_or_init(|| Registry {
-        inner: Mutex::new(RegistryInner {
-            queue: VecDeque::new(),
-            spawned: 0,
-        }),
+        deques: std::array::from_fn(|_| std::sync::atomic::AtomicPtr::new(std::ptr::null_mut())),
+        n_deques: AtomicUsize::new(0),
+        free_slots: Mutex::new(Vec::new()),
+        participants: AtomicUsize::new(0),
+        injector: Injector::new(),
+        sleepers: AtomicUsize::new(0),
+        sleep_lock: Mutex::new(()),
         work_available: Condvar::new(),
-        spawned_hint: std::sync::atomic::AtomicUsize::new(0),
+        spawned: AtomicUsize::new(0),
+        spawn_lock: Mutex::new(()),
     })
 }
 
@@ -287,70 +550,258 @@ impl Registry {
     /// already-provisioned case is a single relaxed load.
     pub(crate) fn ensure_workers(&'static self, width: usize) {
         let want = width.min(MAX_WORKERS);
-        if self.spawned_hint.load(Ordering::Relaxed) >= want {
+        if self.spawned.load(Ordering::Relaxed) >= want {
             return;
         }
-        let mut to_spawn = 0usize;
-        {
-            let mut inner = self.inner.lock().unwrap();
-            if inner.spawned < want {
-                to_spawn = want - inner.spawned;
-                inner.spawned = want;
-                self.spawned_hint.store(inner.spawned, Ordering::Relaxed);
-            }
-        }
-        for _ in 0..to_spawn {
+        let _guard = self.spawn_lock.lock().unwrap();
+        let have = self.spawned.load(Ordering::Relaxed);
+        for _ in have..want {
+            let (_slot, deque) = self
+                .alloc_slot()
+                .expect("worker deque slots exhausted (MAX_WORKERS fits by construction)");
             std::thread::Builder::new()
                 .name("pgc-par-worker".into())
-                .spawn(move || worker_loop(self))
+                .spawn(move || worker_loop(self, deque))
                 .expect("failed to spawn pgc-par worker");
+        }
+        if want > have {
+            self.spawned.store(want, Ordering::Relaxed);
         }
     }
 
-    pub(crate) fn push(&self, job: JobRef) {
-        self.inner.lock().unwrap().queue.push_back(job);
-        self.work_available.notify_one();
+    /// Reserve a deque slot: reuse a recycled one (its deque is empty)
+    /// or grow the high-water mark and leak a fresh deque.
+    fn alloc_slot(&self) -> Option<(usize, &'static Deque)> {
+        if let Some(slot) = self.free_slots.lock().unwrap().pop() {
+            let ptr = self.deques[slot].load(Ordering::Acquire);
+            debug_assert!(!ptr.is_null());
+            // SAFETY: slot pointers are leaked Boxes, valid forever; the
+            // free-list mutex hands ownership to exactly one new owner.
+            return Some((slot, unsafe { &*ptr }));
+        }
+        let slot = self.n_deques.fetch_add(1, Ordering::AcqRel);
+        if slot >= MAX_DEQUES {
+            self.n_deques.fetch_sub(1, Ordering::AcqRel);
+            return None;
+        }
+        let deque: &'static Deque = Box::leak(Box::new(Deque::new()));
+        self.deques[slot].store(deque as *const Deque as *mut Deque, Ordering::Release);
+        Some((slot, deque))
     }
 
-    pub(crate) fn try_pop(&self) -> Option<JobRef> {
-        self.inner.lock().unwrap().queue.pop_front()
+    /// Register the calling (non-worker) thread as a deque owner, if the
+    /// participant budget allows. Budget failures are not errors — the
+    /// thread just publishes through the injector instead.
+    fn register_participant(&self) -> Option<(usize, &'static Deque)> {
+        if self.participants.fetch_add(1, Ordering::Relaxed) >= MAX_PARTICIPANTS {
+            self.participants.fetch_sub(1, Ordering::Relaxed);
+            return None;
+        }
+        match self.alloc_slot() {
+            Some(pair) => Some(pair),
+            None => {
+                self.participants.fetch_sub(1, Ordering::Relaxed);
+                None
+            }
+        }
     }
 
-    /// Remove `job` from the queue if it has not been taken yet. Returns
-    /// true on success, meaning the caller now owns its execution.
-    fn try_remove(&self, job: JobRef) -> bool {
-        let mut inner = self.inner.lock().unwrap();
-        if let Some(pos) = inner
-            .queue
-            .iter()
-            .rposition(|j| std::ptr::eq(j.data, job.data))
-        {
-            inner.queue.remove(pos);
-            true
+    /// Resolve (lazily registering) the calling thread's publish route.
+    fn local_state(&self) -> LocalState {
+        LOCAL.with(|c| match c.get() {
+            LocalState::Unset => {
+                let state = match self.register_participant() {
+                    Some((slot, deque)) => {
+                        SLOT_GUARD.with(|g| {
+                            *g.borrow_mut() = Some(SlotReturner { slot });
+                        });
+                        LocalState::Owned(deque)
+                    }
+                    None => LocalState::InjectorOnly,
+                };
+                c.set(state);
+                state
+            }
+            state => state,
+        })
+    }
+
+    /// Publish a job for others to take: own deque if this thread has
+    /// one, the injector otherwise. Never blocks; a full injector is
+    /// reported as [`Published::Declined`] and the caller runs inline.
+    pub(crate) fn publish(&self, job: JobRef) -> Published {
+        match self.local_state() {
+            LocalState::Owned(deque) => {
+                deque.push(job);
+                self.notify();
+                Published::Local(deque)
+            }
+            _ => {
+                if self.injector.push(job) {
+                    self.notify();
+                    Published::Injected
+                } else {
+                    Published::Declined
+                }
+            }
+        }
+    }
+
+    /// Wake a parked worker if any is (or may be about to start)
+    /// sleeping. The fence pairs with the one in `idle_wait`, forming
+    /// the store-buffer-proof handshake described in the module docs.
+    pub(crate) fn notify(&self) {
+        fence(Ordering::SeqCst);
+        if self.sleepers.load(Ordering::Relaxed) > 0 {
+            let _guard = self.sleep_lock.lock().unwrap();
+            self.work_available.notify_all();
+        }
+    }
+
+    /// A worker's next job: own deque (LIFO), injector, then steal.
+    fn find_work(&self, own: &Deque) -> Option<JobRef> {
+        if let Some(job) = own.pop() {
+            return Some(job);
+        }
+        if let Some(job) = self.injector.pop() {
+            return Some(job);
+        }
+        self.steal_sweep(Some(own as *const Deque))
+    }
+
+    /// A blocked thread's next job while it waits: like `find_work`, but
+    /// the own-deque stage only applies if this thread has one. Does NOT
+    /// register a deque — merely-waiting threads don't deserve a slot.
+    pub(crate) fn find_help(&self) -> Option<JobRef> {
+        let own = LOCAL.with(Cell::get);
+        let own_ptr = if let LocalState::Owned(deque) = own {
+            if let Some(job) = deque.pop() {
+                return Some(job);
+            }
+            Some(deque as *const Deque)
         } else {
-            false
+            None
+        };
+        if let Some(job) = self.injector.pop() {
+            return Some(job);
+        }
+        self.steal_sweep(own_ptr)
+    }
+
+    /// One randomized-start pass over all victims. Retries a victim that
+    /// answers `Retry` (we lost a race; its deque is likely non-empty),
+    /// skips our own deque and unallocated slots.
+    fn steal_sweep(&self, own: Option<*const Deque>) -> Option<JobRef> {
+        let n = self.n_deques.load(Ordering::Acquire).min(MAX_DEQUES);
+        if n == 0 {
+            return None;
+        }
+        let start = (next_rand() as usize) % n;
+        for i in 0..n {
+            let idx = (start + i) % n;
+            let ptr = self.deques[idx].load(Ordering::Acquire) as *const Deque;
+            if ptr.is_null() || Some(ptr) == own {
+                continue;
+            }
+            // SAFETY: deque pointers are leaked, valid forever.
+            let victim = unsafe { &*ptr };
+            loop {
+                match victim.steal() {
+                    Steal::Success(job) => {
+                        STEALS.fetch_add(1, Ordering::Relaxed);
+                        pgc_obs::counter!("pool.steal", 1);
+                        return Some(job);
+                    }
+                    Steal::Retry => std::hint::spin_loop(),
+                    Steal::Empty => break,
+                }
+            }
+        }
+        pgc_obs::counter!("pool.steal_fail", 1);
+        None
+    }
+
+    /// Racy "is there anything to take" probe for the park decision.
+    fn has_visible_work(&self) -> bool {
+        if !self.injector.is_empty() {
+            return true;
+        }
+        let n = self.n_deques.load(Ordering::Acquire).min(MAX_DEQUES);
+        (0..n).any(|i| {
+            let ptr = self.deques[i].load(Ordering::Acquire);
+            // SAFETY: deque pointers are leaked, valid forever.
+            !ptr.is_null() && !unsafe { &*ptr }.is_empty()
+        })
+    }
+
+    /// Timed park for a thread blocked on a completion flag (a join's
+    /// latch, a scope's pending counter) that found nothing to help
+    /// with. Parks on the registry-wide condvar — never on memory owned
+    /// by the waiting frame — so completers can wake us after their
+    /// final store without touching soon-to-be-destroyed state. The
+    /// timeout bounds the window where a completion's notify raced our
+    /// sleepers announcement.
+    pub(crate) fn park_waiter(&self, done: impl Fn() -> bool) {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        if !done() && !self.has_visible_work() {
+            let guard = self.sleep_lock.lock().unwrap();
+            if !done() {
+                drop(
+                    self.work_available
+                        .wait_timeout(guard, PARK_TIMEOUT)
+                        .unwrap(),
+                );
+            }
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// One step of the idle backoff ladder: spin → yield → announce-park.
+    fn idle_wait(&self, backoff: &mut u32) {
+        if *backoff < SPIN_ROUNDS {
+            for _ in 0..(1u32 << *backoff) {
+                std::hint::spin_loop();
+            }
+            *backoff += 1;
+        } else if *backoff < SPIN_ROUNDS + YIELD_ROUNDS {
+            std::thread::yield_now();
+            *backoff += 1;
+        } else {
+            self.sleepers.fetch_add(1, Ordering::SeqCst);
+            fence(Ordering::SeqCst);
+            if !self.has_visible_work() {
+                pgc_obs::counter!("pool.park", 1);
+                let guard = self.sleep_lock.lock().unwrap();
+                drop(
+                    self.work_available
+                        .wait_timeout(guard, WORKER_PARK_TIMEOUT)
+                        .unwrap(),
+                );
+            }
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
         }
     }
 }
 
-fn worker_loop(registry: &'static Registry) {
+fn worker_loop(registry: &'static Registry, own: &'static Deque) {
+    LOCAL.with(|c| c.set(LocalState::Owned(own)));
     loop {
         let job = {
-            // The idle span covers queue-empty waits, so a Perfetto row
-            // shows each worker alternating task/idle; the park counter
-            // tallies how often the condvar actually blocked.
+            // The idle span covers the whole hunt for work, so a Perfetto
+            // row shows each worker alternating task/idle; the park
+            // counter tallies how often the condvar actually blocked.
             let _idle = pgc_obs::span!("pool.idle");
-            let mut inner = registry.inner.lock().unwrap();
+            let mut backoff = 0u32;
             loop {
-                if let Some(job) = inner.queue.pop_front() {
+                if let Some(job) = registry.find_work(own) {
                     break job;
                 }
-                pgc_obs::counter!("pool.park", 1);
-                inner = registry.work_available.wait(inner).unwrap();
+                registry.idle_wait(&mut backoff);
             }
         };
         let _task = pgc_obs::span!("pool.task");
-        // SAFETY: popped jobs are alive and executed exactly once.
+        // SAFETY: claimed jobs are alive and executed exactly once.
         unsafe { job.execute() };
     }
 }
@@ -360,9 +811,11 @@ fn worker_loop(registry: &'static Registry) {
 // ---------------------------------------------------------------------
 
 /// Two-way fork–join: conceptually runs `a` and `b` in parallel and
-/// returns both results. `a` runs on the calling thread; `b` is published
-/// to the pool and reclaimed (inline) if nothing stole it. With width 1
-/// both halves run inline with no queue traffic.
+/// returns both results. `a` runs on the calling thread; `b` is pushed
+/// onto the caller's deque and reclaimed (inline) if nothing stole it —
+/// the stolen-check is the owner-side `pop`, a single CAS in the
+/// last-element race rather than a queue scan. With width 1 both halves
+/// run inline with no scheduler traffic at all.
 ///
 /// Panics in either closure propagate to the caller — after both halves
 /// have finished, so borrowed data is never observed mid-use.
@@ -385,27 +838,67 @@ where
     // SAFETY: job_b outlives the ref — this frame blocks (below) until the
     // job has either been reclaimed or its latch has fired.
     let job_ref = unsafe { job_b.as_job_ref() };
-    registry.push(job_ref);
 
-    let result_a = match catch_unwind(AssertUnwindSafe(a)) {
-        Ok(r) => r,
-        Err(payload) => {
-            // Must not unwind past job_b's frame while it can still run.
-            if registry.try_remove(job_ref) {
-                job_b.run_inline();
-            } else {
-                job_b.latch.wait_while_helping(registry);
+    match registry.publish(job_ref) {
+        Published::Local(deque) => {
+            let result_a = catch_unwind(AssertUnwindSafe(a));
+            // Settle b before doing anything else (including unwinding):
+            // its frame must not die while the job can still run.
+            settle(registry, deque, &job_b, job_ref);
+            match result_a {
+                Ok(ra) => (ra, job_b.into_result()),
+                Err(payload) => resume_unwind(payload),
             }
-            resume_unwind(payload);
         }
-    };
-
-    if registry.try_remove(job_ref) {
-        job_b.run_inline();
-    } else {
-        job_b.latch.wait_while_helping(registry);
+        Published::Injected => {
+            let result_a = catch_unwind(AssertUnwindSafe(a));
+            // Reclaim-by-helping: wait_while_helping drains the injector,
+            // so an unstolen job_b is executed right here.
+            job_b.latch.wait_while_helping(registry);
+            match result_a {
+                Ok(ra) => (ra, job_b.into_result()),
+                Err(payload) => resume_unwind(payload),
+            }
+        }
+        Published::Declined => {
+            // Injector full: degrade to sequential execution.
+            let result_a = catch_unwind(AssertUnwindSafe(a));
+            job_b.run_inline();
+            match result_a {
+                Ok(ra) => (ra, job_b.into_result()),
+                Err(payload) => resume_unwind(payload),
+            }
+        }
     }
-    (result_a, job_b.into_result())
+}
+
+/// Resolve a locally-published fork half: pop our own deque — if the job
+/// that comes back is `job_b` itself, nothing stole it and it runs
+/// inline. A different job (a scope task published below it) is executed
+/// as helping; an empty deque means `job_b` was stolen, so wait on its
+/// latch, helping globally meanwhile.
+fn settle<F, R>(registry: &'static Registry, deque: &Deque, job_b: &StackJob<F, R>, job_ref: JobRef)
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    while !job_b.latch.probe() {
+        match deque.pop() {
+            Some(job) => {
+                if std::ptr::eq(job.data, job_ref.data) {
+                    job_b.run_inline();
+                    return;
+                }
+                pgc_obs::counter!("pool.help", 1);
+                // SAFETY: popped jobs are alive and executed exactly once.
+                unsafe { job.execute() };
+            }
+            None => {
+                job_b.latch.wait_while_helping(registry);
+                return;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -482,5 +975,47 @@ mod tests {
             let _ = join(|| 1, || 2);
         });
         assert!(pool_size() >= 5);
+    }
+
+    #[test]
+    fn injector_is_fifo_and_bounded() {
+        static SINK: AtomicUsize = AtomicUsize::new(0);
+        unsafe fn bump(data: *const ()) {
+            SINK.fetch_add(data as usize, Ordering::Relaxed);
+        }
+        let inj = Injector::new();
+        assert!(inj.is_empty());
+        // SAFETY: token jobs executed at most once below.
+        for i in 0..INJECTOR_CAP {
+            assert!(inj.push(unsafe { JobRef::new(i as *const (), bump) }));
+        }
+        // Full: the next push must decline rather than block or clobber.
+        assert!(!inj.push(unsafe { JobRef::new(std::ptr::null(), bump) }));
+        for expect in 0..INJECTOR_CAP {
+            let job = inj.pop().expect("queue should still hold jobs");
+            assert_eq!(job.to_words().0, expect, "injector must be FIFO");
+        }
+        assert!(inj.pop().is_none());
+        // Wrap around a lap to exercise the sequence recycling.
+        for i in 0..10 {
+            assert!(inj.push(unsafe { JobRef::new(i as *const (), bump) }));
+        }
+        for expect in 0..10 {
+            assert_eq!(inj.pop().unwrap().to_words().0, expect);
+        }
+    }
+
+    #[test]
+    fn steal_count_is_monotonic() {
+        let before = steal_count();
+        install(4, || {
+            let mut acc = 0u64;
+            for i in 0..64 {
+                let (a, b) = join(move || i, move || i * 2);
+                acc += a + b;
+            }
+            assert!(acc > 0);
+        });
+        assert!(steal_count() >= before);
     }
 }

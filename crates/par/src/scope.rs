@@ -4,25 +4,26 @@
 //! Two execution modes, chosen by the width in effect when the scope is
 //! created:
 //!
-//! * **width ≥ 2** — tasks are boxed, lifetime-erased, and published to the
-//!   global pool; workers and the scope owner (who helps while waiting)
-//!   drain them concurrently. A pending-counter with `AcqRel` ordering
-//!   makes every task's effects visible to code after `scope` returns.
+//! * **width ≥ 2** — tasks are boxed, lifetime-erased, and published like
+//!   fork halves: onto the spawning thread's work-stealing deque (or the
+//!   shared injector if it has none), where workers and the scope owner
+//!   (who helps while waiting) drain them concurrently. A pending-counter
+//!   with `AcqRel` ordering makes every task's effects visible to code
+//!   after `scope` returns.
 //! * **width 1** — tasks go onto a scope-local FIFO drained by the owner
 //!   after the body returns: fully sequential and allocation-cheap, and —
-//!   like the queue — iterative, so deeply recursive spawn chains use
-//!   O(queue) heap instead of O(depth) stack.
+//!   like the deque path — iterative, so deeply recursive spawn chains use
+//!   O(queue) heap instead of O(depth) stack. This FIFO is what keeps
+//!   sequential scope execution deterministic and is deliberately
+//!   untouched by the work-stealing scheduler.
 
-use crate::pool::{current_width, JobRef};
+use crate::pool::{current_width, JobRef, Published};
 use crate::pool::{registry, with_width_raw, Registry};
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
-use std::time::Duration;
-
-const PARK_TIMEOUT: Duration = Duration::from_micros(200);
+use std::sync::Mutex;
 
 type ScopeTask<'scope> = Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope>;
 type PanicPayload = Box<dyn Any + Send + 'static>;
@@ -34,10 +35,10 @@ pub struct Scope<'scope> {
     /// Width the scope was created under; tasks inherit it.
     width: usize,
     /// Tasks published to the pool but not yet finished (parallel mode).
+    /// The last decrement may be the scope's destruction signal, so —
+    /// like a join latch — finishing tasks never touch the scope after
+    /// it; the owner parks on the registry-wide condvar instead.
     pending: AtomicUsize,
-    /// Parks the owner while workers finish the tail (parallel mode).
-    lock: Mutex<()>,
-    cond: Condvar,
     /// First panic from any task, re-thrown at the scope boundary.
     panic: Mutex<Option<PanicPayload>>,
     /// Owner-drained FIFO (sequential mode).
@@ -49,8 +50,6 @@ impl<'scope> Scope<'scope> {
         Self {
             width,
             pending: AtomicUsize::new(0),
-            lock: Mutex::new(()),
-            cond: Condvar::new(),
             panic: Mutex::new(None),
             local: Mutex::new(VecDeque::new()),
         }
@@ -87,7 +86,13 @@ impl<'scope> Scope<'scope> {
         // SAFETY: `execute_heap_task` reconstructs and consumes the unique
         // owning pointer exactly once.
         let job = unsafe { JobRef::new(raw as *const (), execute_heap_task) };
-        registry().push(job);
+        if let Published::Declined = registry().publish(job) {
+            // Injector full and no local deque: run the task inline. The
+            // scope still sees a normal completion via task_done().
+            // SAFETY: declined jobs were never made visible to any other
+            // thread, so this is the unique execution.
+            unsafe { execute_heap_task(raw as *const ()) };
+        }
     }
 
     fn record_panic(&self, payload: PanicPayload) {
@@ -98,10 +103,11 @@ impl<'scope> Scope<'scope> {
     }
 
     fn task_done(&self) {
-        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let _guard = self.lock.lock().unwrap();
-            self.cond.notify_all();
-        }
+        // The decrement is this task's LAST access to the scope: once
+        // pending hits 0 the owner may return and destroy it. Waking a
+        // parked owner goes through the 'static registry.
+        self.pending.fetch_sub(1, Ordering::AcqRel);
+        registry().notify();
     }
 
     fn wait_for_tasks(&self, registry: &Registry) {
@@ -109,16 +115,12 @@ impl<'scope> Scope<'scope> {
             if self.pending.load(Ordering::Acquire) == 0 {
                 return;
             }
-            if let Some(job) = registry.try_pop() {
-                // SAFETY: popped jobs are alive and executed exactly once.
+            if let Some(job) = registry.find_help() {
+                // SAFETY: claimed jobs are alive and executed exactly once.
                 unsafe { job.execute() };
                 continue;
             }
-            let guard = self.lock.lock().unwrap();
-            if self.pending.load(Ordering::Acquire) == 0 {
-                return;
-            }
-            drop(self.cond.wait_timeout(guard, PARK_TIMEOUT).unwrap());
+            registry.park_waiter(|| self.pending.load(Ordering::Acquire) == 0);
         }
     }
 }

@@ -73,4 +73,57 @@ proptest! {
         prop_assert_eq!(x, a * 2);
         prop_assert_eq!(y, b + 7);
     }
+
+    #[test]
+    fn uneven_nested_join_trees_sum_correctly(
+        seed in 0u64..u64::MAX,
+        width in arb_widths(),
+    ) {
+        // Deliberately lopsided fork trees (split point driven by the
+        // seed, not the midpoint) exercise the deque's steal/reclaim
+        // races far more than balanced halving does.
+        fn skew_sum(lo: u64, hi: u64, seed: u64) -> u64 {
+            let n = hi - lo;
+            if n <= 8 {
+                return (lo..hi).sum();
+            }
+            // 1..n-1, biased by the seed so subtree sizes vary wildly.
+            let cut = lo + 1 + (seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) % (n - 1);
+            let (a, b) = pgc_par::join(
+                move || skew_sum(lo, cut, seed.rotate_left(13) ^ cut),
+                move || skew_sum(cut, hi, seed.rotate_right(17) ^ lo),
+            );
+            a + b
+        }
+        let n = 3000 + (seed % 2000);
+        let expect: u64 = (0..n).sum();
+        let got = pgc_par::install(width, || skew_sum(0, n, seed));
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn adaptive_for_each_handles_uneven_leaf_costs(
+        n in 1usize..20_000,
+        width in arb_widths(),
+        hot in 0usize..16,
+    ) {
+        // A few indices are much more expensive than the rest, so the
+        // adaptive splitter sees steals mid-loop and subdivides some
+        // chunks but not others — coverage must stay exactly-once and
+        // effects must match the sequential loop regardless.
+        let marks: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        pgc_par::install(width, || {
+            pgc_par::for_each_chunk(n, |r| {
+                for i in r {
+                    let cost = if i % (hot + 2) == 0 { 500 } else { 1 };
+                    let mut acc = i as u32;
+                    for _ in 0..cost {
+                        acc = acc.wrapping_mul(31).wrapping_add(7);
+                    }
+                    marks[i].fetch_add(acc.max(1) / acc.max(1), Ordering::Relaxed);
+                }
+            });
+        });
+        prop_assert!(marks.iter().all(|m| m.load(Ordering::Relaxed) == 1));
+    }
 }

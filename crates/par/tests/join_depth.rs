@@ -1,0 +1,76 @@
+//! Regression test for the old `Registry::try_remove` O(queue) scan:
+//! with a mutex FIFO, a join chain with `d` pending halves paid an
+//! O(d)-long scan per reclaim, so total latency grew quadratically in
+//! the nesting depth. The owner-deque `pop` reclaim is O(1), so total
+//! latency must grow ~linearly.
+
+use std::time::{Duration, Instant};
+
+/// A degenerate fork chain: every level forks a trivial right half and
+/// recurses down the left, so at the deepest point `depth` halves are
+/// pending in the owner's deque at once.
+fn deep_join(depth: u32) -> u64 {
+    if depth == 0 {
+        return 1;
+    }
+    let (a, b) = pgc_par::join(move || deep_join(depth - 1), || 1u64);
+    a + b
+}
+
+/// Best-of-`reps` wall time for a full chain of `depth` joins at width 2.
+fn time_depth(depth: u32, reps: usize) -> Duration {
+    (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            let total = pgc_par::install(2, || deep_join(depth));
+            assert_eq!(total, u64::from(depth) + 1);
+            start.elapsed()
+        })
+        .min()
+        .expect("reps > 0")
+}
+
+#[test]
+fn deep_fork_nesting_joins_in_linear_time() {
+    // 64 KiB stack frames of recursion need a roomy stack; the workers
+    // only ever run the trivial right halves.
+    std::thread::Builder::new()
+        .name("join-depth-probe".into())
+        .stack_size(512 << 20)
+        .spawn(|| {
+            // Warm up the pool (worker spawning must not count).
+            let _ = time_depth(1024, 1);
+            let small = time_depth(8 * 1024, 5);
+            let large = time_depth(64 * 1024, 3);
+            // 8× the depth: linear scaling gives ~8×, the old quadratic
+            // reclaim gave ~64×. The floor keeps tiny-numerator noise
+            // from dominating the ratio on fast machines.
+            let floor = Duration::from_millis(2);
+            let ratio = large.as_secs_f64() / small.max(floor).as_secs_f64();
+            assert!(
+                ratio < 32.0,
+                "deep-join latency grew superlinearly: 8k={small:?}, 64k={large:?}, ratio={ratio:.1}"
+            );
+        })
+        .expect("spawn probe thread")
+        .join()
+        .expect("probe thread panicked");
+}
+
+#[test]
+fn deep_nesting_is_correct_at_width_eight() {
+    // Correctness companion to the latency probe: a deep chain with
+    // many concurrent thieves still reclaims every half exactly once.
+    std::thread::Builder::new()
+        .stack_size(256 << 20)
+        .spawn(|| {
+            let depth = 32 * 1024;
+            assert_eq!(
+                pgc_par::install(8, || deep_join(depth)),
+                u64::from(depth) + 1
+            );
+        })
+        .expect("spawn probe thread")
+        .join()
+        .expect("probe thread panicked");
+}

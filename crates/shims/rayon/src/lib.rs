@@ -2,12 +2,14 @@
 //!
 //! The build environment for this workspace has no access to crates.io, so
 //! this crate provides the subset of rayon's API the workspace uses —
-//! executed **in parallel** on [`pgc_par`]'s fork–join worker pool. Since
-//! the `pgc-par` subsystem landed, parallel iterators split across real
-//! threads, `scope`/`spawn` run tasks on pool workers, `join` is a true
-//! two-way fork, and `ThreadPoolBuilder::num_threads(t)` genuinely bounds
-//! the parallel width (so the harness's thread sweeps measure hardware
-//! scaling, not a sequential stub).
+//! executed **in parallel** on [`pgc_par`]'s fork–join worker pool. Like
+//! real rayon, that pool is a work-stealing scheduler: each worker owns a
+//! Chase–Lev deque (LIFO locally, stolen FIFO by idle peers), so parallel
+//! iterators split across real threads and rebalance uneven leaves,
+//! `scope`/`spawn` run tasks on pool workers, `join` is a true two-way
+//! fork with O(1) inline reclaim, and `ThreadPoolBuilder::num_threads(t)`
+//! genuinely bounds the parallel width (so the harness's thread sweeps
+//! measure hardware scaling, not a sequential stub).
 //!
 //! Execution model (see [`iter`] and the `pgc-par` crate docs):
 //!

@@ -59,6 +59,28 @@ fn every_algorithm_is_proper_at_every_width() {
     }
 }
 
+/// Work stealing makes the *schedule* nondeterministic (which worker runs
+/// which leaf depends on steal timing), so determinism must hold by
+/// construction, not by luck: repeated runs at width 8 — each with fresh
+/// steal jitter — must reproduce the exact same coloring.
+#[test]
+fn colorings_are_stable_across_repeated_stolen_runs() {
+    let params = Params::default();
+    let (name, g) = graphs().swap_remove(0);
+    for algo in [Algorithm::JpLlf, Algorithm::Itr, Algorithm::JpAdg] {
+        let baseline = with_threads(8, || run(&g, algo, &params)).colors;
+        for rep in 1..4 {
+            let colors = with_threads(8, || run(&g, algo, &params)).colors;
+            assert_eq!(
+                colors,
+                baseline,
+                "{name}/{}: width-8 rep {rep} diverged under steal jitter",
+                algo.name()
+            );
+        }
+    }
+}
+
 #[test]
 fn colorings_are_identical_across_widths() {
     let params = Params::default();
