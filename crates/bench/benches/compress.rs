@@ -1,0 +1,120 @@
+//! Compressed-graph bench: delta-varint codec throughput and the
+//! traversal price of decoding adjacencies on the fly.
+//!
+//! Two groups. `compress/codec` measures the `CompactCsr` ⇄
+//! `CompressedCsr` converters as byte throughput over the raw neighbor
+//! array they replace. `compress/jp` runs the same JP coloring over both
+//! representations through the identical generic engine, so the delta is
+//! purely the block decoder in the traversal inner loop.
+//!
+//! Two in-bench gates ride along (same policy as `ingest.rs` /
+//! `steal.rs`): the encoded arena must stay ≤ half the raw `u32`
+//! neighbor bytes on the RMAT workload, and JP on the compressed
+//! representation must stay within 2.5× of the compact run (min over
+//! reps; skipped on starved single-core runners where the pool cannot
+//! amortize the decode).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pgc_core::{run, Algorithm, Params};
+use pgc_graph::gen::{generate, GraphSpec};
+use pgc_graph::{CompactCsr, CompressedCsr};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn workload() -> CompactCsr {
+    generate(
+        &GraphSpec::Rmat {
+            scale: 14,
+            edge_factor: 8,
+        },
+        1,
+    )
+}
+
+fn codec(c: &mut Criterion) {
+    let g = workload();
+    let z = CompressedCsr::from_compact(&g);
+    let raw_neighbor_bytes = 2 * g.m() * std::mem::size_of::<u32>();
+
+    let mut group = c.benchmark_group("compress/codec");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    group.throughput(Throughput::Bytes(raw_neighbor_bytes as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| black_box(CompressedCsr::from_compact(&g).encoded_bytes()))
+    });
+    group.bench_function("decode", |b| b.iter(|| black_box(z.to_compact().m())));
+    group.finish();
+
+    // Size gate: the arena must halve the neighbor bytes on the RMAT
+    // proxy (the fig2 families are pinned harder in tests/compressed.rs).
+    assert!(
+        2 * z.encoded_bytes() <= raw_neighbor_bytes,
+        "compressed arena too large: {} encoded vs {} raw neighbor bytes",
+        z.encoded_bytes(),
+        raw_neighbor_bytes
+    );
+}
+
+fn jp_traversal(c: &mut Criterion) {
+    let g = workload();
+    let z = CompressedCsr::from_compact(&g);
+    let params = Params::default();
+    let algo = Algorithm::JpLlf;
+
+    let mut group = c.benchmark_group("compress/jp-llf");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    group.throughput(Throughput::Elements(2 * g.m() as u64));
+    group.bench_function("compact", |b| {
+        b.iter(|| black_box(run(&g, algo, &params).num_colors))
+    });
+    group.bench_function("compressed", |b| {
+        b.iter(|| black_box(run(&z, algo, &params).num_colors))
+    });
+    group.finish();
+
+    // Identical engine, identical seed: the coloring itself must not
+    // depend on the representation.
+    let rc = run(&g, algo, &params);
+    let rz = run(&z, algo, &params);
+    assert_eq!(rc.colors, rz.colors, "representation changed the coloring");
+
+    // Decode-overhead gate, min over reps so scheduler noise only ever
+    // helps the slower side.
+    let min_secs = |f: &mut dyn FnMut()| -> f64 {
+        (0..5)
+            .map(|_| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let t_compact = min_secs(&mut || {
+        black_box(run(&g, algo, &params).num_colors);
+    });
+    let t_compressed = min_secs(&mut || {
+        black_box(run(&z, algo, &params).num_colors);
+    });
+    let ratio = t_compressed / t_compact.max(1e-9);
+    println!(
+        "compress: jp-llf compact {:.1} ms vs compressed {:.1} ms ({ratio:.2}x)",
+        t_compact * 1e3,
+        t_compressed * 1e3,
+    );
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < 2 {
+        eprintln!("compress: SKIP ≤2.5x assertion — {cores} core(s) available, needs ≥2");
+        return;
+    }
+    assert!(
+        ratio <= 2.5,
+        "block decode too slow: JP on CompressedCsr is {ratio:.2}x the CompactCsr run (bound 2.5x)"
+    );
+}
+
+criterion_group!(benches, codec, jp_traversal);
+criterion_main!(benches);

@@ -32,6 +32,26 @@ use rayon::prelude::*;
 /// vertex, small enough not to thrash the L1 fill buffers.
 pub const PREFETCH_DIST: usize = 8;
 
+/// Look-ahead distance for decode-scratch-bearing representations
+/// ([`GraphView::decode_scratch_bytes`] > 0, i.e. the compressed CSR):
+/// block decoding streams its scratch buffer through the same L1 fill
+/// buffers the prefetches land in, so a long lookahead evicts its own
+/// targets before use. Halving the distance keeps the prefetched arena
+/// bytes resident across one block-decode burst.
+pub const PREFETCH_DIST_DECODED: usize = PREFETCH_DIST / 2;
+
+/// The prefetch look-ahead appropriate for `g`: [`PREFETCH_DIST`] for
+/// raw-array layouts, [`PREFETCH_DIST_DECODED`] when traversal decodes
+/// through per-iterator scratch.
+#[inline]
+pub fn prefetch_dist<G: GraphView>(g: &G) -> usize {
+    if g.decode_scratch_bytes() > 0 {
+        PREFETCH_DIST_DECODED
+    } else {
+        PREFETCH_DIST
+    }
+}
+
 /// Degree class of `d`: 0 for isolated vertices, else `⌈log₂ d⌉ + 1` —
 /// 33 classes cover the whole `u32` degree range.
 #[inline]
@@ -45,11 +65,11 @@ pub fn bucket_by_degree<G: GraphView>(g: &G, round: &mut [u32]) {
     round.par_sort_unstable_by_key(|&v| ((degree_class(g.degree(v)) as u64) << 32) | v as u64);
 }
 
-/// Prefetch the adjacency list of the vertex `PREFETCH_DIST` slots ahead
-/// of position `i` in the round set (no-op past the end).
+/// Prefetch the adjacency list of the vertex [`prefetch_dist`] slots
+/// ahead of position `i` in the round set (no-op past the end).
 #[inline]
 pub fn prefetch_ahead<G: GraphView>(g: &G, round: &[u32], i: usize) {
-    if let Some(&v) = round.get(i + PREFETCH_DIST) {
+    if let Some(&v) = round.get(i + prefetch_dist(g)) {
         g.prefetch_neighbors(v);
     }
 }
@@ -96,5 +116,18 @@ mod tests {
             prefetch_ahead(&g, &round, i); // must never index out of bounds
         }
         prefetch_ahead(&g, &[], 0);
+    }
+
+    #[test]
+    fn decode_scratch_shortens_lookahead() {
+        let g = generate(&GraphSpec::Cycle { n: 16 }, 0);
+        assert_eq!(prefetch_dist(&g), PREFETCH_DIST, "raw arrays: full dist");
+        let c = pgc_graph::CompressedCsr::from_compact(&g);
+        assert!(pgc_graph::GraphView::decode_scratch_bytes(&c) > 0);
+        assert_eq!(prefetch_dist(&c), PREFETCH_DIST_DECODED);
+        let round: Vec<u32> = (0..16).collect();
+        for i in 0..round.len() {
+            prefetch_ahead(&c, &round, i);
+        }
     }
 }

@@ -40,7 +40,7 @@ impl Offsets {
         }
     }
 
-    fn width(&self) -> usize {
+    pub(crate) fn width(&self) -> usize {
         match self {
             Offsets::Small(_) => std::mem::size_of::<u32>(),
             Offsets::Wide(_) => std::mem::size_of::<usize>(),
@@ -291,6 +291,7 @@ impl GraphView for CompactCsr {
             offset_count: self.offsets.len(),
             neighbor_width: std::mem::size_of::<u32>(),
             neighbor_count: self.neighbors.len(),
+            encoded_bytes: 0,
             aux_bytes: 0,
             weight_bytes: 0,
         }

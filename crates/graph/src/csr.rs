@@ -289,6 +289,7 @@ impl GraphView for CsrGraph {
             offset_count: self.offsets.len(),
             neighbor_width: std::mem::size_of::<u32>(),
             neighbor_count: self.neighbors.len(),
+            encoded_bytes: 0,
             aux_bytes: 0,
             weight_bytes: 0,
         }

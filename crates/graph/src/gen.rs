@@ -240,6 +240,20 @@ pub fn generate_sharded_with_stats(
         .expect("generator replay cannot fail")
 }
 
+/// [`generate`] into the delta-varint representation (the harness's
+/// `--compressed` path): build the compact graph through the streaming
+/// engine, then encode it, charging the converter's transient
+/// allocations into `build_bytes_peak` so the peak-memory column
+/// reflects the conversion that actually ran.
+pub fn generate_compressed_with_stats(
+    spec: &GraphSpec,
+    seed: u64,
+) -> (crate::compressed::CompressedCsr, BuildStats) {
+    let (g, mut stats) = generate_with_stats(spec, seed);
+    let c = crate::compressed::CompressedCsr::from_compact_with_stats(&g, &mut stats);
+    (c, stats)
+}
+
 /// Generate a weighted graph: the same seeded topology as [`generate`]
 /// (bit-identical structure) plus the replay-exact seeded weight
 /// stream in `[1, 10)`, converted into `W`. Like every generator build,

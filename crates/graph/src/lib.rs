@@ -35,12 +35,17 @@
 //!   (arrays verbatim behind a 64-byte header) with buffered and
 //!   mmap-backed zero-copy loaders ([`MappedSnapshot`]); the text readers
 //!   sniff its magic so snapshots transparently take the fast path,
+//! * [`compressed`] — [`CompressedCsr`], delta-varint block-encoded
+//!   adjacencies in one contiguous byte arena (≥2× fewer neighbor bytes
+//!   on the generator families) behind the same [`GraphView`] /
+//!   [`WeightedView`] contract,
 //! * [`degeneracy`](mod@degeneracy) — exact degeneracy, coreness, and the smallest-degree-
 //!   last (SL) removal order via linear-time bucket peeling (Matula–Beck),
 //!   the ground truth against which ADG's approximation is validated.
 
 pub mod builder;
 pub mod compact;
+pub mod compressed;
 pub mod csr;
 pub mod degeneracy;
 pub mod gen;
@@ -56,6 +61,7 @@ pub mod weighted;
 
 pub use builder::EdgeListBuilder;
 pub use compact::CompactCsr;
+pub use compressed::CompressedCsr;
 pub use csr::CsrGraph;
 pub use degeneracy::{degeneracy, DegeneracyInfo};
 pub use induced::InducedView;
@@ -64,7 +70,9 @@ pub use sharded::{
     build_sharded_with_stats, ShardOptions, ShardedCsr,
 };
 pub use snapshot::{
-    load_snapshot, load_weighted_snapshot, write_snapshot, write_weighted_snapshot, MappedSnapshot,
+    inspect_snapshot, load_compressed_snapshot, load_snapshot, load_weighted_snapshot,
+    write_compressed_snapshot, write_snapshot, write_snapshot_compressed, write_weighted_snapshot,
+    MappedSnapshot, SnapshotInfo,
 };
 pub use stream::{BuildStats, EdgeSink, EdgeSource};
 pub use view::{prefetch_read, GraphMemory, GraphView, WeightedView};

@@ -377,6 +377,7 @@ impl<W: EdgeWeight> GraphView for ShardedCsr<W> {
             offset_count,
             neighbor_width: 4,
             neighbor_count: self.num_arcs,
+            encoded_bytes: 0,
             aux_bytes: aux,
             weight_bytes: self.num_arcs * std::mem::size_of::<W>(),
         }

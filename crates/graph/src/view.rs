@@ -53,8 +53,15 @@ pub struct GraphMemory {
     pub neighbor_width: usize,
     /// Number of stored neighbor entries (`2m` for undirected CSR).
     pub neighbor_count: usize,
-    /// Bytes of any auxiliary structures (masks, remaps) a view carries on
-    /// top of the arrays it borrows.
+    /// Bytes of compressed (encoded) neighbor storage, when the
+    /// representation stores adjacencies as packed bytes instead of raw
+    /// `u32` entries ([`crate::CompressedCsr`]'s delta-varint arena).
+    /// Kept separate from [`neighbor_bytes`](Self::neighbor_bytes) so
+    /// tables can print the compression ratio against the paper's `2m`
+    /// word budget; always 0 for array-backed layouts.
+    pub encoded_bytes: usize,
+    /// Bytes of any auxiliary structures (masks, remaps, decode scratch)
+    /// a view carries on top of the arrays it borrows.
     pub aux_bytes: usize,
     /// Bytes of the edge-payload (weights) array, when the representation
     /// carries one ([`crate::WeightedCsr`]). Kept separate from
@@ -75,9 +82,22 @@ impl GraphMemory {
         self.neighbor_width * self.neighbor_count
     }
 
-    /// Offsets + neighbors + auxiliary + weight bytes.
+    /// Offsets + neighbors + encoded + auxiliary + weight bytes.
     pub fn total_bytes(&self) -> usize {
-        self.offset_bytes() + self.neighbor_bytes() + self.aux_bytes + self.weight_bytes
+        self.offset_bytes()
+            + self.neighbor_bytes()
+            + self.encoded_bytes
+            + self.aux_bytes
+            + self.weight_bytes
+    }
+
+    /// Bytes of the structural graph storage actually resident for this
+    /// representation: offsets + raw neighbors + encoded neighbors +
+    /// auxiliary structures — everything except the edge payload. This
+    /// is the number the harness prints as `graph_MiB`, so compact,
+    /// compressed, and sharded rows are comparable.
+    pub fn structural_bytes(&self) -> usize {
+        self.offset_bytes() + self.neighbor_bytes() + self.encoded_bytes + self.aux_bytes
     }
 }
 
@@ -195,9 +215,21 @@ pub trait GraphView: Sync {
             offset_count: self.n() + 1,
             neighbor_width: 4,
             neighbor_count: self.num_arcs(),
+            encoded_bytes: 0,
             aux_bytes: 0,
             weight_bytes: 0,
         }
+    }
+
+    /// Per-thread scratch bytes a traversal of this view needs beyond the
+    /// stored arrays — 0 for slice-backed CSR layouts, nonzero for
+    /// decoding representations ([`crate::CompressedCsr`] materializes
+    /// blocks into a scratch buffer per neighbor iterator). The
+    /// scheduling layer uses it to shorten its prefetch lookahead when
+    /// decode scratch competes for L1 fill capacity.
+    #[inline]
+    fn decode_scratch_bytes(&self) -> usize {
+        0
     }
 }
 
@@ -398,12 +430,14 @@ mod tests {
             offset_count: 11,
             neighbor_width: 4,
             neighbor_count: 20,
+            encoded_bytes: 5,
             aux_bytes: 3,
             weight_bytes: 16,
         };
         assert_eq!(m.offset_bytes(), 44);
         assert_eq!(m.neighbor_bytes(), 80);
-        assert_eq!(m.total_bytes(), 143);
+        assert_eq!(m.structural_bytes(), 132);
+        assert_eq!(m.total_bytes(), 148);
     }
 
     #[test]

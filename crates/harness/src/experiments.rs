@@ -28,6 +28,12 @@ pub struct ExpConfig {
     /// many vertex-range shards (`--shards` / `PGC_SHARDS`); `None` keeps
     /// the monolithic [`CompactCsr`].
     pub shards: Option<usize>,
+    /// Build the fig2 workloads as a [`pgc_graph::CompressedCsr`]
+    /// (`--compressed` / `PGC_COMPRESSED`): delta-varint block-encoded
+    /// adjacencies, measured through the same generic round loops. When
+    /// both are requested, sharding takes precedence (the sharded layer
+    /// has no compressed arena yet).
+    pub compressed: bool,
 }
 
 impl Default for ExpConfig {
@@ -38,6 +44,7 @@ impl Default for ExpConfig {
             reps: 3,
             threads: vec![1, 2, 4, 8],
             shards: None,
+            compressed: false,
         }
     }
 }
@@ -68,6 +75,10 @@ impl ExpConfig {
         {
             self.shards = Some(s);
         }
+        if let Ok(v) = std::env::var("PGC_COMPRESSED") {
+            let v = v.trim();
+            self.compressed = !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false");
+        }
         self
     }
 }
@@ -82,13 +93,30 @@ pub fn parse_thread_list(s: &str) -> Option<Vec<usize>> {
     list.filter(|l| !l.is_empty())
 }
 
-/// Offset + neighbor bytes of a graph's representation, in MiB — the
-/// paper's §II-A word budget as actually laid out in memory. Recorded in
-/// the fig2 run reports (and printed from there) so `CompactCsr`'s
-/// 4-byte-offset saving is visible next to the timings.
+/// Structural bytes of a graph's representation (offsets + neighbors +
+/// encoded arena + index/scratch aux), in MiB — the paper's §II-A word
+/// budget as actually laid out in memory. Recorded in the fig2 run
+/// reports (and printed from there) so `CompactCsr`'s 4-byte-offset
+/// saving and `CompressedCsr`'s arena saving are visible next to the
+/// timings. Uses [`pgc_graph::GraphMemory::structural_bytes`] rather than
+/// offsets+neighbors alone, so representations whose traversal state
+/// lives outside those two arrays (compressed arena, byte-offset index,
+/// decode scratch) aren't under-reported.
 fn graph_mib<G: GraphView>(g: &G) -> f64 {
-    let fp = g.memory_footprint();
-    (fp.offset_bytes() + fp.neighbor_bytes()) as f64 / (1024.0 * 1024.0)
+    g.memory_footprint().structural_bytes() as f64 / (1024.0 * 1024.0)
+}
+
+/// The compressed-representation detail for the fig2 tables: encoded
+/// neighbor-arena MiB and the compact÷encoded neighbor-byte ratio (how
+/// many times smaller the delta-varint arena is than the raw `u32`
+/// neighbor array it replaced).
+fn compression_detail<W: pgc_graph::EdgeWeight>(g: &pgc_graph::CompressedCsr<W>) -> (f64, f64) {
+    let encoded = g.encoded_bytes().max(1);
+    let compact = g.num_arcs() * std::mem::size_of::<u32>();
+    (
+        g.encoded_bytes() as f64 / (1024.0 * 1024.0),
+        compact as f64 / encoded as f64,
+    )
 }
 
 /// Peak build-side allocation of a streaming ingestion, in MiB.
@@ -116,6 +144,26 @@ fn snapshot_load_ms(g: &CompactCsr, tag: &str) -> f64 {
     })();
     let _ = std::fs::remove_file(&path);
     timed.expect("snapshot round-trip in harness")
+}
+
+/// [`snapshot_load_ms`] for the compressed representation: writes a v2
+/// (compressed-section) snapshot and times the zero-copy compressed load.
+fn compressed_snapshot_load_ms(g: &pgc_graph::CompressedCsr, tag: &str) -> f64 {
+    let path = std::env::temp_dir().join(format!(
+        "pgc-fig2c-{}-{tag}.{}",
+        std::process::id(),
+        pgc_graph::snapshot::SNAPSHOT_EXT
+    ));
+    let timed = (|| -> std::io::Result<f64> {
+        pgc_graph::write_compressed_snapshot(g, &path)?;
+        let t0 = std::time::Instant::now();
+        let loaded = pgc_graph::load_compressed_snapshot::<()>(&path)?;
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(loaded.n(), g.n(), "compressed snapshot load mismatch");
+        Ok(dt)
+    })();
+    let _ = std::fs::remove_file(&path);
+    timed.expect("compressed snapshot round-trip in harness")
 }
 
 /// Generate every suite graph once, through the streaming two-pass
@@ -292,8 +340,11 @@ fn scaling_algorithms() -> Vec<Algorithm> {
 /// same (graph, algorithm) pair — the paper's scaling axis. With
 /// `cfg.shards` set (`--shards` / `PGC_SHARDS`), the workloads are built
 /// as [`pgc_graph::ShardedCsr`]s and the shard-parallel round loops carry
-/// the runs; the trailing `shards`/`halo_MiB` columns say which
-/// representation each row measured.
+/// the runs; with `cfg.compressed` (`--compressed` / `PGC_COMPRESSED`)
+/// they are built as [`pgc_graph::CompressedCsr`]s and the same generic
+/// loops decode delta-varint blocks on the fly. The trailing
+/// `shards`/`halo_MiB`/`encoded_MiB`/`ratio` columns say which
+/// representation each row measured (sharding wins when both are set).
 pub fn fig2_strong(cfg: &ExpConfig) -> Table {
     let params = cfg.params();
     let mut t = Table::new(&[
@@ -309,6 +360,8 @@ pub fn fig2_strong(cfg: &ExpConfig) -> Table {
         "build_peak_MiB",
         "shards",
         "halo_MiB",
+        "encoded_MiB",
+        "ratio",
     ]);
     for sg in suite(cfg.scale)
         .into_iter()
@@ -343,6 +396,34 @@ pub fn fig2_strong(cfg: &ExpConfig) -> Table {
                     &ingest_at,
                     None,
                     Some((s, halo_mib)),
+                    None,
+                );
+            }
+            _ if cfg.compressed => {
+                let (g, _) = pgc_graph::gen::generate_compressed_with_stats(&sg.spec, cfg.seed);
+                let load_ms = compressed_snapshot_load_ms(&g, sg.name);
+                let ingest_at: Vec<(usize, BuildStats)> = cfg
+                    .threads
+                    .iter()
+                    .map(|&threads| {
+                        let stats = with_threads(threads, || {
+                            pgc_graph::gen::generate_compressed_with_stats(&sg.spec, cfg.seed)
+                        })
+                        .1;
+                        (threads, stats)
+                    })
+                    .collect();
+                let detail = compression_detail(&g);
+                strong_rows(
+                    &mut t,
+                    cfg,
+                    &params,
+                    sg.name,
+                    &g,
+                    &ingest_at,
+                    Some(load_ms),
+                    None,
+                    Some(detail),
                 );
             }
             _ => {
@@ -367,6 +448,7 @@ pub fn fig2_strong(cfg: &ExpConfig) -> Table {
                     &ingest_at,
                     Some(load_ms),
                     None,
+                    None,
                 );
             }
         }
@@ -377,7 +459,8 @@ pub fn fig2_strong(cfg: &ExpConfig) -> Table {
 /// The representation-generic inner sweep of [`fig2_strong`]: one row per
 /// algorithm × pool width over `g`, with the per-width ingest stats and
 /// the (monolithic-only) snapshot load time / (sharded-only) shard detail
-/// threaded into both the table and the run records.
+/// / (compressed-only) arena detail threaded into both the table and the
+/// run records.
 #[allow(clippy::too_many_arguments)]
 fn strong_rows<G: GraphView>(
     t: &mut Table,
@@ -388,6 +471,7 @@ fn strong_rows<G: GraphView>(
     ingest_at: &[(usize, BuildStats)],
     load_ms: Option<f64>,
     sharding: Option<(usize, f64)>,
+    compression: Option<(f64, f64)>,
 ) {
     for algo in scaling_algorithms() {
         let (base, base_hist) = with_threads(1, || {
@@ -417,6 +501,9 @@ fn strong_rows<G: GraphView>(
             if let Some((shards, halo_mib)) = sharding {
                 rec = rec.with_shards(shards, halo_mib);
             }
+            if let Some((encoded_mib, ratio)) = compression {
+                rec = rec.with_compressed(encoded_mib, ratio);
+            }
             t.row(vec![
                 rec.graph.clone(),
                 rec.algorithm.clone(),
@@ -430,6 +517,8 @@ fn strong_rows<G: GraphView>(
                 fmt_opt(rec.build_peak_mib),
                 rec.shards.map_or_else(|| "1".into(), |s| s.to_string()),
                 fmt_opt(rec.halo_mib),
+                fmt_opt(rec.encoded_mib),
+                fmt_opt(rec.compress_ratio),
             ]);
             crate::report::record(rec);
         }
@@ -439,8 +528,9 @@ fn strong_rows<G: GraphView>(
 /// Fig. 2 (left): weak scaling on Kronecker graphs — edges/vertex grows
 /// with the thread count ("1+1 … 32+32" in the paper). With `cfg.shards`
 /// set, each Kronecker workload is built as a [`pgc_graph::ShardedCsr`];
-/// the trailing `shards`/`halo_MiB` columns say which representation the
-/// row measured.
+/// with `cfg.compressed`, as a [`pgc_graph::CompressedCsr`]. The trailing
+/// `shards`/`halo_MiB`/`encoded_MiB`/`ratio` columns say which
+/// representation the row measured (sharding wins when both are set).
 pub fn fig2_weak(cfg: &ExpConfig) -> Table {
     let params = cfg.params();
     let scale = 12 + cfg.scale as u32 * 2;
@@ -458,6 +548,8 @@ pub fn fig2_weak(cfg: &ExpConfig) -> Table {
         "colors",
         "shards",
         "halo_MiB",
+        "encoded_MiB",
+        "ratio",
     ]);
     for (ef, threads) in [(1usize, 1usize), (2, 2), (4, 4), (8, 8), (16, 16), (32, 32)] {
         let spec = GraphSpec::Rmat {
@@ -484,6 +576,26 @@ pub fn fig2_weak(cfg: &ExpConfig) -> Table {
                     stats,
                     None,
                     Some((s, halo_mib)),
+                    None,
+                );
+            }
+            _ if cfg.compressed => {
+                let (g, stats) = with_threads(threads, || {
+                    pgc_graph::gen::generate_compressed_with_stats(&spec, cfg.seed)
+                });
+                let load_ms = compressed_snapshot_load_ms(&g, &format!("weak-ef{ef}"));
+                let detail = compression_detail(&g);
+                weak_rows(
+                    &mut t,
+                    cfg,
+                    &params,
+                    ef,
+                    threads,
+                    &g,
+                    stats,
+                    Some(load_ms),
+                    None,
+                    Some(detail),
                 );
             }
             _ => {
@@ -498,6 +610,7 @@ pub fn fig2_weak(cfg: &ExpConfig) -> Table {
                     &g,
                     stats,
                     Some(load_ms),
+                    None,
                     None,
                 );
             }
@@ -519,6 +632,7 @@ fn weak_rows<G: GraphView>(
     stats: BuildStats,
     load_ms: Option<f64>,
     sharding: Option<(usize, f64)>,
+    compression: Option<(f64, f64)>,
 ) {
     for algo in scaling_algorithms() {
         let (r, hist) = with_threads(threads, || {
@@ -536,6 +650,9 @@ fn weak_rows<G: GraphView>(
         if let Some((shards, halo_mib)) = sharding {
             rec = rec.with_shards(shards, halo_mib);
         }
+        if let Some((encoded_mib, ratio)) = compression {
+            rec = rec.with_compressed(encoded_mib, ratio);
+        }
         t.row(vec![
             ef.to_string(),
             rec.threads.to_string(),
@@ -550,6 +667,8 @@ fn weak_rows<G: GraphView>(
             rec.colors.to_string(),
             rec.shards.map_or_else(|| "1".into(), |s| s.to_string()),
             fmt_opt(rec.halo_mib),
+            fmt_opt(rec.encoded_mib),
+            fmt_opt(rec.compress_ratio),
         ]);
         crate::report::record(rec);
     }
@@ -1127,6 +1246,7 @@ mod tests {
             reps: 1,
             threads: vec![1, 2],
             shards: None,
+            compressed: false,
         }
     }
 
@@ -1168,6 +1288,61 @@ mod tests {
             let colors: u32 = row[5].parse().unwrap();
             assert!(colors > 0, "{row:?}");
         }
+    }
+
+    #[test]
+    fn fig2_strong_compressed_reports_arena_columns() {
+        let cfg = ExpConfig {
+            compressed: true,
+            ..smoke_cfg()
+        };
+        let t = fig2_strong(&cfg);
+        assert!(!t.rows.is_empty());
+        let enc_at = t.header.iter().position(|h| h == "encoded_MiB").unwrap();
+        let ratio_at = t.header.iter().position(|h| h == "ratio").unwrap();
+        let mib_at = t.header.iter().position(|h| h == "graph_MiB").unwrap();
+        for row in &t.rows {
+            let encoded: f64 = row[enc_at].parse().unwrap();
+            assert!(encoded > 0.0, "{row:?}");
+            let ratio: f64 = row[ratio_at].parse().unwrap();
+            assert!(
+                ratio >= 2.0,
+                "compressed arena must halve neighbor bytes: {row:?}"
+            );
+            let mib: f64 = row[mib_at].parse().unwrap();
+            assert!(mib > 0.0, "{row:?}");
+            let speedup: f64 = row[4].parse().unwrap();
+            assert!(speedup > 0.0, "{row:?}");
+        }
+        // The uncompressed table leaves the arena columns empty.
+        let mono = fig2_strong(&smoke_cfg());
+        assert_eq!(mono.rows[0][enc_at], "-");
+        assert_eq!(mono.rows[0][ratio_at], "-");
+        // Sharding takes precedence over --compressed.
+        let both = ExpConfig {
+            shards: Some(2),
+            compressed: true,
+            ..smoke_cfg()
+        };
+        let t2 = fig2_strong(&both);
+        let shards_at = t2.header.iter().position(|h| h == "shards").unwrap();
+        assert_eq!(t2.rows[0][shards_at], "2");
+        assert_eq!(t2.rows[0][enc_at], "-");
+    }
+
+    #[test]
+    fn env_overrides_pick_up_compressed() {
+        // Serialized against nothing: the env var is process-global, so
+        // set and immediately clear it around the single observation.
+        std::env::set_var("PGC_COMPRESSED", "1");
+        let on = ExpConfig::default().with_env_overrides().compressed;
+        std::env::set_var("PGC_COMPRESSED", "0");
+        let off = ExpConfig::default().with_env_overrides().compressed;
+        std::env::remove_var("PGC_COMPRESSED");
+        let unset = ExpConfig::default().with_env_overrides().compressed;
+        assert!(on);
+        assert!(!off);
+        assert!(!unset);
     }
 
     #[test]

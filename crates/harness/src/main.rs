@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! pgc <command> [--scale 0|1|2] [--seed N] [--reps R] [--threads T[,T..]]
-//!               [--shards S] [--csv] [--trace <file.json>] [--report <file.jsonl>]
+//!               [--shards S] [--compressed] [--csv] [--trace <file.json>]
+//!               [--report <file.jsonl>]
 //!
 //! commands:
 //!   fig1         run-times + coloring quality across the graph suite
@@ -26,11 +27,15 @@
 //!                lacks the cores)
 //!   all          everything above, in order
 //!   snapshot     convert a text graph to a binary .pgcs snapshot:
-//!                pgc snapshot <input> <output> [--weighted]
+//!                pgc snapshot <input> <output> [--weighted] [--compress]
 //!                (input format by extension: .col DIMACS, .mtx Matrix
 //!                Market, else whitespace edge list; --weighted keeps f64
-//!                edge weights. Every reader also accepts .pgcs input, so
-//!                this doubles as a snapshot integrity check.)
+//!                edge weights; --compress writes the v2 delta-varint
+//!                neighbor section. Every reader also accepts .pgcs input,
+//!                so this doubles as a snapshot integrity check.)
+//!                pgc snapshot <file.pgcs> --info verifies a snapshot's
+//!                checksums and prints its header + per-section byte
+//!                breakdown without converting anything.
 //!   report       validate + pretty-print a JSONL run report, or diff two:
 //!                pgc report <a.jsonl> [b.jsonl] [--csv]
 //! ```
@@ -54,6 +59,12 @@
 //! as a vertex-range-sharded `ShardedCsr` with `S` shards instead of the
 //! monolithic CSR; the strong/weak tables then report the shard count and
 //! halo size per row, and the run report records carry `shards`/`halo_mib`.
+//!
+//! `--compressed` (or `PGC_COMPRESSED=1`, flag wins) builds the fig2
+//! workloads as a delta-varint `CompressedCsr` instead; the tables then
+//! fill the trailing `encoded_MiB`/`ratio` columns and the run records
+//! carry `encoded_mib`/`compress_ratio`. `--shards` takes precedence when
+//! both are given.
 
 use pgc_harness::experiments as exp;
 use pgc_harness::report as rep;
@@ -62,8 +73,9 @@ use pgc_harness::table::Table;
 fn usage() -> ! {
     eprintln!(
         "usage: pgc <fig1|fig2-strong|fig2-weak|fig3|fig4|fig5|table2|table3|ablations|mining|weighted|colorsum|fork-heavy|check|check-scaling|all> \
-         [--scale 0|1|2] [--seed N] [--reps R] [--threads T[,T..]] [--shards S] [--csv] [--trace FILE.json] [--report FILE.jsonl]\n\
-         \x20      pgc snapshot <input> <output> [--weighted]\n\
+         [--scale 0|1|2] [--seed N] [--reps R] [--threads T[,T..]] [--shards S] [--compressed] [--csv] [--trace FILE.json] [--report FILE.jsonl]\n\
+         \x20      pgc snapshot <input> <output> [--weighted] [--compress]\n\
+         \x20      pgc snapshot <file.pgcs> --info\n\
          \x20      pgc report <a.jsonl> [b.jsonl] [--csv]"
     );
     std::process::exit(2);
@@ -110,18 +122,86 @@ fn report_command(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
-/// `pgc snapshot <input> <output> [--weighted]`: parse a text graph
-/// (format sniffed from the extension) and write it back as a versioned,
-/// checksummed binary snapshot that every reader and experiment can
-/// re-open via the magic-sniffing fast path.
+/// `pgc snapshot <file.pgcs> --info`: fully verify a snapshot (both
+/// checksums) and print its header facts and per-section byte breakdown.
+fn snapshot_info(path: &std::path::Path) -> ! {
+    match pgc_graph::inspect_snapshot(path) {
+        Ok(info) => {
+            println!(
+                "{}: v{} {}",
+                path.display(),
+                info.version,
+                if info.compressed {
+                    "compressed"
+                } else {
+                    "raw arrays"
+                }
+            );
+            println!(
+                "  n={} m={} arcs={} max_deg={} min_deg={}",
+                info.n,
+                info.num_arcs / 2,
+                info.num_arcs,
+                info.max_deg,
+                info.min_deg
+            );
+            println!(
+                "  offsets      {:>12} bytes ({} B/entry)",
+                info.offsets_bytes, info.offset_width
+            );
+            if info.compressed {
+                println!(
+                    "  byte_offsets {:>12} bytes ({} B/entry)",
+                    info.byte_offsets_bytes, info.byte_offset_width
+                );
+                println!(
+                    "  neighbors    {:>12} bytes encoded ({:.2}x of the raw u32 array)",
+                    info.neighbor_bytes,
+                    info.compression_ratio()
+                );
+            } else {
+                println!("  neighbors    {:>12} bytes", info.neighbor_bytes);
+            }
+            println!(
+                "  weights      {:>12} bytes (kind={} width={})",
+                info.weight_bytes, info.weight_kind, info.weight_width
+            );
+            println!("  file         {:>12} bytes", info.file_bytes);
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("pgc snapshot: {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `pgc snapshot <input> <output> [--weighted] [--compress]`: parse a
+/// text graph (format sniffed from the extension) and write it back as a
+/// versioned, checksummed binary snapshot that every reader and
+/// experiment can re-open via the magic-sniffing fast path. `--compress`
+/// writes the v2 delta-varint neighbor section instead of raw arrays;
+/// `pgc snapshot <file.pgcs> --info` verifies and describes an existing
+/// snapshot.
 fn snapshot_command(args: &[String]) -> ! {
     let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     let weighted = args.iter().any(|a| a == "--weighted");
-    if positional.len() != 2
-        || args
-            .iter()
-            .any(|a| a.starts_with("--") && a != "--weighted")
+    let compress = args.iter().any(|a| a == "--compress");
+    let info = args.iter().any(|a| a == "--info");
+    let known = ["--weighted", "--compress", "--info"];
+    if args
+        .iter()
+        .any(|a| a.starts_with("--") && !known.contains(&a.as_str()))
     {
+        usage();
+    }
+    if info {
+        if positional.len() != 1 || weighted || compress {
+            usage();
+        }
+        snapshot_info(std::path::Path::new(positional[0]));
+    }
+    if positional.len() != 2 {
         usage();
     }
     let (input, output) = (
@@ -145,7 +225,14 @@ fn snapshot_command(args: &[String]) -> ! {
                 }
                 _ => pgc_graph::io::read_weighted_edge_list_path(input)?,
             };
-            let bytes = pgc_graph::write_weighted_snapshot(&g, output)?;
+            let bytes = if compress {
+                pgc_graph::write_compressed_snapshot(
+                    &pgc_graph::CompressedCsr::from_weighted(&g),
+                    output,
+                )?
+            } else {
+                pgc_graph::write_weighted_snapshot(&g, output)?
+            };
             Ok((g.n(), g.m(), bytes))
         } else {
             let g = match ext.as_str() {
@@ -153,16 +240,21 @@ fn snapshot_command(args: &[String]) -> ! {
                 "mtx" => pgc_graph::io::read_matrix_market_path(input)?,
                 _ => pgc_graph::io::read_edge_list_path(input)?,
             };
-            let bytes = pgc_graph::write_snapshot(&g, output)?;
+            let bytes = if compress {
+                pgc_graph::write_snapshot_compressed(&g, output)?
+            } else {
+                pgc_graph::write_snapshot(&g, output)?
+            };
             Ok((g.n(), g.m(), bytes))
         }
     })();
     match result {
         Ok((n, m, bytes)) => {
             println!(
-                "wrote {} ({bytes} bytes): n={n} m={m}{}",
+                "wrote {} ({bytes} bytes): n={n} m={m}{}{}",
                 output.display(),
-                if weighted { " weighted(f64)" } else { "" }
+                if weighted { " weighted(f64)" } else { "" },
+                if compress { " compressed(v2)" } else { "" }
             );
             std::process::exit(0);
         }
@@ -236,6 +328,10 @@ fn main() {
                     .map(Some)
                     .unwrap_or_else(|| usage());
                 i += 2;
+            }
+            "--compressed" => {
+                cfg.compressed = true;
+                i += 1;
             }
             "--csv" => {
                 csv = true;

@@ -84,6 +84,12 @@ pub struct RunRecord {
     /// Cross-shard halo footprint (MiB), when the run used the sharded
     /// representation.
     pub halo_mib: Option<f64>,
+    /// Encoded neighbor-arena footprint (MiB), when the run used the
+    /// compressed representation (`pgc --compressed`).
+    pub encoded_mib: Option<f64>,
+    /// Compact-to-compressed neighbor-byte ratio (compact ÷ encoded), when
+    /// the run used the compressed representation.
+    pub compress_ratio: Option<f64>,
     /// Per-repetition latency digest in microseconds, when the run was
     /// repeated.
     pub latency_us: Option<HistogramSummary>,
@@ -168,6 +174,15 @@ impl RunRecord {
         self
     }
 
+    /// Attach the compressed-representation detail (encoded arena MiB +
+    /// compact÷encoded neighbor-byte ratio).
+    #[must_use]
+    pub fn with_compressed(mut self, encoded_mib: f64, compress_ratio: f64) -> Self {
+        self.encoded_mib = Some(encoded_mib);
+        self.compress_ratio = Some(compress_ratio);
+        self
+    }
+
     /// Attach a per-repetition latency digest (microseconds).
     #[must_use]
     pub fn with_latency(mut self, latency_us: HistogramSummary) -> Self {
@@ -213,6 +228,8 @@ impl RunRecord {
         opt("build_peak_mib", self.build_peak_mib);
         opt("shards", self.shards.map(|s| s as f64));
         opt("halo_mib", self.halo_mib);
+        opt("encoded_mib", self.encoded_mib);
+        opt("compress_ratio", self.compress_ratio);
         if let Some(l) = &self.latency_us {
             pairs.push((
                 "latency_us".into(),
@@ -280,6 +297,8 @@ impl RunRecord {
             build_peak_mib: f("build_peak_mib"),
             shards: u("shards").map(|s| s as usize),
             halo_mib: f("halo_mib"),
+            encoded_mib: f("encoded_mib"),
+            compress_ratio: f("compress_ratio"),
             latency_us,
         })
     }
@@ -334,6 +353,7 @@ mod tests {
             .with_load_ms(7.5)
             .with_graph_mib(48.25)
             .with_shards(4, 1.5)
+            .with_compressed(21.75, 2.22)
             .with_latency(HistogramSummary {
                 count: 5,
                 p50: 90_000,

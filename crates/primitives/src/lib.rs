@@ -21,7 +21,11 @@
 //! * [`rng`] — a counter-based (hash) RNG giving deterministic *parallel*
 //!   randomness: every `(seed, round, vertex)` triple yields an independent
 //!   stream, so Monte-Carlo coloring (SIM-COL) is reproducible regardless of
-//!   thread schedule.
+//!   thread schedule,
+//! * [`varint`] — the block-structured delta-varint codec for sorted `u32`
+//!   runs behind the compressed CSR representation and the v2 snapshot
+//!   section (anchored 64-value blocks, unrolled block decode,
+//!   gallop-style [`varint::Decoder::skip_to`] seeks).
 
 pub mod bitmap;
 pub mod intersect;
@@ -29,6 +33,7 @@ pub mod join;
 pub mod reduce;
 pub mod rng;
 pub mod sort;
+pub mod varint;
 
 pub use bitmap::{AtomicBitmap, FixedBitmap};
 pub use intersect::{intersect_count, intersect_sorted, intersect_sorted_into, MarkSet};

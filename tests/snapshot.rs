@@ -247,3 +247,38 @@ fn text_readers_sniff_snapshot_magic() {
         assert_same_graph(&built, &via_reader);
     });
 }
+
+/// Backward-compat pin: `tests/fixtures/tiny-v1.pgcs` is a committed v1
+/// snapshot of the Petersen graph in `tests/fixtures/tiny.mtx`. The v1
+/// writer must keep producing those exact bytes (the compressed v2 path
+/// is opt-in, never a silent format change), the pinned file must keep
+/// loading — through the raw, compressed-capable, and mmap loaders —
+/// and every algorithm must color it exactly like the text-parsed graph.
+#[test]
+fn pinned_v1_fixture_stays_byte_identical_and_loads() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let g = pgc::graph::io::read_matrix_market_path(&dir.join("tiny.mtx")).unwrap();
+
+    let mut fresh = Vec::new();
+    write_snapshot_to(&g, &mut fresh).unwrap();
+    let pinned = std::fs::read(dir.join("tiny-v1.pgcs")).unwrap();
+    assert_eq!(
+        fresh, pinned,
+        "v1 snapshot writer no longer byte-identical to the pinned fixture"
+    );
+
+    let loaded = load_snapshot(&dir.join("tiny-v1.pgcs")).unwrap();
+    assert_same_graph(&g, &loaded);
+    let z = pgc::graph::load_compressed_snapshot::<()>(&dir.join("tiny-v1.pgcs")).unwrap();
+    assert_same_graph(&g, &z.to_compact());
+    let mapped = MappedSnapshot::<()>::open(&dir.join("tiny-v1.pgcs")).unwrap();
+    assert_same_graph(&g, &mapped);
+
+    let params = Params::default();
+    for algo in Algorithm::all() {
+        let a = run(&g, algo, &params);
+        let b = run(&loaded, algo, &params);
+        assert_eq!(a.colors, b.colors, "{algo:?} diverged on the v1 fixture");
+        verify::assert_proper(&loaded, &b.colors);
+    }
+}
