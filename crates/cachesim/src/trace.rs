@@ -23,10 +23,12 @@
 //! | degrees D | 4 B | `0x5_0000_0000` |
 //!
 //! A compressed representation ([`pgc_graph::CompressedCsr`], footprint
-//! `encoded_bytes > 0`) streams its delta-varint arena instead of a raw
-//! `u32` array, so its neighbor stride is the arena's mean bytes per arc
-//! — the simulator shows the bandwidth side of compression the same way
-//! it shows `CompactCsr`'s 4-byte offsets.
+//! `encoded_len() > 0` — the arena length regardless of whether it is
+//! heap-owned or served zero-copy from an `mmap`ed snapshot) streams its
+//! delta-varint arena instead of a raw `u32` array, so its neighbor
+//! stride is the arena's mean bytes per arc — the simulator shows the
+//! bandwidth side of compression the same way it shows `CompactCsr`'s
+//! 4-byte offsets.
 
 use crate::cache::{Cache, CacheConfig, CacheStats};
 use pgc_core::{Algorithm, Params};
@@ -65,8 +67,12 @@ impl Layout {
         // compact 4-byte entries (the host array is the base graph's).
         let fp = g.memory_footprint();
         let w = fp.offset_width.max(4) as u64;
-        let neighbor_stride = if fp.encoded_bytes > 0 && acc > 0 {
-            (fp.encoded_bytes as u64).div_ceil(acc).max(1)
+        // `encoded_len()`, not `encoded_bytes`: a snapshot-loaded arena
+        // is mmap-backed (0 heap-owned bytes) but is still the
+        // representation being traversed.
+        let encoded = fp.encoded_len() as u64;
+        let neighbor_stride = if encoded > 0 && acc > 0 {
+            encoded.div_ceil(acc).max(1)
         } else {
             4
         };
@@ -489,6 +495,48 @@ mod tests {
                 rc.stats.misses
             );
         }
+    }
+
+    #[test]
+    fn mapped_compressed_snapshot_keeps_encoded_stride() {
+        // A snapshot-loaded compressed graph owns no heap arena bytes
+        // (the arena is served from the mmap), but the simulator must
+        // still lay it out with the encoded stride — regression for
+        // keying the detection off heap-owned bytes only, which silently
+        // fell back to the raw 4-byte stride.
+        let g = generate(
+            &GraphSpec::Rmat {
+                scale: 10,
+                edge_factor: 8,
+            },
+            7,
+        );
+        let z = pgc_graph::CompressedCsr::from_compact(&g);
+        let dir = std::env::temp_dir().join(format!("pgc-cachesim-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.pgcs");
+        pgc_graph::write_compressed_snapshot(&z, &path).unwrap();
+        let m = pgc_graph::load_compressed_snapshot::<()>(&path).unwrap();
+        let fp = m.memory_footprint();
+        assert_eq!(fp.encoded_bytes, 0, "mapped arena owns no heap bytes");
+        assert_eq!(fp.encoded_len(), z.encoded_bytes());
+        let (lz, lm) = (Layout::of(&z), Layout::of(&m));
+        assert_eq!(lm.neighbor_stride, lz.neighbor_stride);
+        assert!(
+            lm.neighbor_stride < 4,
+            "encoded stride, not the raw u32 stride: {}",
+            lm.neighbor_stride
+        );
+        let small = CacheConfig {
+            line_size: 64,
+            sets: 64,
+            ways: 16,
+        };
+        let rz = simulate_with_config(&z, Algorithm::GreedyFf, &Params::default(), small);
+        let rm = simulate_with_config(&m, Algorithm::GreedyFf, &Params::default(), small);
+        assert_eq!(rz.stats.accesses, rm.stats.accesses);
+        assert_eq!(rz.stats.misses, rm.stats.misses, "identical virtual layout");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -91,6 +91,16 @@ impl Arena {
             Arena::Mapped { .. } => 0,
         }
     }
+
+    /// Arena bytes served zero-copy from an `mmap` (0 when heap-owned) —
+    /// the complement of [`owned_bytes`](Self::owned_bytes), so the two
+    /// always sum to the arena length.
+    fn mapped_bytes(&self) -> usize {
+        match self {
+            Arena::Owned(_) => 0,
+            Arena::Mapped { len, .. } => *len,
+        }
+    }
 }
 
 impl Clone for Arena {
@@ -332,6 +342,16 @@ impl<W: EdgeWeight> CompressedCsr<W> {
         varint::Decoder::new(&self.arena.bytes()[s..e], self.degree(v) as usize)
     }
 
+    /// Strictly check that `v`'s encoded run is structurally well-formed
+    /// against its declared degree ([`varint::validate_run`]) — the
+    /// snapshot loader's defense against corrupt-but-checksum-valid
+    /// arenas.
+    pub fn validate_encoded_run(&self, v: u32) -> bool {
+        let s = self.byte_offsets.get(v as usize);
+        let e = self.byte_offsets.get(v as usize + 1);
+        varint::validate_run(&self.arena.bytes()[s..e], self.degree(v) as usize)
+    }
+
     /// Decode `v`'s full adjacency and hand it to `f` as a sorted slice,
     /// using a per-thread scratch ring (degree ≤ [`DECODE_SCRATCH_CAP`])
     /// or a transient buffer (hubs). Nested calls up to
@@ -510,6 +530,7 @@ impl<W: EdgeWeight> GraphView for CompressedCsr<W> {
             neighbor_width: 4,
             neighbor_count: 0,
             encoded_bytes: self.arena.owned_bytes(),
+            encoded_mapped_bytes: self.arena.mapped_bytes(),
             aux_bytes: self.byte_offsets.width() * self.byte_offsets.len()
                 + self.decode_scratch_budget(),
             weight_bytes: std::mem::size_of_val(self.weights.as_slice()),

@@ -290,6 +290,7 @@ impl GraphView for CsrGraph {
             neighbor_width: std::mem::size_of::<u32>(),
             neighbor_count: self.neighbors.len(),
             encoded_bytes: 0,
+            encoded_mapped_bytes: 0,
             aux_bytes: 0,
             weight_bytes: 0,
         }

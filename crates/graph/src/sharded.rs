@@ -378,6 +378,7 @@ impl<W: EdgeWeight> GraphView for ShardedCsr<W> {
             neighbor_width: 4,
             neighbor_count: self.num_arcs,
             encoded_bytes: 0,
+            encoded_mapped_bytes: 0,
             aux_bytes: aux,
             weight_bytes: self.num_arcs * std::mem::size_of::<W>(),
         }

@@ -686,7 +686,10 @@ fn read_byte_offsets(
 
 /// Decode a v2 arena into a raw neighbor array (parallel, each vertex
 /// into its disjoint output range). `get`/`bo` must already be verified
-/// monotone and in bounds.
+/// monotone and in bounds. Each run's block structure is strictly
+/// validated against its declared degree before decoding, so a
+/// corrupt-but-checksum-valid file (truncated run, lying `dlen`) errors
+/// instead of decoding garbage or panicking.
 fn decode_arena(
     n: usize,
     arcs: usize,
@@ -700,13 +703,25 @@ fn decode_arena(
     }
     let mut neighbors = vec![0u32; arcs];
     let ptr = crate::compressed::SharedMut(neighbors.as_mut_ptr());
-    (0..n).into_par_iter().for_each(|v| {
+    let ok = (0..n).into_par_iter().all(|v| {
         let (s, e) = (get(v), get(v + 1));
-        let mut dec = pgc_primitives::varint::Decoder::new(&arena[bo[v]..bo[v + 1]], e - s);
+        let run = &arena[bo[v]..bo[v + 1]];
+        if !pgc_primitives::varint::validate_run(run, e - s) {
+            return false;
+        }
+        let mut dec = pgc_primitives::varint::Decoder::new(run, e - s);
         // SAFETY: per-vertex arc ranges are disjoint (monotone offsets).
         let out = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(s), e - s) };
         dec.decode_into_slice(out);
+        true
     });
+    if !ok {
+        return Err(bad(
+            "compressed snapshot holds a malformed varint run (length or block \
+             structure disagrees with the declared degree)"
+                .into(),
+        ));
+    }
     Ok(neighbors)
 }
 
@@ -829,13 +844,19 @@ pub fn load_weighted_snapshot<W: EdgeWeight>(path: &Path) -> std::io::Result<Wei
 // Compressed (v2) load — zero-copy arena
 // ---------------------------------------------------------------------
 
-/// Release-build validation of a compressed load: every adjacency
-/// decodes to the right count of strictly-ascending, in-range,
-/// loop-free ids — the [`crate::csr::validate_csr_shape`] contract, run
-/// through the decoder. Debug builds add the symmetry cross-check.
+/// Release-build validation of a compressed load: every adjacency's
+/// encoded run is structurally well-formed
+/// ([`pgc_primitives::varint::validate_run`], so truncated or mis-framed
+/// runs error instead of panicking or decoding garbage) and decodes to
+/// the right count of strictly-ascending, in-range, loop-free ids — the
+/// [`crate::csr::validate_csr_shape`] contract, run through the decoder.
+/// Debug builds add the symmetry cross-check.
 fn validate_compressed<W: EdgeWeight>(g: &CompressedCsr<W>, n: usize) -> std::io::Result<()> {
     use rayon::prelude::*;
     let ok = (0..n as u32).into_par_iter().all(|v| {
+        if !g.validate_encoded_run(v) {
+            return false;
+        }
         let mut dec = g.decoder(v);
         let mut buf = [0u32; pgc_primitives::varint::BLOCK];
         let mut prev: Option<u32> = None;
@@ -1338,6 +1359,7 @@ impl<W: EdgeWeight> GraphView for MappedSnapshot<W> {
             neighbor_width: 4,
             neighbor_count: self.num_arcs,
             encoded_bytes: 0,
+            encoded_mapped_bytes: 0,
             aux_bytes: 0,
             weight_bytes: self.num_arcs * std::mem::size_of::<W>(),
         }
@@ -1518,6 +1540,15 @@ mod tests {
         let fp = GraphView::memory_footprint(&c);
         assert_eq!(fp.encoded_bytes, 0, "mapped arena is page-cache, not heap");
         assert!(c.encoded_bytes() > 0);
+        assert_eq!(
+            fp.encoded_mapped_bytes,
+            c.encoded_bytes(),
+            "representation length must stay visible for mapped arenas"
+        );
+        assert_eq!(fp.encoded_len(), c.encoded_bytes());
+        // Traversed representation counts the mapped arena; the heap
+        // charge does not (unit payload ⇒ no weight bytes).
+        assert_eq!(fp.structural_bytes(), fp.total_bytes() + fp.encoded_len());
 
         // A raw-array in-place view cannot serve a v2 file.
         assert!(MappedSnapshot::<()>::open(&path).is_err());
@@ -1567,6 +1598,41 @@ mod tests {
                 "bit flip at {pos} must be rejected"
             );
         }
+    }
+
+    #[test]
+    fn checksum_valid_but_malformed_runs_error_not_panic() {
+        // A lying dlen inside the arena with both checksums re-sealed is
+        // corrupt-but-checksum-valid: FNV is trivially recomputable, so
+        // the loaders cannot lean on it — every load path must surface
+        // InvalidData instead of panicking mid-decode in a par_iter.
+        let g = generate(&GraphSpec::ErdosRenyi { n: 300, m: 1500 }, 17);
+        let c = CompressedCsr::from_compact(&g);
+        let mut buf = Vec::new();
+        write_compressed_snapshot_to(&c, &mut buf).unwrap();
+        let (_, layout) = verify(&buf).unwrap();
+        // Overwrite the first block header's dlen so the run overruns
+        // its slice, then re-seal payload + header checksums.
+        buf[layout.nbr_start + 4..layout.nbr_start + 6].copy_from_slice(&u16::MAX.to_le_bytes());
+        let mut payload = FNV_OFFSET;
+        for section in layout.sections(&buf) {
+            payload = hash_section(payload, section);
+        }
+        buf[40..48].copy_from_slice(&payload.to_ne_bytes());
+        let ck = hash_section(FNV_OFFSET, &buf[..56]);
+        buf[56..64].copy_from_slice(&ck.to_ne_bytes());
+        // Decode path (materialize → decode_arena).
+        let err = load_snapshot_bytes(&buf).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("malformed varint run"), "{err}");
+        // Zero-copy path (load_compressed_snapshot → validate_compressed).
+        let dir = std::env::temp_dir().join(format!("pgc-snapbad-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.pgcs");
+        std::fs::write(&path, &buf).unwrap();
+        let err = load_compressed_snapshot::<()>(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -53,13 +53,27 @@ pub struct GraphMemory {
     pub neighbor_width: usize,
     /// Number of stored neighbor entries (`2m` for undirected CSR).
     pub neighbor_count: usize,
-    /// Bytes of compressed (encoded) neighbor storage, when the
-    /// representation stores adjacencies as packed bytes instead of raw
-    /// `u32` entries ([`crate::CompressedCsr`]'s delta-varint arena).
-    /// Kept separate from [`neighbor_bytes`](Self::neighbor_bytes) so
-    /// tables can print the compression ratio against the paper's `2m`
-    /// word budget; always 0 for array-backed layouts.
+    /// Bytes of **heap-owned** compressed (encoded) neighbor storage,
+    /// when the representation stores adjacencies as packed bytes
+    /// instead of raw `u32` entries ([`crate::CompressedCsr`]'s
+    /// delta-varint arena). Kept separate from
+    /// [`neighbor_bytes`](Self::neighbor_bytes) so tables can print the
+    /// compression ratio against the paper's `2m` word budget; always 0
+    /// for array-backed layouts — and also 0 when the arena is served
+    /// zero-copy from an `mmap`, which lands in
+    /// [`encoded_mapped_bytes`](Self::encoded_mapped_bytes) instead.
     pub encoded_bytes: usize,
+    /// Bytes of the encoded neighbor arena served zero-copy from an
+    /// `mmap` (page cache, not this process's heap) — the
+    /// [`crate::snapshot::load_compressed_snapshot`] fast path. An arena
+    /// is entirely heap-owned or entirely mapped, so the representation's
+    /// encoded length regardless of backing is
+    /// [`encoded_len`](Self::encoded_len); consumers that model the
+    /// traversed layout (the cache simulator, the harness's `graph_MiB`
+    /// column) must use that, while heap accounting
+    /// ([`total_bytes`](Self::total_bytes)) charges only
+    /// [`encoded_bytes`](Self::encoded_bytes).
+    pub encoded_mapped_bytes: usize,
     /// Bytes of any auxiliary structures (masks, remaps, decode scratch)
     /// a view carries on top of the arrays it borrows.
     pub aux_bytes: usize,
@@ -82,7 +96,20 @@ impl GraphMemory {
         self.neighbor_width * self.neighbor_count
     }
 
-    /// Offsets + neighbors + encoded + auxiliary + weight bytes.
+    /// Length of the encoded neighbor representation regardless of
+    /// backing: heap-owned plus `mmap`-served arena bytes (an arena is
+    /// entirely one or the other). 0 for raw-array layouts, so
+    /// `encoded_len() > 0` identifies a representation whose neighbor
+    /// traversal streams packed bytes rather than `u32` slots.
+    pub fn encoded_len(&self) -> usize {
+        self.encoded_bytes + self.encoded_mapped_bytes
+    }
+
+    /// Offsets + neighbors + heap-owned encoded + auxiliary + weight
+    /// bytes: the process-heap charge. An `mmap`-served arena is
+    /// excluded (page cache, not heap) — see
+    /// [`structural_bytes`](Self::structural_bytes) for the
+    /// representation as traversed.
     pub fn total_bytes(&self) -> usize {
         self.offset_bytes()
             + self.neighbor_bytes()
@@ -91,13 +118,15 @@ impl GraphMemory {
             + self.weight_bytes
     }
 
-    /// Bytes of the structural graph storage actually resident for this
-    /// representation: offsets + raw neighbors + encoded neighbors +
-    /// auxiliary structures — everything except the edge payload. This
-    /// is the number the harness prints as `graph_MiB`, so compact,
-    /// compressed, and sharded rows are comparable.
+    /// Bytes of the structural graph storage actually backing this
+    /// representation's traversal: offsets + raw neighbors + encoded
+    /// neighbors (whether heap-owned or `mmap`-served) + auxiliary
+    /// structures — everything except the edge payload. This is the
+    /// number the harness prints as `graph_MiB`, so compact, compressed
+    /// (including snapshot-loaded zero-copy arenas), and sharded rows
+    /// are comparable.
     pub fn structural_bytes(&self) -> usize {
-        self.offset_bytes() + self.neighbor_bytes() + self.encoded_bytes + self.aux_bytes
+        self.offset_bytes() + self.neighbor_bytes() + self.encoded_len() + self.aux_bytes
     }
 }
 
@@ -216,6 +245,7 @@ pub trait GraphView: Sync {
             neighbor_width: 4,
             neighbor_count: self.num_arcs(),
             encoded_bytes: 0,
+            encoded_mapped_bytes: 0,
             aux_bytes: 0,
             weight_bytes: 0,
         }
@@ -431,12 +461,16 @@ mod tests {
             neighbor_width: 4,
             neighbor_count: 20,
             encoded_bytes: 5,
+            encoded_mapped_bytes: 7,
             aux_bytes: 3,
             weight_bytes: 16,
         };
         assert_eq!(m.offset_bytes(), 44);
         assert_eq!(m.neighbor_bytes(), 80);
-        assert_eq!(m.structural_bytes(), 132);
+        assert_eq!(m.encoded_len(), 12);
+        // Traversed representation counts the mapped arena…
+        assert_eq!(m.structural_bytes(), 139);
+        // …heap accounting does not.
         assert_eq!(m.total_bytes(), 148);
     }
 

@@ -61,21 +61,25 @@ impl ExpConfig {
     /// Accepts a single count (`PGC_THREADS=4`, which also sets the pool's
     /// default width — see `pgc-par`) or a comma-separated sweep list
     /// (`PGC_THREADS=1,2,4,8`, harness-only).
-    pub fn with_env_overrides(mut self) -> Self {
-        if let Some(list) = std::env::var("PGC_THREADS")
-            .ok()
-            .and_then(|s| parse_thread_list(&s))
-        {
+    pub fn with_env_overrides(self) -> Self {
+        self.with_overrides(|k| std::env::var(k).ok())
+    }
+
+    /// [`with_env_overrides`](Self::with_env_overrides) with an injected
+    /// variable lookup, so the parsing is testable without mutating the
+    /// process-global environment (which would race with concurrently
+    /// running tests).
+    fn with_overrides(mut self, var: impl Fn(&str) -> Option<String>) -> Self {
+        if let Some(list) = var("PGC_THREADS").and_then(|s| parse_thread_list(&s)) {
             self.threads = list;
         }
-        if let Some(s) = std::env::var("PGC_SHARDS")
-            .ok()
+        if let Some(s) = var("PGC_SHARDS")
             .and_then(|s| s.trim().parse::<usize>().ok())
             .filter(|&s| s > 0)
         {
             self.shards = Some(s);
         }
-        if let Ok(v) = std::env::var("PGC_COMPRESSED") {
+        if let Some(v) = var("PGC_COMPRESSED") {
             let v = v.trim();
             self.compressed = !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false");
         }
@@ -1332,17 +1336,47 @@ mod tests {
 
     #[test]
     fn env_overrides_pick_up_compressed() {
-        // Serialized against nothing: the env var is process-global, so
-        // set and immediately clear it around the single observation.
-        std::env::set_var("PGC_COMPRESSED", "1");
-        let on = ExpConfig::default().with_env_overrides().compressed;
-        std::env::set_var("PGC_COMPRESSED", "0");
-        let off = ExpConfig::default().with_env_overrides().compressed;
-        std::env::remove_var("PGC_COMPRESSED");
-        let unset = ExpConfig::default().with_env_overrides().compressed;
-        assert!(on);
-        assert!(!off);
-        assert!(!unset);
+        // Injected lookup, not std::env::set_var: the environment is
+        // process-global and mutating it would race with any concurrent
+        // test that reads these variables.
+        let compressed = |val: Option<&str>| {
+            let val = val.map(str::to_string);
+            ExpConfig::default()
+                .with_overrides(|k| {
+                    if k == "PGC_COMPRESSED" {
+                        val.clone()
+                    } else {
+                        None
+                    }
+                })
+                .compressed
+        };
+        assert!(compressed(Some("1")));
+        assert!(compressed(Some("true")));
+        assert!(!compressed(Some("0")));
+        assert!(!compressed(Some("false")));
+        assert!(!compressed(Some("  ")));
+        assert!(!compressed(None));
+    }
+
+    #[test]
+    fn env_overrides_pick_up_threads_and_shards() {
+        let cfg = ExpConfig::default().with_overrides(|k| match k {
+            "PGC_THREADS" => Some("1,2,8".into()),
+            "PGC_SHARDS" => Some("4".into()),
+            _ => None,
+        });
+        assert_eq!(cfg.threads, vec![1, 2, 8]);
+        assert_eq!(cfg.shards, Some(4));
+        // Malformed values leave the defaults untouched.
+        let dflt = ExpConfig::default();
+        let cfg = ExpConfig::default().with_overrides(|k| match k {
+            "PGC_THREADS" => Some("2,x".into()),
+            "PGC_SHARDS" => Some("0".into()),
+            _ => None,
+        });
+        assert_eq!(cfg.threads, dflt.threads);
+        assert_eq!(cfg.shards, dflt.shards);
     }
 
     #[test]

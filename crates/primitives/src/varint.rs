@@ -30,8 +30,10 @@
 //! varints consumes at most 40 bytes, so one slice-length guard per
 //! group licenses unchecked reads; only the final partial group falls
 //! back to checked indexing. Decoding arbitrary (corrupt) bytes is
-//! memory-safe — it can only produce garbage values, never UB — which is
-//! why snapshot loading re-validates the decoded CSR shape.
+//! memory-safe and panic-free — it can only produce garbage values,
+//! never UB — and loaders that must *reject* rather than tolerate
+//! corruption run [`validate_run`] first, which strictly checks the
+//! block structure against the declared count.
 
 /// Values per block. 64 keeps a decoded block in four cache lines and a
 /// full block header + worst-case deltas under 400 bytes.
@@ -104,14 +106,24 @@ pub fn encode_into(values: &[u32], out: &mut Vec<u8>) {
     debug_assert_eq!(written, out.len() - start);
 }
 
+/// Little-endian `u16` at `pos`; reads past the slice as 0, so header
+/// reads on a truncated (corrupt) run yield garbage instead of a panic.
 #[inline]
 fn u16_at(bytes: &[u8], pos: usize) -> u16 {
-    u16::from_le_bytes(bytes[pos..pos + 2].try_into().unwrap())
+    match bytes.get(pos..).and_then(|t| t.get(..2)) {
+        Some(b) => u16::from_le_bytes(b.try_into().unwrap()),
+        None => 0,
+    }
 }
 
+/// Little-endian `u32` at `pos`; reads past the slice as 0 (see
+/// [`u16_at`]).
 #[inline]
 fn u32_at(bytes: &[u8], pos: usize) -> u32 {
-    u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap())
+    match bytes.get(pos..).and_then(|t| t.get(..4)) {
+        Some(b) => u32::from_le_bytes(b.try_into().unwrap()),
+        None => 0,
+    }
 }
 
 /// One LEB128 varint read with bounds checks (tail path). Caps at 5
@@ -207,8 +219,12 @@ impl<'a> Decoder<'a> {
         let mut i = 1usize;
         // Steady state: one length guard licenses 8 unchecked varint
         // reads (≤ 40 bytes); well-formed input from `encode_to_slice`
-        // never leaves the block's delta section.
-        while cnt - i >= 8 && bytes.len() - p >= 40 {
+        // never leaves the block's delta section. The saturating form
+        // matters: on a truncated run `p` may already sit past the end
+        // (the 6-byte header read is itself unchecked-by-zero-fill), and
+        // a plain subtraction would wrap and license reads past the
+        // slice.
+        while cnt - i >= 8 && bytes.len().saturating_sub(p) >= 40 {
             // SAFETY: ≥ 40 bytes remain and each capped varint reads ≤ 5.
             unsafe {
                 for k in 0..8 {
@@ -291,6 +307,68 @@ pub fn decode_all(bytes: &[u8], count: usize) -> Vec<u32> {
     out
 }
 
+/// Strict structural check of one encoded run against its declared value
+/// `count`, without materializing anything: every block header must lie
+/// inside the slice, every delta section must hold exactly the varints
+/// its `dlen` field declares (the 5-byte cap respected, no bits past 32),
+/// the reconstructed values must stay strictly ascending without `u32`
+/// overflow — across block boundaries too — and the run must consume the
+/// slice exactly. Output of [`encode_to_slice`] always passes. Loaders
+/// run this before trusting foreign bytes, so a corrupt-but-
+/// checksum-valid snapshot surfaces as an error instead of garbage
+/// values (decoding itself is panic-free either way).
+pub fn validate_run(bytes: &[u8], count: usize) -> bool {
+    let mut pos = 0usize;
+    let mut remaining = count;
+    let mut last: Option<u32> = None;
+    while remaining > 0 {
+        let cnt = remaining.min(BLOCK);
+        if bytes.len().saturating_sub(pos) < BLOCK_HEADER {
+            return false;
+        }
+        let anchor = u32_at(bytes, pos);
+        let dlen = u16_at(bytes, pos + 4) as usize;
+        let deltas_end = pos + BLOCK_HEADER + dlen;
+        if deltas_end > bytes.len() || last.is_some_and(|l| anchor <= l) {
+            return false;
+        }
+        let mut p = pos + BLOCK_HEADER;
+        let mut v = anchor;
+        for _ in 1..cnt {
+            let mut d = 0u32;
+            let mut shift = 0u32;
+            loop {
+                if p >= deltas_end {
+                    return false;
+                }
+                let b = bytes[p];
+                p += 1;
+                // 5th byte: only 4 value bits fit below 32, and a set
+                // continuation bit would make a 6th byte.
+                if shift == 28 && (b & 0xf0) != 0 {
+                    return false;
+                }
+                d |= ((b & 0x7f) as u32) << shift;
+                if b < 0x80 {
+                    break;
+                }
+                shift += 7;
+            }
+            v = match v.checked_add(d).and_then(|x| x.checked_add(1)) {
+                Some(x) => x,
+                None => return false,
+            };
+        }
+        if p != deltas_end {
+            return false;
+        }
+        last = Some(v);
+        pos = deltas_end;
+        remaining -= cnt;
+    }
+    pos == bytes.len()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -371,9 +449,10 @@ mod tests {
 
     #[test]
     fn corrupt_bytes_decode_safely() {
-        // Arbitrary garbage must stay memory-safe: decoding yields
-        // garbage values or a safe slice-bounds panic, never UB. The
-        // caller (snapshot load) re-validates decoded CSR shape anyway.
+        // Arbitrary garbage must stay memory-safe AND panic-free:
+        // decoding yields garbage values, never UB and never a panic.
+        // Loaders that must reject corruption call `validate_run`; the
+        // snapshot path additionally re-validates decoded CSR shape.
         for garbage in [
             (0..64u32)
                 .map(|i| (i * 37 + 251) as u8)
@@ -382,24 +461,97 @@ mod tests {
             vec![0xffu8; 16],
         ] {
             for count in [1usize, 7, 64, 200] {
-                let g = garbage.clone();
-                let r = std::panic::catch_unwind(move || {
-                    let mut dec = Decoder::new(&g, count);
-                    let mut out = vec![0u32; count];
-                    let mut at = 0;
-                    // Terminates: remaining strictly decreases per block.
-                    while at < count {
-                        let got = dec.next_block_into(&mut out[at..]);
-                        if got == 0 {
-                            break;
-                        }
-                        at += got;
+                let mut dec = Decoder::new(&garbage, count);
+                let mut out = vec![0u32; count];
+                let mut at = 0;
+                // Terminates: remaining strictly decreases per block.
+                while at < count {
+                    let got = dec.next_block_into(&mut out[at..]);
+                    if got == 0 {
+                        break;
                     }
-                    at
-                });
-                let _ = r; // Ok(values decoded) or a safe panic
+                    at += got;
+                }
+                assert!(at <= count);
+                assert!(
+                    !validate_run(&garbage, count),
+                    "malformed run must not validate (len {}, count {count})",
+                    garbage.len()
+                );
             }
         }
+    }
+
+    #[test]
+    fn truncated_short_runs_decode_safely() {
+        // Regression: a run of 4–5 bytes with count ≥ 9 used to wrap the
+        // steady-state length guard (`bytes.len() - p` with `p` already
+        // past the end) and license unchecked reads past the slice in
+        // release builds. Truncated headers must decode to garbage —
+        // in-bounds, no panic — for every short length and large count.
+        for len in 0usize..=8 {
+            let run: Vec<u8> = (0..len).map(|i| 0xf0 | i as u8).collect();
+            for count in [1usize, 9, 16, BLOCK, 3 * BLOCK] {
+                let mut dec = Decoder::new(&run, count);
+                let mut out = vec![0u32; count];
+                let mut at = 0;
+                while at < count {
+                    let got = dec.next_block_into(&mut out[at..]);
+                    if got == 0 {
+                        break;
+                    }
+                    at += got;
+                }
+                assert!(!validate_run(&run, count), "len {len}, count {count}");
+                // Panic-free probe paths over the same truncated run.
+                let _ = Decoder::new(&run, count).contains(7);
+                let mut d = Decoder::new(&run, count);
+                d.skip_to(u32::MAX);
+                let _ = d.peek_anchor();
+            }
+        }
+    }
+
+    #[test]
+    fn validate_run_accepts_encoder_output_and_rejects_corruption() {
+        let cases: [Vec<u32>; 5] = [
+            vec![],
+            vec![42],
+            (0..200u32).map(|i| i * 3 + 1).collect(),
+            (0..150u32).map(|i| i * 28_000_000 + (i % 7)).collect(),
+            vec![0, 1, 2, u32::MAX - 1, u32::MAX],
+        ];
+        for values in &cases {
+            let mut buf = Vec::new();
+            encode_into(values, &mut buf);
+            assert!(validate_run(&buf, values.len()), "{} values", values.len());
+            // Wrong count: too few leaves trailing bytes, too many runs
+            // out of blocks.
+            if !values.is_empty() {
+                assert!(!validate_run(&buf, values.len() - 1));
+            }
+            assert!(!validate_run(&buf, values.len() + 1));
+            // Any truncation breaks the declared structure.
+            for cut in 0..buf.len() {
+                assert!(!validate_run(&buf[..cut], values.len()), "cut {cut}");
+            }
+        }
+        // Corrupt dlen: points past the run.
+        let values: Vec<u32> = (0..100u32).map(|i| i * 5).collect();
+        let mut buf = Vec::new();
+        encode_into(&values, &mut buf);
+        let mut bad = buf.clone();
+        bad[4] = 0xff;
+        bad[5] = 0xff;
+        assert!(!validate_run(&bad, values.len()));
+        // Value overflow: a structurally well-formed extra delta that
+        // would step past u32::MAX must be rejected, not wrapped.
+        let mut overflow = Vec::new();
+        encode_into(&[u32::MAX - 1, u32::MAX], &mut overflow);
+        let dlen = u16_at(&overflow, 4) as usize;
+        overflow[4..6].copy_from_slice(&((dlen + 1) as u16).to_le_bytes());
+        overflow.push(0x00); // gap-1 = 0 ⇒ value = u32::MAX + 1
+        assert!(!validate_run(&overflow, 3));
     }
 
     #[test]
